@@ -1,0 +1,352 @@
+// Command dnnlock is the driver for the HPNN logic-locking reproduction:
+// it trains and locks models, launches the decryption and monolithic
+// attacks against a simulated hardware-root-of-trust oracle, and
+// regenerates the paper's Table 1 and Figure 3.
+//
+// Usage:
+//
+//	dnnlock lock   -model mlp -bits 32 -out locked.json -keyout key.txt [-epochs 4] [-scheme negation|scaling|bias-shift|weight-perturb -alpha 0.5]
+//	dnnlock attack -in locked.json -keyfile key.txt [-monolithic]
+//	dnnlock bench  -exp table1|figure3|all [-scale tiny|quick|paper] [-models mlp,lenet] [-keysizes 16,32] [-csv rows.csv]
+//	dnnlock verify -in locked.json -keyfile key.txt -candidate recovered.txt
+//	dnnlock info   -in locked.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"dnnlock/internal/core"
+	"dnnlock/internal/dataset"
+	"dnnlock/internal/harness"
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/modelio"
+	"dnnlock/internal/models"
+	"dnnlock/internal/oracle"
+	"dnnlock/internal/train"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "lock":
+		err = cmdLock(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnnlock:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dnnlock <lock|attack|bench|info> [flags]
+  lock    build, HPNN-lock, and train a model; save model + key
+  attack  run the DNN decryption attack (or -monolithic) on a saved model
+  bench   regenerate the paper's Table 1 / Figure 3
+  info    describe a saved model
+  verify  check a candidate key against the device key (fidelity + equivalence)`)
+}
+
+func cmdLock(args []string) error {
+	fs := flag.NewFlagSet("lock", flag.ExitOnError)
+	model := fs.String("model", "mlp", "architecture: mlp, lenet, resnet, vtransformer")
+	schemeName := fs.String("scheme", "negation", "locking scheme: negation, scaling, bias-shift, weight-perturb")
+	alpha := fs.Float64("alpha", 0.5, "variant parameter (scaling factor or shift delta)")
+	bits := fs.Int("bits", 32, "key size in bits")
+	epochs := fs.Int("epochs", 4, "training epochs (0 skips training)")
+	examples := fs.Int("examples", 1500, "synthetic training examples")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "locked.json", "output model file")
+	keyout := fs.String("keyout", "key.txt", "output key file (the device secret)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	builder, c, h, _, err := models.ByName(*model)
+	if err != nil {
+		return err
+	}
+	scheme, needAlpha, err := parseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	a := 0.0
+	if needAlpha {
+		a = *alpha
+	}
+	if scheme == hpnn.WeightPerturb && *model != "mlp" {
+		return fmt.Errorf("weight-perturb locking needs dense lockable layers; use -model mlp")
+	}
+	net := builder(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: scheme, Alpha: a, KeyBits: *bits, Rng: rng})
+	var ds *dataset.Dataset
+	if c == 1 && h == 28 {
+		ds = dataset.Digits(*examples, *seed+7)
+	} else {
+		ds = dataset.Shapes(*examples, *seed+7)
+	}
+	tr, te := ds.Split(0.8)
+	if *epochs > 0 {
+		fmt.Printf("training %s (%d params) with a %d-bit key...\n", *model, net.NumParams(), *bits)
+		res := train.Fit(net, tr.X, tr.Y, te.X, te.Y, train.Config{
+			Epochs: *epochs, BatchSize: 32, Optimizer: train.NewAdam(0.003),
+			Seed: *seed, Log: os.Stdout,
+		})
+		fmt.Printf("trained: test accuracy %.3f\n", res.TestAccuracy)
+	}
+	if err := modelio.SaveNetwork(*out, lm.Net, &lm.Spec); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*keyout, []byte(key.String()+"\n"), 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("locked model -> %s, key (%d bits) -> %s\n", *out, len(key), *keyout)
+	return nil
+}
+
+func parseScheme(name string) (hpnn.Scheme, bool, error) {
+	switch name {
+	case "negation":
+		return hpnn.Negation, false, nil
+	case "scaling":
+		return hpnn.Scaling, true, nil
+	case "bias-shift":
+		return hpnn.BiasShift, true, nil
+	case "weight-perturb":
+		return hpnn.WeightPerturb, true, nil
+	default:
+		return 0, false, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func parseKeyFile(path string, want int) (hpnn.Key, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := strings.TrimSpace(string(raw))
+	if len(s) != want {
+		return nil, fmt.Errorf("key file has %d bits, spec wants %d", len(s), want)
+	}
+	key := make(hpnn.Key, want)
+	for i, ch := range s {
+		switch ch {
+		case '0':
+		case '1':
+			key[i] = true
+		default:
+			return nil, fmt.Errorf("key file contains %q", ch)
+		}
+	}
+	return key, nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	in := fs.String("in", "locked.json", "locked model file")
+	keyfile := fs.String("keyfile", "key.txt", "device key file (provisions the simulated oracle)")
+	mono := fs.Bool("monolithic", false, "run the monolithic learning attack instead of Algorithm 2")
+	seed := fs.Int64("seed", 1, "attack seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, spec, err := modelio.LoadNetwork(*in)
+	if err != nil {
+		return err
+	}
+	if spec == nil {
+		return fmt.Errorf("%s carries no lock spec", *in)
+	}
+	key, err := parseKeyFile(*keyfile, spec.NumBits())
+	if err != nil {
+		return err
+	}
+	// Provision a fresh device with the key from the key file and bind the
+	// model to it; the adversary only ever sees the white box and the
+	// device's query interface.
+	lm := hpnn.NewLockedModel(net, *spec)
+	orc := oracle.New(lm, key)
+	white := lm.WhiteBox()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	if *mono {
+		rep := core.Monolithic(white, *spec, orc, cfg, nil)
+		fmt.Printf("monolithic attack: %d epochs, %d queries, %.2fs\n", rep.Epochs, rep.Queries, rep.Time.Seconds())
+		fmt.Printf("recovered key: %s\n", rep.Key)
+		fmt.Printf("fidelity vs device key: %.4f\n", rep.Key.Fidelity(key))
+		return nil
+	}
+	res, err := core.Run(white, *spec, orc, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decryption attack: %d queries, %.2fs\n", res.Queries, res.Time.Seconds())
+	fmt.Printf("breakdown: %s\n", res.Breakdown)
+	fmt.Printf("recovered key: %s\n", res.Key)
+	fmt.Printf("fidelity vs device key: %.4f\n", res.Key.Fidelity(key))
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	exp := fs.String("exp", "all", "experiment: table1, figure3, or all")
+	scaleName := fs.String("scale", "tiny", "scale: tiny, quick, paper")
+	modelsFlag := fs.String("models", "mlp,lenet,resnet,vtransformer", "comma-separated model list")
+	keysizes := fs.String("keysizes", "", "override key sizes for all models, e.g. 16,32")
+	csvPath := fs.String("csv", "", "also write Table 1 rows to this CSV file")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sc harness.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = harness.TinyScale()
+	case "quick":
+		sc = harness.QuickScale()
+	case "paper":
+		sc = harness.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	sc.Seed = *seed
+	if *keysizes != "" {
+		var sizes []int
+		for _, tok := range strings.Split(*keysizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return fmt.Errorf("bad -keysizes: %v", err)
+			}
+			sizes = append(sizes, v)
+		}
+		for m := range sc.KeySizes {
+			sc.KeySizes[m] = sizes
+		}
+	}
+	names := strings.Split(*modelsFlag, ",")
+	fmt.Printf("scale=%s models=%v\n", sc.Name, names)
+	rows, err := harness.RunTable1(sc, names, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		harness.WriteCSV(rows, f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *exp == "figure3" || *exp == "all" {
+		fmt.Println("\nFigure 3: runtime breakdown of the decryption attack")
+		harness.FormatFigure3(harness.RunFigure3(rows), os.Stdout)
+	}
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "locked.json", "locked model file")
+	keyfile := fs.String("keyfile", "key.txt", "device key file")
+	candidate := fs.String("candidate", "", "candidate key file to verify")
+	samples := fs.Int("samples", 64, "random inputs for the functional comparison")
+	seed := fs.Int64("seed", 1, "probe seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *candidate == "" {
+		return fmt.Errorf("verify needs -candidate")
+	}
+	net, spec, err := modelio.LoadNetwork(*in)
+	if err != nil {
+		return err
+	}
+	if spec == nil {
+		return fmt.Errorf("%s carries no lock spec", *in)
+	}
+	key, err := parseKeyFile(*keyfile, spec.NumBits())
+	if err != nil {
+		return err
+	}
+	cand, err := parseKeyFile(*candidate, spec.NumBits())
+	if err != nil {
+		return err
+	}
+	lm := hpnn.NewLockedModel(net, *spec)
+	ref := lm.Apply(key)
+	got := lm.Apply(cand)
+	rng := rand.New(rand.NewSource(*seed))
+	maxDiff := 0.0
+	for i := 0; i < *samples; i++ {
+		x := make([]float64, net.InSize())
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		yr := ref.Forward(x)
+		yg := got.Forward(x)
+		for j := range yr {
+			d := yr[j] - yg[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	fmt.Printf("fidelity: %.4f (hamming distance %d)\n", cand.Fidelity(key), cand.HammingDistance(key))
+	fmt.Printf("max output difference over %d probes: %.3e\n", *samples, maxDiff)
+	if maxDiff < 1e-9 {
+		fmt.Println("functionally equivalent")
+	} else {
+		fmt.Println("NOT functionally equivalent")
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "locked.json", "model file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, spec, err := modelio.LoadNetwork(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input %d -> output %d, %d parameters, %d lockable sites\n",
+		net.InSize(), net.OutSize(), net.NumParams(), net.NumFlipSites())
+	for i, l := range net.Layers {
+		fmt.Printf("  layer %2d: %-16s %6d -> %d\n", i, l.Name(), l.InSize(), l.OutSize())
+	}
+	if spec != nil {
+		fmt.Printf("lock: scheme=%s alpha=%g bits=%d\n", spec.Scheme, spec.Alpha, spec.NumBits())
+		bySite := spec.SiteBits()
+		for site, idxs := range bySite {
+			fmt.Printf("  site %d: %d protected neurons\n", site, len(idxs))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+)
+
+func TestParseScheme(t *testing.T) {
+	cases := []struct {
+		name      string
+		scheme    hpnn.Scheme
+		needAlpha bool
+	}{
+		{"negation", hpnn.Negation, false},
+		{"scaling", hpnn.Scaling, true},
+		{"bias-shift", hpnn.BiasShift, true},
+		{"weight-perturb", hpnn.WeightPerturb, true},
+	}
+	for _, c := range cases {
+		got, needAlpha, err := parseScheme(c.name)
+		if err != nil || got != c.scheme || needAlpha != c.needAlpha {
+			t.Fatalf("parseScheme(%q) = %v %v %v", c.name, got, needAlpha, err)
+		}
+	}
+	if _, _, err := parseScheme("rot13"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestParseKeyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "key.txt")
+	if err := os.WriteFile(path, []byte("0110\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	key, err := parseKeyFile(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hpnn.Key{false, true, true, false}
+	if key.Fidelity(want) != 1 {
+		t.Fatalf("key = %v", key)
+	}
+	if _, err := parseKeyFile(path, 5); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("01x0"), 0o600)
+	if _, err := parseKeyFile(bad, 4); err == nil {
+		t.Fatal("invalid character accepted")
+	}
+	if _, err := parseKeyFile(filepath.Join(dir, "missing"), 4); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

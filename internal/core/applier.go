@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/nn"
+)
+
+// bitApplier abstracts how a key bit manifests in a network so the shared
+// machinery (validation, error correction, key assembly) works for the
+// standard negation scheme and every §3.9 variant.
+type bitApplier interface {
+	// apply writes the bit of the protected neuron into net.
+	apply(net *nn.Network, pn hpnn.ProtectedNeuron, specIdx int, bit bool)
+	// read extracts the bit of the protected neuron from net.
+	read(net *nn.Network, pn hpnn.ProtectedNeuron, specIdx int) bool
+	// clone copies net cheaply enough that applied bits stay independent.
+	clone(net *nn.Network) *nn.Network
+}
+
+// negationApplier implements standard HPNN: (-1)^K on the pre-activation.
+type negationApplier struct{}
+
+func (negationApplier) apply(net *nn.Network, pn hpnn.ProtectedNeuron, _ int, bit bool) {
+	net.Flips()[pn.Site].SetBit(pn.Index, bit)
+}
+
+func (negationApplier) read(net *nn.Network, pn hpnn.ProtectedNeuron, _ int) bool {
+	return net.Flips()[pn.Site].Bit(pn.Index)
+}
+
+func (negationApplier) clone(net *nn.Network) *nn.Network { return net.CloneForKeys() }
+
+// scalingApplier implements variant (a): α^K on the pre-activation.
+type scalingApplier struct{ alpha float64 }
+
+func (s scalingApplier) apply(net *nn.Network, pn hpnn.ProtectedNeuron, _ int, bit bool) {
+	if bit {
+		net.Flips()[pn.Site].Signs[pn.Index] = s.alpha
+	} else {
+		net.Flips()[pn.Site].Signs[pn.Index] = 1
+	}
+}
+
+func (s scalingApplier) read(net *nn.Network, pn hpnn.ProtectedNeuron, _ int) bool {
+	return net.Flips()[pn.Site].Signs[pn.Index] != 1
+}
+
+func (scalingApplier) clone(net *nn.Network) *nn.Network { return net.CloneForKeys() }
+
+// biasShiftApplier implements variant (b) on biases: +δ·K after the
+// pre-activation.
+type biasShiftApplier struct{ delta float64 }
+
+func (b biasShiftApplier) apply(net *nn.Network, pn hpnn.ProtectedNeuron, _ int, bit bool) {
+	if bit {
+		net.Flips()[pn.Site].SetOffset(pn.Index, b.delta)
+	} else {
+		net.Flips()[pn.Site].SetOffset(pn.Index, 0)
+	}
+}
+
+func (b biasShiftApplier) read(net *nn.Network, pn hpnn.ProtectedNeuron, _ int) bool {
+	f := net.Flips()[pn.Site]
+	return f.Offsets != nil && f.Offsets[pn.Index] != 0
+}
+
+func (biasShiftApplier) clone(net *nn.Network) *nn.Network { return net.CloneForKeys() }
+
+// weightPerturbApplier implements variant (b) on weights: one element of
+// the producer Dense row moves by δ when K = 1. base holds the unperturbed
+// element values read from the released white box.
+type weightPerturbApplier struct {
+	delta float64
+	base  []float64
+}
+
+func newWeightPerturbApplier(white *nn.Network, spec hpnn.LockSpec, delta float64) *weightPerturbApplier {
+	a := &weightPerturbApplier{delta: delta, base: make([]float64, spec.NumBits())}
+	for i, pn := range spec.Neurons {
+		d, ok := hpnn.ProducerDense(white, pn.Site)
+		if !ok {
+			panic("core: weight-perturb locking requires Dense producers")
+		}
+		a.base[i] = d.W.W.At(pn.Index, pn.Col)
+	}
+	return a
+}
+
+func (w *weightPerturbApplier) apply(net *nn.Network, pn hpnn.ProtectedNeuron, specIdx int, bit bool) {
+	d, ok := hpnn.ProducerDense(net, pn.Site)
+	if !ok {
+		panic("core: weight-perturb locking requires Dense producers")
+	}
+	v := w.base[specIdx]
+	if bit {
+		v += w.delta
+	}
+	d.W.W.Set(pn.Index, pn.Col, v)
+}
+
+func (w *weightPerturbApplier) read(net *nn.Network, pn hpnn.ProtectedNeuron, specIdx int) bool {
+	d, _ := hpnn.ProducerDense(net, pn.Site)
+	return d.W.W.At(pn.Index, pn.Col) != w.base[specIdx]
+}
+
+// clone must deep-copy Dense layers, since applied bits live in weights.
+func (w *weightPerturbApplier) clone(net *nn.Network) *nn.Network { return net.Clone() }
+
+// applierFor builds the applier matching a lock spec. The white box is
+// needed to capture weight-perturb base values.
+func applierFor(white *nn.Network, spec hpnn.LockSpec) bitApplier {
+	switch spec.Scheme {
+	case hpnn.Negation:
+		return negationApplier{}
+	case hpnn.Scaling:
+		return scalingApplier{alpha: spec.Alpha}
+	case hpnn.BiasShift:
+		return biasShiftApplier{delta: spec.Alpha}
+	case hpnn.WeightPerturb:
+		return newWeightPerturbApplier(white, spec, spec.Alpha)
+	default:
+		panic(fmt.Sprintf("core: unsupported scheme %v", spec.Scheme))
+	}
+}

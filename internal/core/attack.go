@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/metrics"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/oracle"
+)
+
+// Attack carries the shared state of one decryption run. The white-box
+// network is the adversary's working copy: recovered key bits are written
+// into its flip layers as the attack proceeds layer by layer, so that
+// critical points of layer i+1 are computed under the already-decrypted
+// prefix (Lemma 1).
+type Attack struct {
+	white   *nn.Network
+	spec    hpnn.LockSpec
+	orc     *oracle.Oracle
+	cfg     Config
+	bd      *metrics.Breakdown
+	applier bitApplier
+
+	// Per-bit state aligned with spec.Neurons.
+	decided    []bool
+	confidence []float64
+	origins    []BitOrigin
+
+	mu            sync.Mutex
+	queriesByProc map[metrics.Procedure]int64
+}
+
+// New prepares an attack against the locked model served by orc. The
+// white-box network is cloned; the caller's copy is never mutated.
+func New(white *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg Config) *Attack {
+	applier := applierFor(white, spec)
+	a := &Attack{
+		white:         applier.clone(white),
+		spec:          spec,
+		orc:           orc,
+		cfg:           cfg.withDefaults(),
+		bd:            metrics.NewBreakdown(),
+		applier:       applier,
+		decided:       make([]bool, spec.NumBits()),
+		confidence:    make([]float64, spec.NumBits()),
+		origins:       make([]BitOrigin, spec.NumBits()),
+		queriesByProc: make(map[metrics.Procedure]int64),
+	}
+	// Start from the identity hypothesis (all bits 0).
+	for i, pn := range spec.Neurons {
+		a.applier.apply(a.white, pn, i, false)
+	}
+	return a
+}
+
+// Breakdown exposes the per-procedure timing (Figure 3).
+func (a *Attack) Breakdown() *metrics.Breakdown { return a.bd }
+
+// trackProc runs f, accumulating its wall time and oracle queries under
+// proc.
+func (a *Attack) trackProc(proc metrics.Procedure, f func()) {
+	q0 := a.orc.Queries()
+	a.bd.Track(proc, f)
+	a.mu.Lock()
+	a.queriesByProc[proc] += a.orc.Queries() - q0
+	a.mu.Unlock()
+}
+
+// debugf writes a progress line to the configured debug writer.
+func (a *Attack) debugf(format string, args ...any) {
+	if a.cfg.Debug != nil {
+		fmt.Fprintf(a.cfg.Debug, format, args...)
+	}
+}
+
+// CurrentKey reads the key hypothesis currently written into the white box.
+func (a *Attack) CurrentKey() hpnn.Key {
+	key := make(hpnn.Key, a.spec.NumBits())
+	for i, pn := range a.spec.Neurons {
+		key[i] = a.applier.read(a.white, pn, i)
+	}
+	return key
+}
+
+// setBit writes one decided bit into the white box.
+func (a *Attack) setBit(i int, bit bool, conf float64, origin BitOrigin) {
+	a.applier.apply(a.white, a.spec.Neurons[i], i, bit)
+	a.decided[i] = true
+	a.confidence[i] = conf
+	a.origins[i] = origin
+}
+
+// decidedBits lists every spec bit decided so far. Error correction draws
+// its candidate pool from all of them (confidence-ordered), so a mistake
+// that slipped through an earlier layer's validation can still be repaired
+// when a later layer fails.
+func (a *Attack) decidedBits() []int {
+	var out []int
+	for i, d := range a.decided {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// orderedSites returns the protected flip sites in ascending network order,
+// which for our feed-forward topologies is a topological order (§4.1).
+func (a *Attack) orderedSites() []int {
+	bySite := a.spec.SiteBits()
+	sites := make([]int, 0, len(bySite))
+	for s := range bySite {
+		sites = append(sites, s)
+	}
+	sort.Ints(sites)
+	return sites
+}
+
+// parallelFor runs fn(i) for i in [0, n) on the configured worker count.
+// Each invocation receives a deterministic per-index RNG.
+func (a *Attack) parallelFor(n int, seedBase int64, fn func(i int, rng *rand.Rand)) {
+	workers := a.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, rand.New(rand.NewSource(seedBase+int64(i))))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i, rand.New(rand.NewSource(seedBase+int64(i))))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

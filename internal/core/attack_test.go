@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	a, _, _ := attackWithTrueKey(t, 401, 4)
+	for _, workers := range []int{1, 4, 16} {
+		a.cfg.Workers = workers
+		var hits [37]atomic.Int64
+		a.parallelFor(len(hits), 5, func(i int, rng *rand.Rand) {
+			if rng == nil {
+				t.Error("nil rng")
+			}
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestParallelForDeterministicRNGSeeds(t *testing.T) {
+	a, _, _ := attackWithTrueKey(t, 402, 4)
+	draw := func(workers int) []int64 {
+		a.cfg.Workers = workers
+		out := make([]int64, 20)
+		a.parallelFor(len(out), 77, func(i int, rng *rand.Rand) {
+			out[i] = rng.Int63()
+		})
+		return out
+	}
+	serial := draw(1)
+	parallel := draw(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatal("per-index RNG streams must not depend on worker count")
+		}
+	}
+}
+
+func TestDecryptParallelWorkersMatchSerial(t *testing.T) {
+	// The recovered key must be identical regardless of worker count
+	// (§4.1 parallelism is an implementation detail, not a semantics
+	// change).
+	rng := rand.New(rand.NewSource(403))
+	net := models.TinyMLP(rng)
+	white, spec, orc, key := lockAndOracle(net, hpnn.Config{
+		Scheme: hpnn.Negation, KeyBits: 8, Rng: rng,
+	})
+	for _, workers := range []int{1, 8} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.Seed = 404
+		res, err := Run(white, spec, orc, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Key.Fidelity(key) != 1 {
+			t.Fatalf("workers=%d: fidelity %.3f", workers, res.Key.Fidelity(key))
+		}
+	}
+}
+
+func TestCurrentKeyTracksSetBit(t *testing.T) {
+	a, _, _ := attackWithTrueKey(t, 405, 6)
+	a.setBit(2, true, 0.5, OriginLearning)
+	a.setBit(4, true, 0.9, OriginCorrection)
+	key := a.CurrentKey()
+	if !key[2] || !key[4] || key[0] {
+		t.Fatalf("CurrentKey = %v", key)
+	}
+	if !a.decided[2] || a.confidence[2] != 0.5 || a.origins[4] != OriginCorrection {
+		t.Fatal("bit state not recorded")
+	}
+	if a.Breakdown() == nil {
+		t.Fatal("Breakdown accessor nil")
+	}
+}
+
+func TestLowConfidenceBits(t *testing.T) {
+	a, _, _ := attackWithTrueKey(t, 406, 6)
+	a.setBit(0, false, 0.99, OriginAlgebraic)
+	a.setBit(1, false, 0.2, OriginLearning)
+	a.setBit(2, false, 0.1, OriginLearning)
+	got := lowConfidenceBits(a, []int{0, 1, 2})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("lowConfidenceBits = %v", got)
+	}
+}
+
+func TestRelearnBySiteFixesBits(t *testing.T) {
+	// Corrupt two learned bits on different sites and confirm relearning
+	// against the oracle restores them.
+	a, key, bySite := attackWithTrueKey(t, 407, 8)
+	for si := range key {
+		a.setBit(si, key[si], 1, OriginAlgebraic)
+	}
+	// Corrupt one bit per site, pretending they were learned badly.
+	b0, b1 := bySite[0][0], bySite[1][0]
+	a.setBit(b0, !key[b0], 0.1, OriginLearning)
+	a.setBit(b1, !key[b1], 0.1, OriginLearning)
+	rng := rand.New(rand.NewSource(408))
+	a.relearnBySite([]int{b0, b1}, rng)
+	cur := a.CurrentKey()
+	if cur[b0] != key[b0] || cur[b1] != key[b1] {
+		t.Fatalf("relearn failed: %v vs %v", cur, key)
+	}
+}
+
+func TestOrderedSites(t *testing.T) {
+	a, _, _ := attackWithTrueKey(t, 409, 8)
+	sites := a.orderedSites()
+	if len(sites) != 2 || sites[0] != 0 || sites[1] != 1 {
+		t.Fatalf("orderedSites = %v", sites)
+	}
+}

@@ -1,0 +1,254 @@
+// Package core implements the paper's primary contribution: the DNN
+// decryption attack of Algorithm 2 with its four procedures —
+// search_critical_point (§3.5), key_bit_inference (Algorithm 1, §3.3),
+// learning_attack (§3.6), key_vector_validation (§3.7) and
+// error_correction (§3.8) — plus the monolithic learning-based baseline
+// (§4.3) and the §3.9 variant reductions.
+package core
+
+import (
+	"io"
+	"runtime"
+	"time"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/metrics"
+)
+
+// Config tunes the attack. Zero values are replaced by the defaults below.
+type Config struct {
+	// Epsilon is the probe step of Algorithm 1: the oracle is queried at
+	// x° ± ε·v where Â·v = e_j, so the target pre-activation moves by ±ε.
+	Epsilon float64
+	// CriticalTol is the |u| tolerance accepted by the bisection of
+	// search_critical_point.
+	CriticalTol float64
+	// InputLim bounds the random-line sampling box [-lim, lim]^P.
+	InputLim float64
+	// LineSamples is the number of coarse samples per random line.
+	LineSamples int
+	// MaxLineTries bounds the number of random lines tried per search.
+	MaxLineTries int
+	// MaxCriticalTries bounds retries of Algorithm 1 with fresh critical
+	// points before declaring the bit ⊥.
+	MaxCriticalTries int
+	// ResidualTol is the relative least-squares residual above which the
+	// pre-image v is declared nonexistent (expansive location, §3.4).
+	ResidualTol float64
+	// DecisionRatio is how many times larger one side's output movement
+	// must be for Algorithm 1 to decide a bit (robust form of lines 9–10).
+	DecisionRatio float64
+	// AbsChange is the minimum output movement treated as a real change.
+	AbsChange float64
+
+	// LearnQueries is the number of oracle-labelled random inputs per
+	// learning_attack invocation; LearnEpochs and LearnRate drive the Adam
+	// fit; ConfidenceThreshold settles bits early (§4.1).
+	LearnQueries        int
+	LearnEpochs         int
+	LearnBatch          int
+	LearnRate           float64
+	ConfidenceThreshold float64
+	// PlateauEpochs stops the fit when the loss has not improved for this
+	// many consecutive epochs (the attacker-observable form of the
+	// paper's stop rule ii).
+	PlateauEpochs int
+
+	// ValidationNeurons caps how many next-layer neurons vote per
+	// validation; ValidationDelta is the kink-probe step;
+	// ValidationMajority is the vote fraction required to pass;
+	// ValidationSamples is the input count of the last-layer direct
+	// comparison; EquivTol its tolerance.
+	ValidationNeurons  int
+	ValidationDelta    float64
+	ValidationMajority float64
+	ValidationSamples  int
+	EquivTol           float64
+
+	// CorrectionPool caps how many lowest-confidence bits participate in
+	// error_correction; MaxCorrectionHamming bounds the Hamming radius;
+	// MaxCorrectionRounds bounds learning-retry rounds.
+	CorrectionPool       int
+	MaxCorrectionHamming int
+	MaxCorrectionRounds  int
+
+	// Workers is the parallelism degree across neurons / candidates (§4.1).
+	Workers int
+	// Seed drives all attack randomness.
+	Seed int64
+	// UseProductMatrix enables the Formulas 2–3 fast path on sequential
+	// piecewise-linear networks; the exact JVP is used otherwise.
+	UseProductMatrix bool
+	// DisableAlgebraic turns key_bit_inference off entirely (ablation).
+	DisableAlgebraic bool
+	// Debug, when non-nil, receives progress lines from the attack.
+	Debug io.Writer
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Epsilon:          1e-4,
+		CriticalTol:      1e-10,
+		InputLim:         2.0,
+		LineSamples:      33,
+		MaxLineTries:     24,
+		MaxCriticalTries: 6,
+		ResidualTol:      1e-6,
+		DecisionRatio:    20,
+		AbsChange:        1e-9,
+
+		LearnQueries:        256,
+		LearnEpochs:         200,
+		LearnBatch:          32,
+		LearnRate:           0.05,
+		ConfidenceThreshold: 0.90,
+		PlateauEpochs:       25,
+
+		ValidationNeurons:  24,
+		ValidationDelta:    1e-4,
+		ValidationMajority: 0.85,
+		ValidationSamples:  16,
+		EquivTol:           1e-6,
+
+		CorrectionPool:       16,
+		MaxCorrectionHamming: 2,
+		MaxCorrectionRounds:  3,
+
+		Workers:          runtime.GOMAXPROCS(0),
+		Seed:             1,
+		UseProductMatrix: true,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Epsilon == 0 {
+		c.Epsilon = d.Epsilon
+	}
+	if c.CriticalTol == 0 {
+		c.CriticalTol = d.CriticalTol
+	}
+	if c.InputLim == 0 {
+		c.InputLim = d.InputLim
+	}
+	if c.LineSamples == 0 {
+		c.LineSamples = d.LineSamples
+	}
+	if c.MaxLineTries == 0 {
+		c.MaxLineTries = d.MaxLineTries
+	}
+	if c.MaxCriticalTries == 0 {
+		c.MaxCriticalTries = d.MaxCriticalTries
+	}
+	if c.ResidualTol == 0 {
+		c.ResidualTol = d.ResidualTol
+	}
+	if c.DecisionRatio == 0 {
+		c.DecisionRatio = d.DecisionRatio
+	}
+	if c.AbsChange == 0 {
+		c.AbsChange = d.AbsChange
+	}
+	if c.LearnQueries == 0 {
+		c.LearnQueries = d.LearnQueries
+	}
+	if c.LearnEpochs == 0 {
+		c.LearnEpochs = d.LearnEpochs
+	}
+	if c.LearnBatch == 0 {
+		c.LearnBatch = d.LearnBatch
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = d.LearnRate
+	}
+	if c.ConfidenceThreshold == 0 {
+		c.ConfidenceThreshold = d.ConfidenceThreshold
+	}
+	if c.PlateauEpochs == 0 {
+		c.PlateauEpochs = d.PlateauEpochs
+	}
+	if c.ValidationNeurons == 0 {
+		c.ValidationNeurons = d.ValidationNeurons
+	}
+	if c.ValidationDelta == 0 {
+		c.ValidationDelta = d.ValidationDelta
+	}
+	if c.ValidationMajority == 0 {
+		c.ValidationMajority = d.ValidationMajority
+	}
+	if c.ValidationSamples == 0 {
+		c.ValidationSamples = d.ValidationSamples
+	}
+	if c.EquivTol == 0 {
+		c.EquivTol = d.EquivTol
+	}
+	if c.CorrectionPool == 0 {
+		c.CorrectionPool = d.CorrectionPool
+	}
+	if c.MaxCorrectionHamming == 0 {
+		c.MaxCorrectionHamming = d.MaxCorrectionHamming
+	}
+	if c.MaxCorrectionRounds == 0 {
+		c.MaxCorrectionRounds = d.MaxCorrectionRounds
+	}
+	if c.Workers == 0 {
+		c.Workers = d.Workers
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// BitOrigin records which procedure decided a key bit.
+type BitOrigin int
+
+// Bit origins.
+const (
+	OriginUnknown BitOrigin = iota
+	OriginAlgebraic
+	OriginLearning
+	OriginCorrection
+)
+
+// String names the origin.
+func (o BitOrigin) String() string {
+	switch o {
+	case OriginAlgebraic:
+		return "algebraic"
+	case OriginLearning:
+		return "learning"
+	case OriginCorrection:
+		return "correction"
+	default:
+		return "unknown"
+	}
+}
+
+// SiteReport summarizes the attack on one lockable layer.
+type SiteReport struct {
+	Site           int
+	Bits           int
+	Algebraic      int // bits decided by key_bit_inference
+	Learned        int // bits decided by learning_attack
+	Corrected      int // bits flipped by error_correction
+	ValidationRuns int
+}
+
+// Result is the outcome of a decryption attack.
+type Result struct {
+	Key       hpnn.Key
+	Origins   []BitOrigin
+	Queries   int64
+	Time      time.Duration
+	Breakdown *metrics.Breakdown
+	// QueriesByProc splits the oracle queries across the four procedures —
+	// a query-complexity companion to Figure 3.
+	QueriesByProc map[metrics.Procedure]int64
+	Sites         []SiteReport
+	// Equivalent reports whether the final direct-comparison check between
+	// the keyed white-box and the oracle passed.
+	Equivalent bool
+}

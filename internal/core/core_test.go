@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/oracle"
+)
+
+// lockAndOracle locks net with cfg and returns the attack inputs.
+func lockAndOracle(net *nn.Network, lcfg hpnn.Config) (*nn.Network, hpnn.LockSpec, *oracle.Oracle, hpnn.Key) {
+	lm, key := hpnn.Lock(net, lcfg)
+	return lm.WhiteBox(), lm.Spec, oracle.New(lm, key), key
+}
+
+func TestSearchCriticalPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := models.TinyMLP(rng)
+	cfg := DefaultConfig()
+	for site := 0; site < net.NumFlipSites(); site++ {
+		for idx := 0; idx < 3; idx++ {
+			x0, ok := searchCriticalPoint(net, site, idx, cfg, rng)
+			if !ok {
+				t.Fatalf("no critical point for (%d,%d)", site, idx)
+			}
+			u := postAct(net, x0, site, idx)
+			if math.Abs(u) > math.Sqrt(cfg.CriticalTol) {
+				t.Fatalf("critical point residual %g", u)
+			}
+		}
+	}
+}
+
+func TestSearchCriticalPointRespectsPrefixKeys(t *testing.T) {
+	// Flipping a first-layer bit changes the second-layer hyperplanes;
+	// search on the keyed network must still find exact witnesses.
+	rng := rand.New(rand.NewSource(2))
+	net := models.TinyMLP(rng)
+	net.Flips()[0].SetBit(3, true)
+	cfg := DefaultConfig()
+	x0, ok := searchCriticalPoint(net, 1, 2, cfg, rng)
+	if !ok {
+		t.Fatal("no critical point")
+	}
+	if u := postAct(net, x0, 1, 2); math.Abs(u) > 1e-7 {
+		t.Fatalf("residual %g", u)
+	}
+}
+
+func TestKeyBitInferenceOnContractiveMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := models.TinyMLP(rng)
+	white, spec, orc, key := lockAndOracle(net, hpnn.Config{
+		Scheme: hpnn.Negation, KeyBits: 8, Rng: rng,
+	})
+	a := New(white, spec, orc, DefaultConfig())
+	// Attack the first-layer bits only (prefix is empty, so inference
+	// should succeed outright on this contractive network).
+	bySite := spec.SiteBits()
+	for _, si := range bySite[0] {
+		got := a.keyBitInference(si, rand.New(rand.NewSource(int64(si)+100)))
+		if got == bitBottom {
+			t.Fatalf("bit %d: inference returned ⊥ on a contractive MLP", si)
+		}
+		want := bitZero
+		if key[si] {
+			want = bitOne
+		}
+		if got != want {
+			t.Fatalf("bit %d: inferred %d, want %d", si, got, want)
+		}
+	}
+}
+
+func TestKeyBitInferenceSecondLayerNeedsPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := models.TinyMLP(rng)
+	white, spec, orc, key := lockAndOracle(net, hpnn.Config{
+		Scheme: hpnn.Negation, KeyBits: 8, Rng: rng,
+	})
+	a := New(white, spec, orc, DefaultConfig())
+	bySite := spec.SiteBits()
+	// Write the true first-layer bits (as Algorithm 2 would have).
+	for _, si := range bySite[0] {
+		a.setBit(si, key[si], 1, OriginAlgebraic)
+	}
+	bottoms := 0
+	for _, si := range bySite[1] {
+		got := a.keyBitInference(si, rand.New(rand.NewSource(int64(si)+200)))
+		if got == bitBottom {
+			// ⊥ is a legal outcome (mask-dependent rank loss, §3.4); the
+			// learning attack would pick the bit up. It must stay rare and
+			// inference must never return a wrong value.
+			bottoms++
+			continue
+		}
+		want := bitZero
+		if key[si] {
+			want = bitOne
+		}
+		if got != want {
+			t.Fatalf("layer-2 bit %d: inferred %d, want %d", si, got, want)
+		}
+	}
+	if bottoms > len(bySite[1])/2 {
+		t.Fatalf("%d of %d layer-2 bits returned ⊥", bottoms, len(bySite[1]))
+	}
+}
+
+func TestPreimageExpansiveReturnsFalse(t *testing.T) {
+	// An expansive first layer (in 6 < out 12) has no pre-image for most
+	// basis vectors.
+	rng := rand.New(rand.NewSource(5))
+	net := nn.NewNetwork(
+		nn.NewDense(6, 12).InitHe(rng), nn.NewFlip(12), nn.NewReLU(12),
+		nn.NewDense(12, 4).InitHe(rng),
+	)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 6, Rng: rng})
+	orc := oracle.New(lm, key)
+	a := New(lm.WhiteBox(), lm.Spec, orc, DefaultConfig())
+	x0, ok := searchCriticalPoint(a.white, 0, lm.Spec.Neurons[0].Index, a.cfg, rng)
+	if !ok {
+		t.Fatal("no critical point")
+	}
+	if _, ok := a.preimage(x0, 0, lm.Spec.Neurons[0].Index); ok {
+		t.Fatal("pre-image should not exist in an expansive layer")
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	c := combinations(4, 2)
+	if len(c) != 6 {
+		t.Fatalf("C(4,2) = %d", len(c))
+	}
+	if c[0][0] != 0 || c[0][1] != 1 || c[5][0] != 2 || c[5][1] != 3 {
+		t.Fatalf("combination order wrong: %v", c)
+	}
+	if len(combinations(3, 3)) != 1 {
+		t.Fatal("C(3,3) != 1")
+	}
+	if len(combinations(5, 1)) != 5 {
+		t.Fatal("C(5,1) != 5")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	d := c.withDefaults()
+	if d.Epsilon == 0 || d.Workers == 0 || d.LearnQueries == 0 {
+		t.Fatalf("defaults not applied: %+v", d)
+	}
+	// Explicit values survive.
+	c.Epsilon = 0.5
+	if got := c.withDefaults().Epsilon; got != 0.5 {
+		t.Fatalf("explicit epsilon overwritten: %v", got)
+	}
+}
+
+func TestBitOriginString(t *testing.T) {
+	for o, want := range map[BitOrigin]string{
+		OriginAlgebraic: "algebraic", OriginLearning: "learning",
+		OriginCorrection: "correction", OriginUnknown: "unknown",
+	} {
+		if o.String() != want {
+			t.Fatalf("String(%d) = %q", o, o.String())
+		}
+	}
+}

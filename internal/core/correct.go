@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// errorCorrection implements §3.8's heuristic repair: bits of the pending
+// validation group are ordered by ascending learning confidence (algebraic
+// bits carry confidence 1 and effectively never flip first); candidate
+// keys at Hamming distance 1, 2, … from the current hypothesis are
+// validated against the oracle in parallel; the first candidate that
+// passes is committed. It returns false when the Hamming budget is
+// exhausted.
+func (a *Attack) errorCorrection(groupSites, groupBits []int, rng *rand.Rand) bool {
+	// Candidate pool: lowest-confidence bits first.
+	pool := append([]int(nil), groupBits...)
+	sort.SliceStable(pool, func(i, j int) bool {
+		return a.confidence[pool[i]] < a.confidence[pool[j]]
+	})
+	if len(pool) > a.cfg.CorrectionPool {
+		pool = pool[:a.cfg.CorrectionPool]
+	}
+	for h := 1; h <= a.cfg.MaxCorrectionHamming && h <= len(pool); h++ {
+		combos := combinations(len(pool), h)
+		var winner atomic.Int64
+		winner.Store(-1)
+		var mu sync.Mutex // serializes winner bookkeeping
+		a.parallelFor(len(combos), rng.Int63(), func(ci int, wrng *rand.Rand) {
+			if winner.Load() >= 0 {
+				return
+			}
+			cand := a.applier.clone(a.white)
+			for _, pi := range combos[ci] {
+				si := pool[pi]
+				pn := a.spec.Neurons[si]
+				a.applier.apply(cand, pn, si, !a.applier.read(cand, pn, si))
+			}
+			if a.keyVectorValidation(cand, groupSites, wrng) {
+				mu.Lock()
+				if winner.Load() < 0 {
+					winner.Store(int64(ci))
+				}
+				mu.Unlock()
+			}
+		})
+		if w := winner.Load(); w >= 0 {
+			for _, pi := range combos[w] {
+				si := pool[pi]
+				bit := !a.applier.read(a.white, a.spec.Neurons[si], si)
+				a.setBit(si, bit, 1, OriginCorrection)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// combinations enumerates all k-subsets of {0,…,n−1} in lexicographic
+// order, which — applied to a confidence-sorted pool — tries the least
+// trusted bits first, as §3.8 prescribes.
+func combinations(n, k int) [][]int {
+	var out [][]int
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), idx...))
+		// Advance.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

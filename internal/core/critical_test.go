@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/nn"
+)
+
+func TestSearchZeroFindsBracketedRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	cfg := DefaultConfig()
+	// u(x) = x₀ − 0.3: sign diversity everywhere.
+	u := func(x []float64) float64 { return x[0] - 0.3 }
+	x, ok := searchZero(u, 4, cfg, rng)
+	if !ok {
+		t.Fatal("no root found")
+	}
+	if math.Abs(u(x)) > math.Sqrt(cfg.CriticalTol) {
+		t.Fatalf("residual %g", u(x))
+	}
+}
+
+func TestSearchZeroHandlesSkewedUnits(t *testing.T) {
+	// A unit that is positive on all but a thin sliver of the box — the
+	// trained-network regime where fixed-line scanning starves. The
+	// multi-scale sign-diversity prescan must still bracket it.
+	rng := rand.New(rand.NewSource(702))
+	cfg := DefaultConfig()
+	u := func(x []float64) float64 { return x[0]*x[0] + 0.5 - 0.1*x[1]*x[1]*x[1]*x[1] }
+	found := 0
+	for trial := 0; trial < 5; trial++ {
+		if _, ok := searchZero(u, 2, cfg, rng); ok {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("skewed unit never bracketed")
+	}
+}
+
+func TestSearchZeroGivesUpOnDeadUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	cfg := DefaultConfig()
+	cfg.MaxLineTries = 2
+	cfg.LineSamples = 8
+	u := func(x []float64) float64 { return 1 + x[0]*x[0] } // always positive
+	if _, ok := searchZero(u, 3, cfg, rng); ok {
+		t.Fatal("found a root of a positive function")
+	}
+}
+
+func TestBisectSegmentToleratesMultipleCrossings(t *testing.T) {
+	cfg := DefaultConfig()
+	// u crosses zero three times between the exemplars; any root is fine.
+	u := func(x []float64) float64 { return math.Sin(3 * x[0]) }
+	a := []float64{0.4} // sin(1.2) > 0
+	b := []float64{2.8} // sin(8.4) > 0 ... pick b with u<0: sin(3*1.2)= -0.44
+	b = []float64{1.2}
+	x, ok := bisectSegment(u, a, b, cfg)
+	if !ok {
+		t.Fatal("no root")
+	}
+	if math.Abs(u(x)) > math.Sqrt(cfg.CriticalTol) {
+		t.Fatalf("residual %g", u(x))
+	}
+}
+
+func TestPostActTracksAppliedKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(704))
+	f := nn.NewFlip(3)
+	net := nn.NewNetwork(nn.NewDense(2, 3).InitHe(rng), f, nn.NewReLU(3), nn.NewDense(3, 2).InitHe(rng))
+	x := []float64{0.5, -0.8}
+	before := postAct(net, x, 0, 1)
+	f.SetBit(1, true)
+	after := postAct(net, x, 0, 1)
+	if math.Abs(before+after) > 1e-12 {
+		t.Fatalf("post-act did not flip: %v vs %v", before, after)
+	}
+	// Offsets shift the post-act (bias-shift variant).
+	f.SetBit(1, false)
+	f.SetOffset(1, 0.25)
+	shifted := postAct(net, x, 0, 1)
+	if math.Abs(shifted-before-0.25) > 1e-12 {
+		t.Fatalf("offset not reflected: %v vs %v", shifted, before)
+	}
+}

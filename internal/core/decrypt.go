@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/metrics"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/oracle"
+)
+
+// Run executes the DNN decryption attack (Algorithm 2) against the oracle:
+// layer by layer in topological order, it attempts the algebraic
+// key_bit_inference on every protected neuron, falls back to the
+// learning_attack for ⊥ bits, and gates progression to the next layer on
+// key_vector_validation, repairing failures with error_correction. It
+// returns the recovered key together with query counts and the Figure 3
+// timing breakdown.
+//
+// The whiteBox argument is the adversary's downloaded model (weights with
+// identity flips); it is cloned, never mutated.
+func Run(whiteBox *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg Config) (*Result, error) {
+	if spec.Scheme != hpnn.Negation {
+		return RunVariant(whiteBox, spec, orc, cfg)
+	}
+	a := New(whiteBox, spec, orc, cfg)
+	return a.run()
+}
+
+func (a *Attack) run() (*Result, error) {
+	start := time.Now()
+	startQ := a.orc.Queries()
+	rng := rand.New(rand.NewSource(a.cfg.Seed))
+	bySite := a.spec.SiteBits()
+
+	var reports []SiteReport
+	var pendingBits []int  // bits decided but not yet validated
+	var pendingSites []int // their flip sites
+	for _, site := range a.orderedSites() {
+		bits := bySite[site]
+		rep := SiteReport{Site: site, Bits: len(bits)}
+
+		// Phase 1: algebraic inference (Algorithm 1) on every bit, in
+		// parallel across neurons (§4.1).
+		inferred := make([]bitValue, len(bits))
+		if a.cfg.DisableAlgebraic {
+			for i := range inferred {
+				inferred[i] = bitBottom
+			}
+		} else {
+			a.trackProc(metrics.ProcKeyBitInference, func() {
+				a.parallelFor(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) {
+					inferred[i] = a.keyBitInference(bits[i], wrng)
+				})
+			})
+		}
+		var unresolved []int
+		for i, v := range inferred {
+			switch v {
+			case bitZero, bitOne:
+				a.setBit(bits[i], v == bitOne, 1, OriginAlgebraic)
+				rep.Algebraic++
+			default:
+				unresolved = append(unresolved, bits[i])
+			}
+		}
+		a.debugf("site %d: %d bits, %d algebraic, %d unresolved\n", site, len(bits), rep.Algebraic, len(unresolved))
+
+		// Phase 2: learning attack on the ⊥ bits (§3.6).
+		if len(unresolved) > 0 {
+			a.trackProc(metrics.ProcLearningAttack, func() {
+				a.learningAttack(site, unresolved, rng)
+			})
+			rep.Learned = len(unresolved)
+		}
+
+		pendingBits = append(pendingBits, bits...)
+		pendingSites = append(pendingSites, site)
+
+		// Phase 3: validate the pending group, correcting errors until it
+		// passes (Algorithm 2 lines 9–10). When the topology offers no
+		// admissible probe yet (mid residual block), defer to the next
+		// site and validate the block as one unit.
+		if _, mode := a.validationProbe(pendingSites); mode == modeDefer {
+			reports = append(reports, rep)
+			continue
+		}
+		learnQueries := a.cfg.LearnQueries
+		valid := false
+		for round := 0; round <= a.cfg.MaxCorrectionRounds; round++ {
+			a.trackProc(metrics.ProcKeyVectorValidation, func() {
+				rep.ValidationRuns++
+				valid = a.keyVectorValidation(a.white, pendingSites, rng)
+			})
+			if valid {
+				break
+			}
+			fixed := false
+			a.trackProc(metrics.ProcErrorCorrection, func() {
+				fixed = a.errorCorrection(pendingSites, a.decidedBits(), rng)
+			})
+			if fixed {
+				// The committed candidate already passed validation inside
+				// errorCorrection.
+				rep.Corrected++
+				valid = true
+				break
+			}
+			// Correction exhausted its Hamming budget: re-run the learning
+			// attack with a doubled query budget on the least certain bits
+			// before trying again.
+			if round == a.cfg.MaxCorrectionRounds {
+				return nil, fmt.Errorf("core: site %d failed validation after %d correction rounds", site, round+1)
+			}
+			learnQueries *= 2
+			relearn := lowConfidenceBits(a, pendingBits)
+			if len(relearn) == 0 {
+				relearn = unresolved
+			}
+			if len(relearn) > 0 {
+				a.trackProc(metrics.ProcLearningAttack, func() {
+					saved := a.cfg.LearnQueries
+					a.cfg.LearnQueries = learnQueries
+					a.relearnBySite(relearn, rng)
+					a.cfg.LearnQueries = saved
+				})
+			}
+		}
+		if !valid {
+			return nil, fmt.Errorf("core: site %d failed validation", site)
+		}
+		pendingBits = pendingBits[:0]
+		pendingSites = pendingSites[:0]
+		reports = append(reports, rep)
+	}
+
+	res := &Result{
+		Key:           a.CurrentKey(),
+		Origins:       append([]BitOrigin(nil), a.origins...),
+		Queries:       a.orc.Queries() - startQ,
+		Time:          time.Since(start),
+		Breakdown:     a.bd,
+		QueriesByProc: a.queriesByProc,
+		Sites:         reports,
+		Equivalent:    a.directCompare(a.white, rng),
+	}
+	if !res.Equivalent {
+		return res, fmt.Errorf("core: recovered key is not functionally equivalent to the oracle")
+	}
+	return res, nil
+}
+
+// lowConfidenceBits returns the bits whose confidence is below the
+// settling threshold, the natural relearning targets.
+func lowConfidenceBits(a *Attack, bits []int) []int {
+	var out []int
+	for _, b := range bits {
+		if a.confidence[b] < a.cfg.ConfidenceThreshold {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// relearnBySite reruns the learning attack for the given bits, one site at
+// a time (learningAttack softens a single flip layer per call).
+func (a *Attack) relearnBySite(bits []int, rng *rand.Rand) {
+	bySite := make(map[int][]int)
+	for _, b := range bits {
+		s := a.spec.Neurons[b].Site
+		bySite[s] = append(bySite[s], b)
+	}
+	for site, sb := range bySite {
+		a.learningAttack(site, sb, rng)
+	}
+}

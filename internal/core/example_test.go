@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dnnlock/internal/core"
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/oracle"
+)
+
+// ExampleRun demonstrates the full adversary flow against an HPNN-locked
+// model: white box + query access in, exact key out.
+func ExampleRun() {
+	rng := rand.New(rand.NewSource(3))
+	net := models.TinyMLP(rng)
+	locked, secret := hpnn.Lock(net, hpnn.Config{
+		Scheme: hpnn.Negation, KeyBits: 6, Rng: rng,
+	})
+	device := oracle.New(locked, secret)
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = 4
+	result, err := core.Run(locked.WhiteBox(), locked.Spec, device, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fidelity: %.0f%%\n", 100*result.Key.Fidelity(secret))
+	fmt.Println("functionally equivalent:", result.Equivalent)
+	// Output:
+	// fidelity: 100%
+	// functionally equivalent: true
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"dnnlock/internal/geometry"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/tensor"
+)
+
+// bitValue is the tri-state outcome of Algorithm 1.
+type bitValue int8
+
+const (
+	bitBottom bitValue = -1 // ⊥: the algebraic path could not decide
+	bitZero   bitValue = 0
+	bitOne    bitValue = 1
+)
+
+// keyBitInference implements Algorithm 1 for the protected neuron at spec
+// position bitIdx. It finds a critical point of the neuron, computes the
+// product weight matrix Â^(i) (Formulas 2–3 when the network is a
+// sequential piecewise-linear stack, the exact JVP Jacobian otherwise),
+// solves Â·v = e_j by minimum-norm least squares, and compares the oracle's
+// reaction to x° ± ε·v (Lemma 2). It returns ⊥ when no pre-image exists
+// (expansive location, §3.4), when the neuron is not sensitized to the
+// output, or when responses stay ambiguous across retries.
+func (a *Attack) keyBitInference(bitIdx int, rng *rand.Rand) bitValue {
+	pn := a.spec.Neurons[bitIdx]
+	// Static expansiveness: a site wider than the input space can never
+	// have full row rank, so Â is not onto and no basis pre-image exists
+	// (§3.4). Skip the Jacobian work outright.
+	if a.white.Flips()[pn.Site].N > a.white.InSize() {
+		return bitBottom
+	}
+	for try := 0; try < a.cfg.MaxCriticalTries; try++ {
+		x0, ok := searchCriticalPoint(a.white, pn.Site, pn.Index, a.cfg, rng)
+		if !ok {
+			return bitBottom
+		}
+		v, ok := a.preimage(x0, pn.Site, pn.Index)
+		if !ok {
+			// Rank deficiency can be mask-dependent; retry from another
+			// region before giving up.
+			continue
+		}
+		if bit, ok := a.probeBit(x0, v, pn.Site, pn.Index); ok {
+			return bit
+		}
+	}
+	return bitBottom
+}
+
+// productMatrixOf adapts geometry.ProductMatrix to return the bare matrix.
+func productMatrixOf(net *nn.Network, tr *nn.Trace, site int) (*tensor.Matrix, error) {
+	m, err := geometry.ProductMatrix(net, tr, site)
+	if err != nil {
+		return nil, err
+	}
+	return m.A, nil
+}
+
+// productMatrixAtReLUOf is productMatrixOf for a ReLU-input target.
+func productMatrixAtReLUOf(net *nn.Network, tr *nn.Trace, reluSite int) (*tensor.Matrix, error) {
+	m, err := geometry.ProductMatrixAtReLU(net, tr, reluSite)
+	if err != nil {
+		return nil, err
+	}
+	return m.A, nil
+}
+
+// preimage solves Â^(site)·v = e_idx at x0 and checks the residual.
+func (a *Attack) preimage(x0 []float64, site, idx int) ([]float64, bool) {
+	var aHat *tensor.Matrix
+	if a.cfg.UseProductMatrix {
+		tr := a.white.ForwardTraceTo(x0, site)
+		if m, err := productMatrixOf(a.white, tr, site); err == nil {
+			aHat = m
+		}
+	}
+	if aHat == nil {
+		_, j := a.white.PreActJacobian(x0, site)
+		aHat = j
+	}
+	e := tensor.Basis(aHat.Rows, idx)
+	res := tensor.LeastSquares(aHat, e)
+	if res.RelRes > a.cfg.ResidualTol {
+		return nil, false
+	}
+	return res.X, true
+}
+
+// probeBit performs the oracle queries of Algorithm 1 lines 9–10 with the
+// robust ratio test, after verifying on the white box that the ε-step does
+// not leave the linear region (the ε-neighborhood guarantee of §3.3).
+func (a *Attack) probeBit(x0, v []float64, site, idx int) (bitValue, bool) {
+	eps := a.cfg.Epsilon
+	for shrink := 0; shrink < 4; shrink++ {
+		xp := tensor.VecClone(x0)
+		tensor.AXPY(eps, v, xp)
+		xm := tensor.VecClone(x0)
+		tensor.AXPY(-eps, v, xm)
+		if !a.stepStaysClean(x0, xp, xm, site, idx, eps) {
+			eps /= 8
+			continue
+		}
+		y0 := a.orc.Query(x0)
+		yp := a.orc.Query(xp)
+		ym := a.orc.Query(xm)
+		dp := tensor.NormInf(tensor.VecSub(yp, y0))
+		dm := tensor.NormInf(tensor.VecSub(ym, y0))
+		switch {
+		case dp > a.cfg.AbsChange && dp > a.cfg.DecisionRatio*dm:
+			// Output moves on the +v side only: the unsigned positive side
+			// is the active side, so the sign is not flipped.
+			return bitZero, true
+		case dm > a.cfg.AbsChange && dm > a.cfg.DecisionRatio*dp:
+			return bitOne, true
+		default:
+			// Both sides quiet (not sensitized) or both move comparably
+			// (bypass paths): ambiguous here.
+			return bitBottom, false
+		}
+	}
+	return bitBottom, false
+}
+
+// stepStaysClean checks, on the white box, that moving from x0 to xp/xm
+// changes only the target coordinate of the site's pre-activation — i.e.
+// the probes stay inside the ε-neighborhood of Lemma 2, where e_{i,j} is
+// orthogonal to every other hidden coordinate. The check transfers to the
+// oracle because the unknown site-s signs only negate coordinates, which
+// preserves the magnitude of their movement.
+func (a *Attack) stepStaysClean(x0, xp, xm []float64, site, idx int, eps float64) bool {
+	tr0 := a.white.ForwardTraceTo(x0, site)
+	trp := a.white.ForwardTraceTo(xp, site)
+	trm := a.white.ForwardTraceTo(xm, site)
+	// Off-target coordinates of u_site must stay put relative to ε.
+	limit := eps / 50
+	for k := range tr0.Pre[site] {
+		if k == idx {
+			continue
+		}
+		if math.Abs(trp.Pre[site][k]-tr0.Pre[site][k]) > limit ||
+			math.Abs(trm.Pre[site][k]-tr0.Pre[site][k]) > limit {
+			return false
+		}
+	}
+	// The target coordinate must actually straddle the boundary.
+	return trp.Pre[site][idx] > eps/2 && trm.Pre[site][idx] < -eps/2
+}

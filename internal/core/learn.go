@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"dnnlock/internal/dataset"
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/metrics"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/oracle"
+	"dnnlock/internal/tensor"
+	"dnnlock/internal/train"
+)
+
+// softSite is one flip layer with softened coefficients during a learning
+// attack.
+type softSite struct {
+	flip     *nn.Flip
+	specIdxs []int // spec positions, aligned with the soften indices
+	param    *nn.Param
+}
+
+// soften converts the given spec bits (grouped by site) of net into
+// continuous coefficients and returns the soft sites. Flips directly gated
+// by a ReLU use the branch-interpolating relaxation (see nn.Flip).
+func soften(net *nn.Network, spec *hpnn.LockSpec, bySite map[int][]int) []softSite {
+	gated := gatedFlipSites(net)
+	var out []softSite
+	for site, specIdxs := range bySite {
+		flip := net.Flips()[site]
+		neuronIdxs := make([]int, len(specIdxs))
+		for i, si := range specIdxs {
+			neuronIdxs[i] = spec.Neurons[si].Index
+		}
+		p := flip.Soften(neuronIdxs, gated[site])
+		out = append(out, softSite{flip: flip, specIdxs: specIdxs, param: p})
+	}
+	return out
+}
+
+// gatedFlipSites reports which flip sites are directly rectified by a ReLU
+// in the same layer sequence.
+func gatedFlipSites(net *nn.Network) map[int]bool {
+	out := make(map[int]bool)
+	layout := net.SiteLayout()
+	for i, ev := range layout {
+		if ev.IsFlip && i+1 < len(layout) {
+			next := layout[i+1]
+			if !next.IsFlip && next.Seq == ev.Seq && next.Pos == ev.Pos+1 {
+				out[ev.ID] = true
+			}
+		}
+	}
+	return out
+}
+
+// fitSoft runs the §3.6 optimization: freeze all weights, fit the soft key
+// coefficients by Adam on the MSE between net's logits and the oracle
+// labels. It stops when every coefficient clears the confidence threshold
+// or when the loss plateaus. epochCb, when non-nil, is called once per
+// epoch and may stop the fit by returning false.
+// fitSoftmax mirrors an oracle that exposes softmax probabilities: the
+// white box's logits are mapped through softmax before the MSE, and the
+// gradient is pulled back through the softmax Jacobian,
+// dL/dz_i = p_i·(dL/dp_i − Σ_j p_j·dL/dp_j).
+func fitSoft(net *nn.Network, sites []softSite, x, y *tensor.Matrix, cfg Config,
+	rng *rand.Rand, softmax bool, epochCb func(epoch int, loss float64) bool) {
+
+	var softParams []*nn.Param
+	for _, s := range sites {
+		softParams = append(softParams, s.param)
+	}
+	opt := train.NewAdam(cfg.LearnRate)
+	n := x.Rows
+	perm := rng.Perm(n)
+	bestLoss := math.Inf(1)
+	stall := 0
+	for epoch := 0; epoch < cfg.LearnEpochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		epochLoss := 0.0
+		batches := 0
+		for start := 0; start < n; start += cfg.LearnBatch {
+			end := start + cfg.LearnBatch
+			if end > n {
+				end = n
+			}
+			bx := tensor.New(end-start, x.Cols)
+			by := tensor.New(end-start, y.Cols)
+			for i := start; i < end; i++ {
+				bx.SetRow(i-start, x.Row(perm[i]))
+				by.SetRow(i-start, y.Row(perm[i]))
+			}
+			pred := net.TrainForward(bx)
+			if softmax {
+				for r := 0; r < pred.Rows; r++ {
+					pred.SetRow(r, tensor.Softmax(pred.Row(r)))
+				}
+			}
+			loss, grad := train.MSE(pred, by)
+			if softmax {
+				for r := 0; r < grad.Rows; r++ {
+					p := pred.Row(r)
+					g := grad.Row(r)
+					dot := tensor.Dot(p, g)
+					for i := range g {
+						g[i] = p[i] * (g[i] - dot)
+					}
+				}
+			}
+			net.TrainBackward(grad)
+			opt.Step(softParams)
+			net.ZeroGrad() // drop gradients accumulated on frozen weights
+			epochLoss += loss
+			batches++
+		}
+		epochLoss /= float64(batches)
+		if epochCb != nil && !epochCb(epoch, epochLoss) {
+			return
+		}
+		// Stop rule i: every coefficient is confident.
+		allConfident := true
+		for _, s := range sites {
+			for _, k := range s.flip.SoftCoeffs() {
+				if math.Abs(k) < cfg.ConfidenceThreshold {
+					allConfident = false
+					break
+				}
+			}
+		}
+		if allConfident {
+			return
+		}
+		// Stop rule ii (attacker-observable): loss plateau.
+		if epochLoss < bestLoss-1e-12 {
+			bestLoss = epochLoss
+			stall = 0
+		} else {
+			stall++
+			if stall >= cfg.PlateauEpochs {
+				return
+			}
+		}
+	}
+}
+
+// learningAttack recovers the unresolved bits of one site (§3.6). The
+// white box already carries the recovered prefix keys and the algebraic
+// bits of this site as hard signs; those are enforced at ±1 exactly as the
+// paper prescribes. The ⊥ bits of this site are softened as the learning
+// targets — and so are all still-undecided bits of *later* sites, as free
+// nuisance coefficients: without them the oracle's unknown downstream keys
+// put an irreducible floor under the MSE that buries the current layer's
+// gradient signal. The nuisance values are discarded afterwards.
+//
+// It writes the learned bits into the white box and returns the per-bit
+// confidence |K'| keyed by spec position.
+func (a *Attack) learningAttack(site int, unresolved []int, rng *rand.Rand) map[int]float64 {
+	trainNet := a.white.CloneForKeys()
+	bySite := map[int][]int{site: unresolved}
+	for i, pn := range a.spec.Neurons {
+		if pn.Site > site && !a.decided[i] {
+			bySite[pn.Site] = append(bySite[pn.Site], i)
+		}
+	}
+	sites := soften(trainNet, &a.spec, bySite)
+
+	x := dataset.UniformInputs(a.cfg.LearnQueries, trainNet.InSize(), a.cfg.InputLim, rng)
+	y := a.orc.QueryBatch(x)
+	fitSoft(trainNet, sites, x, y, a.cfg, rng, a.orc.Softmax(), nil)
+
+	conf := make(map[int]float64, len(unresolved))
+	for _, s := range sites {
+		confs := s.flip.Harden()
+		if s.flip.SiteID != site {
+			continue // nuisance coefficients: discard
+		}
+		for i, si := range s.specIdxs {
+			bit := s.flip.Bit(a.spec.Neurons[si].Index)
+			a.setBit(si, bit, confs[i], OriginLearning)
+			conf[si] = confs[i]
+		}
+	}
+	return conf
+}
+
+// MonolithicReport extends Result with the per-epoch trajectory the
+// harness uses to reproduce the §4.3 stop rules.
+type MonolithicReport struct {
+	Result
+	Epochs int
+	Losses []float64
+}
+
+// Monolithic runs the paper's baseline: the learning attack alone, applied
+// to all key bits of all layers simultaneously (§4.3). monitor, when
+// non-nil, observes the current key hypothesis each epoch (the paper's
+// experimenters tracked accuracy and fidelity this way) and may stop the
+// attack by returning false.
+func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg Config,
+	monitor func(epoch int, key hpnn.Key) bool) *MonolithicReport {
+
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	startQ := orc.Queries()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	net := white.CloneForKeys()
+	// All bits participate; group by site.
+	bySite := spec.SiteBits()
+	sites := soften(net, &spec, bySite)
+
+	x := dataset.UniformInputs(cfg.LearnQueries, net.InSize(), cfg.InputLim, rng)
+	y := orc.QueryBatch(x)
+
+	rep := &MonolithicReport{}
+	readKey := func() hpnn.Key {
+		key := make(hpnn.Key, spec.NumBits())
+		for _, s := range sites {
+			coeffs := s.flip.SoftCoeffs()
+			for i, si := range s.specIdxs {
+				key[si] = coeffs[i] < 0
+			}
+		}
+		return key
+	}
+	fitSoft(net, sites, x, y, cfg, rng, orc.Softmax(), func(epoch int, loss float64) bool {
+		rep.Epochs = epoch + 1
+		rep.Losses = append(rep.Losses, loss)
+		if monitor != nil {
+			return monitor(epoch, readKey())
+		}
+		return true
+	})
+
+	key := make(hpnn.Key, spec.NumBits())
+	origins := make([]BitOrigin, spec.NumBits())
+	for _, s := range sites {
+		s.flip.Harden()
+		for _, si := range s.specIdxs {
+			key[si] = s.flip.Bit(spec.Neurons[si].Index)
+			origins[si] = OriginLearning
+		}
+	}
+	rep.Result = Result{
+		Key:       key,
+		Origins:   origins,
+		Queries:   orc.Queries() - startQ,
+		Time:      time.Since(start),
+		Breakdown: metrics.NewBreakdown(),
+	}
+	rep.Breakdown.Add(metrics.ProcLearningAttack, rep.Time)
+	return rep
+}

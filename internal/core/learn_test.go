@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/dataset"
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/oracle"
+)
+
+func TestGatedFlipSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	mlp := models.TinyMLP(rng)
+	g := gatedFlipSites(mlp)
+	if !g[0] || !g[1] {
+		t.Fatal("MLP flips should be ReLU-gated")
+	}
+	res := models.TinyResNet(rng)
+	gr := gatedFlipSites(res)
+	// Stem and first block conv are gated; the block's second conv feeds
+	// the residual add.
+	if !gr[0] || !gr[1] || gr[2] {
+		t.Fatalf("ResNet gating map wrong: %v", gr)
+	}
+}
+
+func TestLearningAttackRecoversGatedLayer(t *testing.T) {
+	// Expansive first layer forces the learning path; it must recover the
+	// bits exactly on this small instance.
+	rng := rand.New(rand.NewSource(502))
+	net := nn.NewNetwork(
+		nn.NewDense(5, 12).InitHe(rng), nn.NewFlip(12), nn.NewReLU(12),
+		nn.NewDense(12, 4).InitHe(rng),
+	)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 6, Rng: rng})
+	orc := oracle.New(lm, key)
+	a := New(lm.WhiteBox(), lm.Spec, orc, DefaultConfig())
+	bits := lm.Spec.SiteBits()[0]
+	conf := a.learningAttack(0, bits, rand.New(rand.NewSource(503)))
+	got := a.CurrentKey()
+	for _, si := range bits {
+		if got[si] != key[si] {
+			t.Fatalf("learned bit %d wrong (conf %.2f)", si, conf[si])
+		}
+		if conf[si] <= 0 {
+			t.Fatalf("confidence missing for bit %d", si)
+		}
+	}
+}
+
+func TestLearningAttackUngatedResidualFlip(t *testing.T) {
+	// A flip feeding a residual add (no direct ReLU gate) uses the linear
+	// relaxation; the learning attack must still recover its bits.
+	rng := rand.New(rand.NewSource(504))
+	body := []nn.Layer{
+		nn.NewDense(6, 6).InitHe(rng), nn.NewFlip(6),
+	}
+	net := nn.NewNetwork(
+		nn.NewResidual(body, nil), nn.NewReLU(6),
+		nn.NewDense(6, 3).InitHe(rng),
+	)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 4, Rng: rng})
+	orc := oracle.New(lm, key)
+	a := New(lm.WhiteBox(), lm.Spec, orc, DefaultConfig())
+	bits := lm.Spec.SiteBits()[0]
+	a.learningAttack(0, bits, rand.New(rand.NewSource(505)))
+	got := a.CurrentKey()
+	wrong := 0
+	for _, si := range bits {
+		if got[si] != key[si] {
+			wrong++
+		}
+	}
+	if wrong > 1 {
+		t.Fatalf("%d of %d ungated bits learned wrong", wrong, len(bits))
+	}
+}
+
+func TestFitSoftConfidenceStop(t *testing.T) {
+	// With a strong signal the fit should settle every coefficient and
+	// stop before the epoch budget.
+	rng := rand.New(rand.NewSource(506))
+	net := nn.NewNetwork(
+		nn.NewDense(4, 6).InitHe(rng), nn.NewFlip(6), nn.NewReLU(6),
+		nn.NewDense(6, 3).InitHe(rng),
+	)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 4, Rng: rng})
+	orc := oracle.New(lm, key)
+
+	trainNet := lm.WhiteBox()
+	sites := soften(trainNet, &lm.Spec, lm.Spec.SiteBits())
+	x := dataset.UniformInputs(256, 4, 2, rng)
+	y := orc.QueryBatch(x)
+	cfg := DefaultConfig()
+	cfg.LearnEpochs = 400
+	epochs := 0
+	fitSoft(trainNet, sites, x, y, cfg, rng, false, func(e int, loss float64) bool {
+		epochs = e + 1
+		return true
+	})
+	if epochs == 400 {
+		t.Fatal("confidence stop never triggered")
+	}
+	for _, s := range sites {
+		for _, k := range s.flip.SoftCoeffs() {
+			if math.Abs(k) < cfg.ConfidenceThreshold {
+				t.Fatalf("coefficient %.3f below threshold at stop", k)
+			}
+		}
+	}
+}
+
+func TestFitSoftCallbackAbort(t *testing.T) {
+	rng := rand.New(rand.NewSource(507))
+	net := nn.NewNetwork(
+		nn.NewDense(3, 5).InitHe(rng), nn.NewFlip(5), nn.NewReLU(5),
+		nn.NewDense(5, 2).InitHe(rng),
+	)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 3, Rng: rng})
+	orc := oracle.New(lm, key)
+	trainNet := lm.WhiteBox()
+	sites := soften(trainNet, &lm.Spec, lm.Spec.SiteBits())
+	x := dataset.UniformInputs(64, 3, 2, rng)
+	y := orc.QueryBatch(x)
+	calls := 0
+	fitSoft(trainNet, sites, x, y, DefaultConfig(), rng, false, func(e int, loss float64) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("abort callback ran %d times", calls)
+	}
+}
+
+func TestMonolithicNeverBeatsDecryptionOnFidelity(t *testing.T) {
+	// The paper's central comparison: on a starved query budget the
+	// monolithic attack cannot out-recover Algorithm 2, which is exact.
+	rng := rand.New(rand.NewSource(508))
+	net := models.TinyLeNet(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 8, Rng: rng})
+
+	monoCfg := DefaultConfig()
+	monoCfg.LearnQueries = 32 // starved
+	monoCfg.LearnEpochs = 30
+	mono := Monolithic(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), monoCfg, nil)
+
+	res, err := Run(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key.Fidelity(key) != 1 {
+		t.Fatalf("decryption fidelity %.3f", res.Key.Fidelity(key))
+	}
+	if mono.Key.Fidelity(key) > res.Key.Fidelity(key) {
+		t.Fatal("impossible: monolithic beat an exact attack")
+	}
+}
+
+func TestSoftenIndexAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(509))
+	net := models.TinyMLP(rng)
+	lm, _ := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 6, Rng: rng})
+	clone := net.CloneForKeys()
+	bySite := lm.Spec.SiteBits()
+	sites := soften(clone, &lm.Spec, bySite)
+	for _, s := range sites {
+		idxs := s.flip.SoftIndices()
+		if len(idxs) != len(s.specIdxs) {
+			t.Fatal("index count mismatch")
+		}
+		for i, si := range s.specIdxs {
+			if lm.Spec.Neurons[si].Index != idxs[i] {
+				t.Fatal("soften indices misaligned with spec")
+			}
+		}
+	}
+}

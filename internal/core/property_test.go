@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/oracle"
+)
+
+// TestDecryptRecoversPlantedKeyProperty is the repository's headline
+// property: for random contractive MLPs, random lock placements, and
+// random keys, Algorithm 2 returns exactly the planted key (Theorem 4's
+// correctness, checked empirically).
+func TestDecryptRecoversPlantedKeyProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := models.TinyMLP(rng)
+		bits := 4 + rng.Intn(8)
+		lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: bits, Rng: rng})
+		orc := oracle.New(lm, key)
+		cfg := DefaultConfig()
+		cfg.Seed = seed + 1
+		res, err := Run(lm.WhiteBox(), lm.Spec, orc, cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return res.Key.Fidelity(key) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecryptVariantProperty extends the planted-key property to a random
+// §3.9 scheme per trial.
+func TestDecryptVariantProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	schemes := []hpnn.Scheme{hpnn.Scaling, hpnn.BiasShift, hpnn.WeightPerturb}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := models.TinyMLP(rng)
+		scheme := schemes[rng.Intn(len(schemes))]
+		alpha := 0.4 + rng.Float64()
+		lm, key := hpnn.Lock(net, hpnn.Config{Scheme: scheme, Alpha: alpha, KeyBits: 4, Rng: rng})
+		orc := oracle.New(lm, key)
+		cfg := DefaultConfig()
+		cfg.Seed = seed + 1
+		res, err := Run(lm.WhiteBox(), lm.Spec, orc, cfg)
+		if err != nil {
+			t.Logf("seed %d scheme %v: %v", seed, scheme, err)
+			return false
+		}
+		if res.Key.Fidelity(key) != 1 {
+			t.Logf("seed %d scheme %v: fidelity %.2f", seed, scheme, res.Key.Fidelity(key))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueriesGrowWithKeySize checks the Table 1 query-complexity trend.
+func TestQueriesGrowWithKeySize(t *testing.T) {
+	queries := func(bits int) int64 {
+		rng := rand.New(rand.NewSource(600))
+		net := models.TinyMLP(rng)
+		lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: bits, Rng: rng})
+		orc := oracle.New(lm, key)
+		cfg := DefaultConfig()
+		cfg.Seed = 601
+		res, err := Run(lm.WhiteBox(), lm.Spec, orc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Queries
+	}
+	q4, q12 := queries(4), queries(12)
+	if q12 <= q4 {
+		t.Fatalf("queries did not grow with key size: %d (4 bits) vs %d (12 bits)", q4, q12)
+	}
+}

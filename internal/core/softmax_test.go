@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/oracle"
+)
+
+// The adversary model (§2.3) allows observing either the logits or the
+// softmax output vector. These tests run the full attack against a device
+// that only reveals probabilities.
+
+func TestDecryptSoftmaxOracleMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	net := models.TinyMLP(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 8, Rng: rng})
+	orc := oracle.NewSoftmax(lm, key)
+	cfg := DefaultConfig()
+	cfg.Seed = 902
+	res, err := Run(lm.WhiteBox(), lm.Spec, orc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key.Fidelity(key) != 1 {
+		t.Fatalf("fidelity %.3f under softmax oracle", res.Key.Fidelity(key))
+	}
+}
+
+func TestDecryptSoftmaxOracleExpansive(t *testing.T) {
+	// Softmax oracle + expansive layer forces the learning attack to fit
+	// probabilities (the softmax-backward path of fitSoft).
+	rng := rand.New(rand.NewSource(903))
+	net := nn.NewNetwork(
+		nn.NewDense(5, 12).InitHe(rng), nn.NewFlip(12), nn.NewReLU(12),
+		nn.NewDense(12, 4).InitHe(rng),
+	)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 5, Rng: rng})
+	orc := oracle.NewSoftmax(lm, key)
+	cfg := DefaultConfig()
+	cfg.Seed = 904
+	res, err := Run(lm.WhiteBox(), lm.Spec, orc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key.Fidelity(key) != 1 {
+		t.Fatalf("fidelity %.3f under softmax oracle (learning path)", res.Key.Fidelity(key))
+	}
+}
+
+func TestSoftmaxOracleQueryIsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(905))
+	net := models.TinyMLP(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 4, Rng: rng})
+	orc := oracle.NewSoftmax(lm, key)
+	if !orc.Softmax() {
+		t.Fatal("softmax flag not set")
+	}
+	x := make([]float64, net.InSize())
+	y := orc.Query(x)
+	sum := 0.0
+	for _, p := range y {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/dataset"
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/oracle"
+	"dnnlock/internal/train"
+)
+
+// Trained networks are the adversary's real target, and they behave very
+// differently from random ones: pre-activation distributions skew, ReLUs
+// die, and max-pool competitions have entrenched winners. These tests pin
+// the attack's behaviour in that regime (several bugs in the search and
+// validation procedures only reproduced on trained models).
+
+func TestDecryptTrainedTinyMLP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := rand.New(rand.NewSource(801))
+	ds := dataset.Custom(600, 3, 4, 1, 4, 5)
+	tr, te := ds.Split(0.8)
+	net := models.TinyMLP(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 8, Rng: rng})
+	train.Fit(net, tr.X, tr.Y, te.X, te.Y, train.Config{
+		Epochs: 25, BatchSize: 16, Optimizer: train.NewAdam(0.02), Seed: 1,
+	})
+	cfg := DefaultConfig()
+	cfg.Seed = 802
+	res, err := Run(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key.Fidelity(key) != 1 {
+		t.Fatalf("fidelity %.3f on trained MLP", res.Key.Fidelity(key))
+	}
+}
+
+func TestDecryptTrainedTinyLeNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := rand.New(rand.NewSource(803))
+	ds := dataset.Custom(500, 3, 4, 1, 12, 12)
+	tr, te := ds.Split(0.8)
+	net := models.TinyLeNet(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 6, Rng: rng})
+	train.Fit(net, tr.X, tr.Y, te.X, te.Y, train.Config{
+		Epochs: 10, BatchSize: 16, Optimizer: train.NewAdam(0.01), Seed: 1,
+	})
+	cfg := DefaultConfig()
+	cfg.Seed = 804
+	res, err := Run(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key.Fidelity(key) != 1 {
+		t.Fatalf("fidelity %.3f on trained LeNet", res.Key.Fidelity(key))
+	}
+}
+
+func TestDecryptTrainedTinyResNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := rand.New(rand.NewSource(805))
+	ds := dataset.Custom(400, 3, 3, 1, 8, 8)
+	tr, te := ds.Split(0.8)
+	net := models.TinyResNet(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 6, Rng: rng})
+	train.Fit(net, tr.X, tr.Y, te.X, te.Y, train.Config{
+		Epochs: 8, BatchSize: 16, Optimizer: train.NewAdam(0.01), Seed: 1,
+	})
+	cfg := DefaultConfig()
+	cfg.Seed = 806
+	res, err := Run(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key.Fidelity(key) != 1 {
+		t.Fatalf("fidelity %.3f on trained ResNet", res.Key.Fidelity(key))
+	}
+}

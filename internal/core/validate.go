@@ -1,0 +1,316 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/tensor"
+)
+
+// Validation probes the oracle where the network function actually bends:
+// the zero sets of ReLU *inputs*. For a directly-gated lockable layer
+// (dense/conv stacks) this coincides with the paper's "hyperplane induced
+// by η_{i+1,j}"; for residual blocks, whose post-add rectifier mixes the
+// body with the shortcut, it is the correct generalization — the flip
+// output itself is not a kink there.
+//
+// A ReLU site is an admissible probe for a group of just-decided flip
+// sites when every flip upstream of it is either already decided or is the
+// flip it directly gates (whose negation/scaling bit cannot move the kink,
+// Lemma 1). When no admissible-and-informative probe exists — e.g. between
+// the two flips inside one residual block — validation is deferred and the
+// sites are validated together at the block boundary.
+
+// validation modes.
+const (
+	modeDefer  = iota // no admissible probe yet: postpone validation
+	modeKink          // probe the next admissible ReLU site's kinks
+	modeDirect        // all bits decided: compare outputs directly
+)
+
+// validationProbe selects how to validate the pending group of flip sites.
+func (a *Attack) validationProbe(groupSites []int) (reluSite int, mode int) {
+	if _, hasLater := a.nextSiteWithUndecided(); !hasLater {
+		return 0, modeDirect
+	}
+	layout := a.white.SiteLayout()
+	decidedFlip := a.decidedFlipSites()
+	group := make(map[int]bool, len(groupSites))
+	for _, s := range groupSites {
+		group[s] = true
+	}
+	lastGroupEvent := -1
+	for i, ev := range layout {
+		if ev.IsFlip && group[ev.ID] {
+			lastGroupEvent = i
+		}
+	}
+	for i, ev := range layout {
+		if ev.IsFlip || i <= lastGroupEvent {
+			continue
+		}
+		admissible := true
+		informative := false
+		for j := 0; j < i; j++ {
+			f := layout[j]
+			if !f.IsFlip {
+				continue
+			}
+			gates := f.Seq == ev.Seq && f.Pos == ev.Pos-1
+			if !decidedFlip[f.ID] && !gates {
+				admissible = false
+				break
+			}
+			if group[f.ID] && !gates {
+				informative = true
+			}
+		}
+		if admissible && informative {
+			return ev.ID, modeKink
+		}
+	}
+	return 0, modeDefer
+}
+
+// decidedFlipSites reports, per flip site, whether all its protected bits
+// are decided (unprotected sites count as decided).
+func (a *Attack) decidedFlipSites() map[int]bool {
+	out := make(map[int]bool, a.white.NumFlipSites())
+	for s := 0; s < a.white.NumFlipSites(); s++ {
+		out[s] = true
+	}
+	for i, pn := range a.spec.Neurons {
+		if !a.decided[i] {
+			out[pn.Site] = false
+		}
+	}
+	return out
+}
+
+// keyVectorValidation checks the candidate key currently written into net
+// for the pending group of sites (§3.7). The caller must have confirmed a
+// probe exists via validationProbe.
+func (a *Attack) keyVectorValidation(net *nn.Network, groupSites []int, rng *rand.Rand) bool {
+	reluSite, mode := a.validationProbe(groupSites)
+	switch mode {
+	case modeDirect:
+		return a.directCompare(net, rng)
+	case modeDefer:
+		// Nothing to probe: treat as failure so the caller notices misuse.
+		return false
+	}
+	n := net.ReLUs()[reluSite].N
+	sample := a.cfg.ValidationNeurons
+	if sample > n {
+		sample = n
+	}
+	neurons := rng.Perm(n)[:sample]
+
+	var votes, participants atomic.Int64
+	a.parallelFor(len(neurons), rng.Int63(), func(i int, wrng *rand.Rand) {
+		detected, ok := a.hyperplaneVote(net, reluSite, neurons[i], wrng)
+		if !ok {
+			return
+		}
+		participants.Add(1)
+		if detected {
+			votes.Add(1)
+		}
+	})
+	p := participants.Load()
+	a.debugf("validate sites=%v probe_relu=%d votes=%d/%d\n", groupSites, reluSite, votes.Load(), p)
+	if p < 3 {
+		// Too few observable hyperplanes to judge: suspicious, reject.
+		return false
+	}
+	return float64(votes.Load()) >= a.cfg.ValidationMajority*float64(p)
+}
+
+// nextSiteWithUndecided reports whether any spec bit is still undecided.
+func (a *Attack) nextSiteWithUndecided() (int, bool) {
+	for i, pn := range a.spec.Neurons {
+		if !a.decided[i] {
+			return pn.Site, true
+		}
+	}
+	return 0, false
+}
+
+// hyperplaneVote checks whether the oracle has a kink where the candidate
+// network predicts one for ReLU input (reluSite, j): it finds a white-box
+// critical point x° of that input, then measures the second difference of
+// the oracle output across x° along a direction that moves the input. A
+// matching hyperplane bends the oracle output exactly at x°; a wrong
+// prefix key leaves the oracle locally affine there. A control second
+// difference away from x° calibrates background curvature (attention
+// blocks) and unrelated hyperplanes.
+//
+// Under the bias-shift and weight-perturbation variants, the undecided key
+// bit of the flip gating this ReLU moves the kink, so the vote accepts a
+// kink at either candidate location.
+func (a *Attack) hyperplaneVote(net *nn.Network, reluSite, j int, rng *rand.Rand) (detected, ok bool) {
+	candidates := []*nn.Network{net}
+	if a.ownHyperplaneMoves() {
+		if gate := a.directGatedFlip(reluSite); gate >= 0 {
+			if si, protected := a.specIndexOf(gate, j); protected && !a.decided[si] {
+				alt := a.applier.clone(net)
+				a.applier.apply(alt, a.spec.Neurons[si], si, true)
+				candidates = append(candidates, alt)
+			}
+		}
+	}
+	participated := false
+	for _, cand := range candidates {
+		// A boundary may be unobservable in one region (covered by a
+		// max pool, dead downstream path); per Lemma 3, retry critical
+		// points in other regions until the white box confirms the kink is
+		// sensitized there.
+		for try := 0; try < a.cfg.MaxCriticalTries; try++ {
+			x0, found := searchCriticalPointReLU(cand, reluSite, j, a.cfg, rng)
+			if !found {
+				a.debugf("vote r%d n%d: no critical point\n", reluSite, j)
+				break
+			}
+			v := a.voteDirection(cand, x0, reluSite, j, rng)
+			d := a.cfg.ValidationDelta
+			ctrl := tensor.VecClone(x0)
+			tensor.AXPY(3*d, v, ctrl)
+
+			kinkW := secondDifferenceOf(cand.Forward, x0, v, d)
+			bgW := secondDifferenceOf(cand.Forward, ctrl, v, d)
+			if kinkW <= 10*bgW+a.cfg.AbsChange {
+				continue // unobservable here; try another region
+			}
+			participated = true
+
+			kink := a.secondDifference(x0, v, d)
+			background := a.secondDifference(ctrl, v, d)
+			if kink > 10*background+a.cfg.AbsChange {
+				return true, true
+			}
+			break // observable on the white box but absent in the oracle
+		}
+	}
+	return false, participated
+}
+
+// directGatedFlip returns the flip site whose output this ReLU rectifies
+// directly, or -1.
+func (a *Attack) directGatedFlip(reluSite int) int {
+	layout := a.white.SiteLayout()
+	for i, ev := range layout {
+		if !ev.IsFlip && ev.ID == reluSite && i > 0 {
+			prev := layout[i-1]
+			if prev.IsFlip && prev.Seq == ev.Seq && prev.Pos == ev.Pos-1 {
+				return prev.ID
+			}
+		}
+	}
+	return -1
+}
+
+// specIndexOf finds the spec position of the protected neuron at
+// (site, index), if any.
+func (a *Attack) specIndexOf(site, index int) (int, bool) {
+	for i, pn := range a.spec.Neurons {
+		if pn.Site == site && pn.Index == index {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ownHyperplaneMoves reports whether the scheme lets a neuron's own key
+// bit move its hyperplane (breaking the negation-specific half of Lemma 1).
+func (a *Attack) ownHyperplaneMoves() bool {
+	return a.spec.Scheme == hpnn.BiasShift || a.spec.Scheme == hpnn.WeightPerturb
+}
+
+// voteDirection picks the direction for the kink probe at ReLU input
+// (reluSite, j). For contractive probe sites it uses the exact pre-image
+// of e_j on the ReLU-input Jacobian, so the probe moves only the target
+// input. For expansive sites no pre-image exists (§3.4); there it moves
+// along the target's own gradient row, v = ∇u_j/‖∇u_j‖², which moves u_j
+// by exactly 1 per unit step with the smallest possible excursion through
+// input space (so few unrelated hyperplanes are crossed).
+func (a *Attack) voteDirection(net *nn.Network, x0 []float64, reluSite, j int, rng *rand.Rand) []float64 {
+	var aHat *tensor.Matrix
+	if a.cfg.UseProductMatrix {
+		tr := net.ForwardTraceToReLU(x0, reluSite)
+		if m, err := productMatrixAtReLUOf(net, tr, reluSite); err == nil {
+			aHat = m
+		}
+	}
+	if aHat == nil {
+		_, jac := net.ReluInJacobian(x0, reluSite)
+		aHat = jac
+	}
+	width := net.ReLUs()[reluSite].N
+	if width <= len(x0) {
+		res := tensor.LeastSquares(aHat, tensor.Basis(aHat.Rows, j))
+		if res.RelRes <= a.cfg.ResidualTol {
+			return res.X
+		}
+	}
+	g := aHat.Row(j)
+	gn := tensor.Dot(g, g)
+	if gn > 1e-18 {
+		return tensor.VecScale(1/gn, g)
+	}
+	// Dead gradient: return something normalized; the vote will simply not
+	// detect a kink.
+	dir := make([]float64, len(x0))
+	for i := range dir {
+		dir[i] = rng.NormFloat64()
+	}
+	return tensor.VecScale(1/tensor.Norm2(dir), dir)
+}
+
+// secondDifference returns ‖O(x+δv) + O(x−δv) − 2·O(x)‖∞ on the oracle,
+// which vanishes when the oracle is affine on the probed segment.
+func (a *Attack) secondDifference(x, v []float64, d float64) float64 {
+	return secondDifferenceOf(a.orc.Query, x, v, d)
+}
+
+// secondDifferenceOf evaluates the same probe on an arbitrary function.
+func secondDifferenceOf(f func([]float64) []float64, x, v []float64, d float64) float64 {
+	xp := tensor.VecClone(x)
+	tensor.AXPY(d, v, xp)
+	xm := tensor.VecClone(x)
+	tensor.AXPY(-d, v, xm)
+	y0 := f(x)
+	yp := f(xp)
+	ym := f(xm)
+	m := 0.0
+	for i := range y0 {
+		s := yp[i] + ym[i] - 2*y0[i]
+		if s < 0 {
+			s = -s
+		}
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// directCompare checks functional equivalence between the candidate
+// network and the oracle on random inputs.
+func (a *Attack) directCompare(net *nn.Network, rng *rand.Rand) bool {
+	p := net.InSize()
+	for i := 0; i < a.cfg.ValidationSamples; i++ {
+		x := randomPoint(p, a.cfg.InputLim, rng)
+		yo := a.orc.Query(x)
+		yw := net.Forward(x)
+		if a.orc.Softmax() {
+			yw = tensor.Softmax(yw)
+		}
+		tol := a.cfg.EquivTol * (1 + tensor.NormInf(yo))
+		if tensor.NormInf(tensor.VecSub(yo, yw)) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/oracle"
+)
+
+// attackWithTrueKey builds an attack whose white box carries the true key
+// for all bits at sites < uptoSite and marks them decided (the state
+// Algorithm 2 reaches after finishing those layers).
+func attackWithTrueKey(t *testing.T, seed int64, keyBits int) (*Attack, hpnn.Key, map[int][]int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := models.TinyMLP(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: keyBits, Rng: rng})
+	orc := oracle.New(lm, key)
+	a := New(lm.WhiteBox(), lm.Spec, orc, DefaultConfig())
+	return a, key, lm.Spec.SiteBits()
+}
+
+func TestValidationAcceptsCorrectKey(t *testing.T) {
+	a, key, bySite := attackWithTrueKey(t, 301, 8)
+	for _, si := range bySite[0] {
+		a.setBit(si, key[si], 1, OriginAlgebraic)
+	}
+	rng := rand.New(rand.NewSource(302))
+	if !a.keyVectorValidation(a.white, []int{0}, rng) {
+		t.Fatal("validation rejected the correct layer-1 key")
+	}
+}
+
+func TestValidationRejectsCorruptedKey(t *testing.T) {
+	a, key, bySite := attackWithTrueKey(t, 303, 8)
+	for i, si := range bySite[0] {
+		bit := key[si]
+		if i == 0 {
+			bit = !bit // inject a single-bit error
+		}
+		a.setBit(si, bit, 1, OriginAlgebraic)
+	}
+	rng := rand.New(rand.NewSource(304))
+	if a.keyVectorValidation(a.white, []int{0}, rng) {
+		t.Fatal("validation accepted a corrupted layer-1 key")
+	}
+}
+
+func TestErrorCorrectionRepairsOneBit(t *testing.T) {
+	a, key, bySite := attackWithTrueKey(t, 305, 8)
+	bits := bySite[0]
+	for i, si := range bits {
+		bit := key[si]
+		conf := 1.0
+		if i == 1 {
+			bit = !bit
+			conf = 0.05 // corrupted bit marked least confident
+		}
+		a.setBit(si, bit, conf, OriginLearning)
+	}
+	rng := rand.New(rand.NewSource(306))
+	if a.keyVectorValidation(a.white, []int{0}, rng) {
+		t.Fatal("precondition: corrupted key should fail validation")
+	}
+	if !a.errorCorrection([]int{0}, bits, rng) {
+		t.Fatal("error correction failed to repair a 1-bit error")
+	}
+	for _, si := range bits {
+		if a.CurrentKey()[si] != key[si] {
+			t.Fatal("error correction settled on a wrong key")
+		}
+	}
+}
+
+func TestErrorCorrectionRepairsTwoBits(t *testing.T) {
+	a, key, bySite := attackWithTrueKey(t, 307, 8)
+	bits := bySite[0]
+	for i, si := range bits {
+		bit := key[si]
+		conf := 1.0
+		if i == 0 || i == 2 {
+			bit = !bit
+			conf = 0.1
+		}
+		a.setBit(si, bit, conf, OriginLearning)
+	}
+	rng := rand.New(rand.NewSource(308))
+	if !a.errorCorrection([]int{0}, bits, rng) {
+		t.Fatal("error correction failed to repair a 2-bit error")
+	}
+	for _, si := range bits {
+		if a.CurrentKey()[si] != key[si] {
+			t.Fatal("2-bit correction settled on a wrong key")
+		}
+	}
+}
+
+func TestValidationLastLayerDirectCompare(t *testing.T) {
+	a, key, _ := attackWithTrueKey(t, 309, 6)
+	// Decide every bit correctly: validation should use direct comparison
+	// and pass.
+	for si := range key {
+		a.setBit(si, key[si], 1, OriginAlgebraic)
+	}
+	rng := rand.New(rand.NewSource(310))
+	if _, mode := a.validationProbe([]int{1}); mode != modeDirect {
+		t.Fatalf("expected direct-compare mode, got %d", mode)
+	}
+	if !a.keyVectorValidation(a.white, []int{1}, rng) {
+		t.Fatal("direct comparison rejected the full correct key")
+	}
+	// Corrupt one final-layer bit: direct comparison must fail.
+	a.setBit(0, !key[0], 1, OriginAlgebraic)
+	if a.keyVectorValidation(a.white, []int{1}, rng) {
+		t.Fatal("direct comparison accepted a wrong key")
+	}
+}
+
+func TestValidationProbeDefersInsideResidualBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	net := models.TinyResNet(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 6, Rng: rng})
+	orc := oracle.New(lm, key)
+	a := New(lm.WhiteBox(), lm.Spec, orc, DefaultConfig())
+	bySite := lm.Spec.SiteBits()
+	// Decide site 0 and site 1 (first conv in the block); sites 2 bits
+	// remain undecided.
+	for _, si := range append(bySite[0], bySite[1]...) {
+		a.setBit(si, key[si], 1, OriginAlgebraic)
+	}
+	if _, mode := a.validationProbe([]int{1}); mode != modeDefer {
+		t.Fatalf("expected deferral inside the residual block, got mode %d", mode)
+	}
+	// Stem alone is probeable.
+	if _, mode := a.validationProbe([]int{0}); mode != modeKink {
+		t.Fatalf("expected kink probe for the stem, got mode %d", mode)
+	}
+}
+
+func TestDirectCompareTolerance(t *testing.T) {
+	a, key, _ := attackWithTrueKey(t, 312, 4)
+	for si := range key {
+		a.setBit(si, key[si], 1, OriginAlgebraic)
+	}
+	rng := rand.New(rand.NewSource(313))
+	if !a.directCompare(a.white, rng) {
+		t.Fatal("direct compare rejected the exact network")
+	}
+	a.setBit(0, !key[0], 1, OriginAlgebraic)
+	if a.directCompare(a.white, rng) {
+		t.Fatal("direct compare accepted a wrong key")
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/metrics"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/oracle"
+	"dnnlock/internal/tensor"
+)
+
+// RunVariant attacks the §3.9 locking variants. Every variant reduces to
+// candidate-hyperplane testing:
+//
+//   - bias-shift and weight-perturbation keys move the protected neuron's
+//     own hyperplane, so each key hypothesis predicts a different critical
+//     point for that neuron and the oracle's kink location selects the
+//     hypothesis directly;
+//   - a scaling key leaves the neuron's hyperplane in place but, once
+//     propagated into the next layer's columns (the paper's fan-out-cone
+//     reduction), moves the hyperplanes of downstream neurons in regions
+//     where the protected neuron is active — so the same kink test applied
+//     one layer later selects the hypothesis.
+//
+// Bits the tests cannot decide are defaulted and repaired by the shared
+// validation / error-correction loop of Algorithm 2.
+func RunVariant(whiteBox *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg Config) (*Result, error) {
+	if spec.Scheme == hpnn.Negation {
+		return Run(whiteBox, spec, orc, cfg)
+	}
+	a := New(whiteBox, spec, orc, cfg)
+	return a.runVariant()
+}
+
+func (a *Attack) runVariant() (*Result, error) {
+	start := time.Now()
+	startQ := a.orc.Queries()
+	rng := rand.New(rand.NewSource(a.cfg.Seed))
+	bySite := a.spec.SiteBits()
+
+	var reports []SiteReport
+	var pendingBits, pendingSites []int
+	for _, site := range a.orderedSites() {
+		bits := bySite[site]
+		rep := SiteReport{Site: site, Bits: len(bits)}
+
+		inferred := make([]bitValue, len(bits))
+		a.trackProc(metrics.ProcKeyBitInference, func() {
+			a.parallelFor(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) {
+				inferred[i] = a.hypothesisTestBit(bits[i], wrng)
+			})
+		})
+		for i, v := range inferred {
+			switch v {
+			case bitZero, bitOne:
+				a.setBit(bits[i], v == bitOne, 1, OriginAlgebraic)
+				rep.Algebraic++
+			default:
+				// Undecided: default to 0 with no confidence; the
+				// validation / correction loop repairs mistakes.
+				a.setBit(bits[i], false, 0, OriginUnknown)
+			}
+		}
+
+		pendingBits = append(pendingBits, bits...)
+		pendingSites = append(pendingSites, site)
+		if _, mode := a.validationProbe(pendingSites); mode == modeDefer {
+			reports = append(reports, rep)
+			continue
+		}
+		valid := false
+		for round := 0; round <= a.cfg.MaxCorrectionRounds; round++ {
+			a.trackProc(metrics.ProcKeyVectorValidation, func() {
+				rep.ValidationRuns++
+				valid = a.keyVectorValidation(a.white, pendingSites, rng)
+			})
+			if valid {
+				break
+			}
+			fixed := false
+			a.trackProc(metrics.ProcErrorCorrection, func() {
+				fixed = a.errorCorrection(pendingSites, a.decidedBits(), rng)
+			})
+			if fixed {
+				// The committed candidate already passed validation inside
+				// errorCorrection.
+				rep.Corrected++
+				valid = true
+				break
+			}
+			if round == a.cfg.MaxCorrectionRounds {
+				return nil, fmt.Errorf("core: variant site %d failed validation", site)
+			}
+		}
+		if !valid {
+			return nil, fmt.Errorf("core: variant site %d failed validation", site)
+		}
+		pendingBits = pendingBits[:0]
+		pendingSites = pendingSites[:0]
+		reports = append(reports, rep)
+	}
+
+	res := &Result{
+		Key:           a.CurrentKey(),
+		Origins:       append([]BitOrigin(nil), a.origins...),
+		Queries:       a.orc.Queries() - startQ,
+		Time:          time.Since(start),
+		Breakdown:     a.bd,
+		QueriesByProc: a.queriesByProc,
+		Sites:         reports,
+		Equivalent:    a.directCompare(a.white, rng),
+	}
+	if !res.Equivalent {
+		return res, fmt.Errorf("core: recovered variant key is not functionally equivalent to the oracle")
+	}
+	return res, nil
+}
+
+// hypothesisTestBit decides one variant key bit by candidate-hyperplane
+// testing: under each hypothesis b it locates a hyperplane witness the
+// other hypothesis cannot explain, then asks the oracle which witness shows
+// a kink.
+func (a *Attack) hypothesisTestBit(specIdx int, rng *rand.Rand) bitValue {
+	if a.ownHyperplaneMoves() {
+		return a.ownHyperplaneTest(specIdx, rng)
+	}
+	return a.fanOutTest(specIdx, rng)
+}
+
+// ownHyperplaneTest handles bias-shift and weight-perturbation bits: the
+// two hypotheses predict two distinct hyperplanes for the protected neuron
+// itself.
+func (a *Attack) ownHyperplaneTest(specIdx int, rng *rand.Rand) bitValue {
+	pn := a.spec.Neurons[specIdx]
+	gate := a.gatingReLU(pn.Site)
+	if gate < 0 {
+		return bitBottom // not directly gated: leave to validation/correction
+	}
+	cands := a.hypothesisPair(specIdx)
+	for try := 0; try < a.cfg.MaxCriticalTries; try++ {
+		kink := [2]bool{}
+		found := [2]bool{}
+		for b := 0; b < 2; b++ {
+			x0, ok := a.distinguishableCritical(cands[b], cands[1-b], pn.Site, pn.Index, rng)
+			if !ok {
+				continue
+			}
+			found[b] = true
+			kink[b] = a.kinkAt(cands[b], x0, gate, pn.Index, rng)
+		}
+		switch {
+		case found[0] && found[1] && kink[0] != kink[1]:
+			if kink[1] {
+				return bitOne
+			}
+			return bitZero
+		case found[0] && !found[1] && kink[0]:
+			return bitZero
+		case found[1] && !found[0] && kink[1]:
+			return bitOne
+		}
+	}
+	return bitBottom
+}
+
+// fanOutTest handles scaling bits: it probes neurons of the next lockable
+// layer inside the protected neuron's fan-out cone, at witnesses where the
+// protected neuron is active (so the hypotheses actually disagree).
+func (a *Attack) fanOutTest(specIdx int, rng *rand.Rand) bitValue {
+	pn := a.spec.Neurons[specIdx]
+	next := pn.Site + 1
+	if next >= a.white.NumFlipSites() {
+		return a.lastLayerSlopeTest(specIdx, rng)
+	}
+	gate := a.gatingReLU(next)
+	if gate < 0 {
+		return bitBottom
+	}
+	cands := a.hypothesisPair(specIdx)
+	width := a.white.Flips()[next].N
+	probes := rng.Perm(width)
+	if len(probes) > a.cfg.MaxCriticalTries*3 {
+		probes = probes[:a.cfg.MaxCriticalTries*3]
+	}
+	for _, k := range probes {
+		kinkV := [2]bool{}
+		found := [2]bool{}
+		for b := 0; b < 2; b++ {
+			x0, ok := a.activeDistinguishableCritical(cands[b], cands[1-b], pn, next, k, rng)
+			if !ok {
+				continue
+			}
+			found[b] = true
+			kinkV[b] = a.kinkAt(cands[b], x0, gate, k, rng)
+		}
+		if found[0] && found[1] && kinkV[0] != kinkV[1] {
+			if kinkV[1] {
+				return bitOne
+			}
+			return bitZero
+		}
+	}
+	return bitBottom
+}
+
+// lastLayerSlopeTest decides a scaling bit on the final lockable layer: at
+// a critical point of the neuron, moving along the pre-image direction
+// changes only this neuron, and since no unknown keys remain downstream,
+// each hypothesis predicts the oracle's response exactly.
+func (a *Attack) lastLayerSlopeTest(specIdx int, rng *rand.Rand) bitValue {
+	pn := a.spec.Neurons[specIdx]
+	cands := a.hypothesisPair(specIdx)
+	for try := 0; try < a.cfg.MaxCriticalTries; try++ {
+		x0, ok := searchCriticalPoint(a.white, pn.Site, pn.Index, a.cfg, rng)
+		if !ok {
+			return bitBottom
+		}
+		v, ok := a.preimage(x0, pn.Site, pn.Index)
+		if !ok {
+			continue
+		}
+		eps := a.cfg.Epsilon
+		xp := tensor.VecClone(x0)
+		tensor.AXPY(eps, v, xp)
+		dOracle := tensor.VecSub(a.orc.Query(xp), a.orc.Query(x0))
+		err := [2]float64{}
+		for b := 0; b < 2; b++ {
+			fwd := func(x []float64) []float64 {
+				y := cands[b].Forward(x)
+				if a.orc.Softmax() {
+					return tensor.Softmax(y)
+				}
+				return y
+			}
+			dPred := tensor.VecSub(fwd(xp), fwd(x0))
+			err[b] = tensor.NormInf(tensor.VecSub(dPred, dOracle))
+		}
+		// Require a decisive margin between the hypotheses.
+		lo, hi := err[0], err[1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > a.cfg.DecisionRatio*lo && hi > a.cfg.AbsChange {
+			if err[0] < err[1] {
+				return bitZero
+			}
+			return bitOne
+		}
+	}
+	return bitBottom
+}
+
+// hypothesisPair clones the white box under both values of one bit.
+func (a *Attack) hypothesisPair(specIdx int) [2]*nn.Network {
+	pn := a.spec.Neurons[specIdx]
+	var out [2]*nn.Network
+	for b := 0; b < 2; b++ {
+		c := a.applier.clone(a.white)
+		a.applier.apply(c, pn, specIdx, b == 1)
+		out[b] = c
+	}
+	return out
+}
+
+// distinguishableCritical finds a critical point of (site, idx) on net such
+// that the alternative hypothesis net is far from critical there — i.e. a
+// witness only one hypothesis can explain.
+func (a *Attack) distinguishableCritical(net, alt *nn.Network, site, idx int, rng *rand.Rand) ([]float64, bool) {
+	for try := 0; try < a.cfg.MaxCriticalTries; try++ {
+		x0, ok := searchCriticalPoint(net, site, idx, a.cfg, rng)
+		if !ok {
+			return nil, false
+		}
+		if math.Abs(postAct(alt, x0, site, idx)) > a.variantMargin() {
+			return x0, true
+		}
+	}
+	return nil, false
+}
+
+// activeDistinguishableCritical is distinguishableCritical with the extra
+// scaling-specific requirement that the protected upstream neuron is
+// active at the witness (otherwise α^K is muted by the ReLU and the
+// hypotheses coincide).
+func (a *Attack) activeDistinguishableCritical(net, alt *nn.Network, up hpnn.ProtectedNeuron, site, idx int, rng *rand.Rand) ([]float64, bool) {
+	for try := 0; try < a.cfg.MaxCriticalTries; try++ {
+		x0, ok := searchCriticalPoint(net, site, idx, a.cfg, rng)
+		if !ok {
+			return nil, false
+		}
+		if postAct(net, x0, up.Site, up.Index) <= 0 {
+			continue
+		}
+		if math.Abs(postAct(alt, x0, site, idx)) > a.variantMargin() {
+			return x0, true
+		}
+	}
+	return nil, false
+}
+
+// kinkAt runs the control-calibrated second-difference test of §3.7 at a
+// witness x° of ReLU input (reluSite, idx) on net.
+func (a *Attack) kinkAt(net *nn.Network, x0 []float64, reluSite, idx int, rng *rand.Rand) bool {
+	v := a.voteDirection(net, x0, reluSite, idx, rng)
+	d := a.cfg.ValidationDelta
+	kink := a.secondDifference(x0, v, d)
+	ctrl := tensor.VecClone(x0)
+	tensor.AXPY(3*d, v, ctrl)
+	background := a.secondDifference(ctrl, v, d)
+	return kink > 10*background+a.cfg.AbsChange
+}
+
+// gatingReLU returns the ReLU site that directly rectifies the given flip
+// site's output, or -1.
+func (a *Attack) gatingReLU(flipSite int) int {
+	layout := a.white.SiteLayout()
+	for i, ev := range layout {
+		if ev.IsFlip && ev.ID == flipSite && i+1 < len(layout) {
+			next := layout[i+1]
+			if !next.IsFlip && next.Seq == ev.Seq && next.Pos == ev.Pos+1 {
+				return next.ID
+			}
+		}
+	}
+	return -1
+}
+
+// variantMargin is the minimum hypothesis separation accepted at a witness.
+func (a *Attack) variantMargin() float64 {
+	m := math.Abs(a.spec.Alpha) / 4
+	if a.spec.Scheme == hpnn.Scaling {
+		m = a.cfg.ValidationDelta * 10
+	}
+	if m < a.cfg.ValidationDelta*4 {
+		m = a.cfg.ValidationDelta * 4
+	}
+	return m
+}

@@ -1,0 +1,189 @@
+// Package dataset provides synthetic classification datasets that stand in
+// for MNIST and CIFAR-10 in the paper's evaluation (see DESIGN.md §4: the
+// attack itself is data-free; datasets only produce the accuracy columns of
+// Table 1). Both generators draw each class from a fixed structured
+// prototype with per-sample geometric jitter and pixel noise, which makes
+// them learnable to high accuracy by the same architectures the paper uses.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"dnnlock/internal/tensor"
+)
+
+// Dataset is a flat-vector classification dataset.
+type Dataset struct {
+	X       *tensor.Matrix // one example per row, CHW-flattened
+	Y       []int
+	Classes int
+	C, H, W int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return d.X.Rows }
+
+// InputSize returns C·H·W.
+func (d *Dataset) InputSize() int { return d.C * d.H * d.W }
+
+// Split partitions the dataset into a training set with the first
+// ceil(frac·n) examples and a test set with the rest.
+func (d *Dataset) Split(frac float64) (trainSet, testSet *Dataset) {
+	n := d.Len()
+	cut := int(math.Ceil(frac * float64(n)))
+	if cut > n {
+		cut = n
+	}
+	mk := func(lo, hi int) *Dataset {
+		x := tensor.New(hi-lo, d.X.Cols)
+		y := make([]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			x.SetRow(i-lo, d.X.Row(i))
+			y[i-lo] = d.Y[i]
+		}
+		return &Dataset{X: x, Y: y, Classes: d.Classes, C: d.C, H: d.H, W: d.W}
+	}
+	return mk(0, cut), mk(cut, n)
+}
+
+// prototype is a class template: a set of Gaussian bumps on a CHW canvas.
+type prototype struct {
+	cx, cy, amp, sigma []float64
+	ch                 []int
+}
+
+func makePrototype(rng *rand.Rand, c, h, w, bumps int) prototype {
+	p := prototype{
+		cx:    make([]float64, bumps),
+		cy:    make([]float64, bumps),
+		amp:   make([]float64, bumps),
+		sigma: make([]float64, bumps),
+		ch:    make([]int, bumps),
+	}
+	for i := 0; i < bumps; i++ {
+		p.cx[i] = rng.Float64() * float64(w-1)
+		p.cy[i] = rng.Float64() * float64(h-1)
+		p.amp[i] = 0.6 + 0.8*rng.Float64()
+		p.sigma[i] = 1.0 + 2.0*rng.Float64()
+		p.ch[i] = rng.Intn(c)
+	}
+	return p
+}
+
+// render draws the prototype with a geometric jitter (dx, dy, scale) and
+// additive noise into dst (CHW flat).
+func (p prototype) render(dst []float64, c, h, w int, dx, dy, scale, noise float64, rng *rand.Rand) {
+	for i := range dst {
+		dst[i] = noise * rng.NormFloat64()
+	}
+	for b := range p.cx {
+		cx := p.cx[b]*scale + dx
+		cy := p.cy[b]*scale + dy
+		s2 := 2 * p.sigma[b] * p.sigma[b] * scale * scale
+		base := p.ch[b] * h * w
+		// Bound the bump support to a window for speed.
+		r := int(3*p.sigma[b]*scale) + 1
+		y0, y1 := clamp(int(cy)-r, 0, h-1), clamp(int(cy)+r, 0, h-1)
+		x0, x1 := clamp(int(cx)-r, 0, w-1), clamp(int(cx)+r, 0, w-1)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+				dst[base+y*w+x] += p.amp[b] * math.Exp(-d2/s2)
+			}
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// generate draws n examples: a shared background prototype plus a faint
+// class-specific delta scaled by deltaAmp, geometric jitter, and pixel
+// noise. A small deltaAmp makes classification depend on fine, distributed
+// features — which is what ties accuracy to the key: with a 0.15 ratio,
+// flipping a few trained neurons collapses accuracy the way the paper's
+// Table 1 baseline column shows, while the clean task remains learnable to
+// high accuracy.
+func generate(n int, seed int64, classes, c, h, w, bumps int, shift, noise, deltaAmp, baseAmp float64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	// One shared background prototype dominates every example...
+	base := makePrototype(rand.New(rand.NewSource(seed+999)), c, h, w, 2*bumps)
+	for i := range base.amp {
+		base.amp[i] *= baseAmp
+	}
+	// ...and each class adds a faint structured delta on top.
+	protos := make([]prototype, classes)
+	for k := range protos {
+		protos[k] = makePrototype(rand.New(rand.NewSource(seed+1000+int64(k))), c, h, w, bumps)
+		for i := range protos[k].amp {
+			protos[k].amp[i] *= deltaAmp
+		}
+	}
+	d := &Dataset{
+		X:       tensor.New(n, c*h*w),
+		Y:       make([]int, n),
+		Classes: classes,
+		C:       c, H: h, W: w,
+	}
+	delta := make([]float64, c*h*w)
+	for i := 0; i < n; i++ {
+		k := rng.Intn(classes)
+		d.Y[i] = k
+		dx := (rng.Float64()*2 - 1) * shift
+		dy := (rng.Float64()*2 - 1) * shift
+		scale := 0.9 + 0.2*rng.Float64()
+		base.render(d.X.Row(i), c, h, w, dx, dy, scale, noise, rng)
+		protos[k].render(delta, c, h, w, dx, dy, scale, 0, rng)
+		tensor.AXPY(1, delta, d.X.Row(i))
+	}
+	return d
+}
+
+// Digits generates the MNIST stand-in: n 28×28 grayscale examples in 10
+// classes.
+func Digits(n int, seed int64) *Dataset {
+	return generate(n, seed, 10, 1, 28, 28, 6, 1.0, 0.2, 0.15, 1.0)
+}
+
+// Shapes generates the CIFAR-10 stand-in: n 16×16 RGB examples in 10
+// classes.
+func Shapes(n int, seed int64) *Dataset {
+	return generate(n, seed, 10, 3, 16, 16, 8, 1.0, 0.2, 0.15, 1.0)
+}
+
+// Custom generates a dataset with explicit geometry, used by tests and the
+// bench harness for very small pipelines. Jitter shrinks with the canvas so
+// tiny inputs stay separable.
+func Custom(n int, seed int64, classes, c, h, w int) *Dataset {
+	bumps := 3 + c
+	shift := float64(min(h, w)) / 10
+	if shift > 1.5 {
+		shift = 1.5
+	}
+	return generate(n, seed, classes, c, h, w, bumps, shift, 0.08, 1.0, 0)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// UniformInputs draws n inputs uniformly from [-lim, lim]^dim; this is the
+// unlabeled query distribution the learning-based attack uses (§3.6).
+func UniformInputs(n, dim int, lim float64, rng *rand.Rand) *tensor.Matrix {
+	x := tensor.New(n, dim)
+	for i := range x.Data {
+		x.Data[i] = (rng.Float64()*2 - 1) * lim
+	}
+	return x
+}

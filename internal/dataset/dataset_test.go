@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/tensor"
+)
+
+func TestDigitsShape(t *testing.T) {
+	d := Digits(50, 1)
+	if d.Len() != 50 || d.InputSize() != 784 || d.Classes != 10 {
+		t.Fatalf("bad digits geometry: %+v", d)
+	}
+	for _, y := range d.Y {
+		if y < 0 || y >= 10 {
+			t.Fatalf("label out of range: %d", y)
+		}
+	}
+}
+
+func TestShapesShape(t *testing.T) {
+	d := Shapes(30, 2)
+	if d.Len() != 30 || d.InputSize() != 3*16*16 {
+		t.Fatalf("bad shapes geometry: %+v", d)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Digits(20, 7)
+	b := Digits(20, 7)
+	if !tensor.Equal(a.X, b.X, 0) {
+		t.Fatal("same seed must give identical data")
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ")
+		}
+	}
+	c := Digits(20, 8)
+	if tensor.Equal(a.X, c.X, 0) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := Digits(100, 3)
+	tr, te := d.Split(0.8)
+	if tr.Len() != 80 || te.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", tr.Len(), te.Len())
+	}
+	// First test row must equal row 80 of the original.
+	if !tensor.Equal(
+		tensor.FromSlice(1, d.X.Cols, te.X.Row(0)),
+		tensor.FromSlice(1, d.X.Cols, d.X.Row(80)), 0) {
+		t.Fatal("split misaligned")
+	}
+}
+
+func TestSplitFullFraction(t *testing.T) {
+	d := Digits(10, 4)
+	tr, te := d.Split(1.0)
+	if tr.Len() != 10 || te.Len() != 0 {
+		t.Fatalf("full split sizes %d/%d", tr.Len(), te.Len())
+	}
+}
+
+func TestClassSeparability(t *testing.T) {
+	// A nearest-class-mean classifier must beat chance by a wide margin,
+	// otherwise the synthetic data cannot support the paper's accuracy
+	// columns.
+	d := Digits(600, 5)
+	tr, te := d.Split(0.7)
+	means := make([][]float64, d.Classes)
+	counts := make([]int, d.Classes)
+	for k := range means {
+		means[k] = make([]float64, d.InputSize())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		y := tr.Y[i]
+		tensor.AXPY(1, tr.X.Row(i), means[y])
+		counts[y]++
+	}
+	for k := range means {
+		if counts[k] > 0 {
+			for j := range means[k] {
+				means[k][j] /= float64(counts[k])
+			}
+		}
+	}
+	correct := 0
+	for i := 0; i < te.Len(); i++ {
+		best, bestD := -1, 0.0
+		for k := range means {
+			dv := tensor.VecSub(te.X.Row(i), means[k])
+			dist := tensor.Dot(dv, dv)
+			if best == -1 || dist < bestD {
+				best, bestD = k, dist
+			}
+		}
+		if best == te.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(te.Len())
+	// The generator deliberately buries a faint class delta under a shared
+	// background (so that locking matters, DESIGN.md §4); nearest-mean only
+	// needs to beat 10-class chance decisively — MLPs reach ~94%.
+	if acc < 0.3 {
+		t.Fatalf("nearest-mean accuracy %.3f < 0.3: classes not separable enough", acc)
+	}
+}
+
+func TestUniformInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := UniformInputs(40, 7, 2.5, rng)
+	if x.Rows != 40 || x.Cols != 7 {
+		t.Fatal("bad shape")
+	}
+	for _, v := range x.Data {
+		if v < -2.5 || v > 2.5 {
+			t.Fatalf("out of range: %v", v)
+		}
+	}
+}
+
+func TestCustomGeometry(t *testing.T) {
+	d := Custom(10, 1, 4, 2, 5, 6)
+	if d.InputSize() != 60 || d.Classes != 4 {
+		t.Fatalf("custom geometry wrong: %+v", d)
+	}
+}

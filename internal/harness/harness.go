@@ -1,0 +1,345 @@
+// Package harness drives the paper's evaluation pipelines (§4): for each
+// (architecture, key size) it trains an HPNN-locked model on the synthetic
+// dataset, provisions an oracle device, launches the monolithic
+// learning-based attack and the DNN decryption attack, and reports the
+// paper's four metrics. RunTable1 regenerates Table 1 rows; RunFigure3
+// regenerates the Figure 3 runtime-breakdown series.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"dnnlock/internal/core"
+	"dnnlock/internal/dataset"
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/metrics"
+	"dnnlock/internal/models"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/oracle"
+	"dnnlock/internal/train"
+)
+
+// Scale sizes an experiment run. The paper's testbed (PyTorch on an RTX
+// A6000) is replaced by a single CPU core, so the harness offers scaled-down
+// presets with the same structure; see DESIGN.md §4.
+type Scale struct {
+	Name          string
+	Tiny          bool // use the Tiny* architectures (tests and benches)
+	TrainExamples int
+	TrainEpochs   int
+	BatchSize     int
+	LearnRate     float64
+	KeySizes      map[string][]int
+	BaselineKeys  int // paper: 16 random incorrect keys
+	MonoQueries   int
+	MonoEpochs    int
+	AttackCfg     core.Config
+	Seed          int64
+}
+
+// TinyScale finishes in seconds; it backs unit tests and `go test -bench`.
+func TinyScale() Scale {
+	cfg := core.DefaultConfig()
+	return Scale{
+		Name: "tiny", Tiny: true,
+		TrainExamples: 300, TrainEpochs: 25, BatchSize: 16, LearnRate: 0.02,
+		KeySizes: map[string][]int{
+			"mlp": {4, 8}, "lenet": {4}, "resnet": {4}, "vtransformer": {4},
+		},
+		BaselineKeys: 4,
+		MonoQueries:  256, MonoEpochs: 120,
+		AttackCfg: cfg,
+		Seed:      1,
+	}
+}
+
+// QuickScale runs the paper-shaped sweep on the full architectures with
+// reduced key sizes and training budgets (minutes to a few hours on one
+// CPU core).
+func QuickScale() Scale {
+	cfg := core.DefaultConfig()
+	cfg.LearnQueries = 160
+	cfg.LearnEpochs = 80
+	cfg.PlateauEpochs = 15
+	cfg.ValidationNeurons = 16
+	return Scale{
+		Name:          "quick",
+		TrainExamples: 1500, TrainEpochs: 6, BatchSize: 32, LearnRate: 0.003,
+		KeySizes: map[string][]int{
+			"mlp":          {32, 64, 128},
+			"lenet":        {16, 32},
+			"resnet":       {16, 32},
+			"vtransformer": {16, 32},
+		},
+		BaselineKeys: 16,
+		MonoQueries:  512, MonoEpochs: 200,
+		AttackCfg: cfg,
+		Seed:      1,
+	}
+}
+
+// PaperScale mirrors the paper's key sizes. On this substrate it is a long
+// run; use it when wall-clock time is no concern.
+func PaperScale() Scale {
+	sc := QuickScale()
+	sc.Name = "paper"
+	sc.TrainExamples = 4000
+	sc.TrainEpochs = 8
+	sc.KeySizes = map[string][]int{
+		"mlp":          {32, 64, 128},
+		"lenet":        {32, 64, 128},
+		"resnet":       {64, 128, 196},
+		"vtransformer": {64, 128, 196},
+	}
+	sc.MonoQueries = 2000
+	return sc
+}
+
+// AttackCell is one attack's four metrics in a Table 1 row.
+type AttackCell struct {
+	Accuracy float64
+	Fidelity float64
+	Seconds  float64
+	Queries  int64
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Model            string
+	KeyBits          int
+	OriginalAccuracy float64
+	BaselineAccuracy float64
+	Monolithic       AttackCell
+	Decryption       AttackCell
+	Breakdown        *metrics.Breakdown // feeds Figure 3
+	QueriesByProc    map[metrics.Procedure]int64
+	DecryptErr       error
+}
+
+// Figure3Row is one bar of Figure 3: the percentage share of each
+// procedure in the decryption attack's runtime, plus (an extension over
+// the paper) the oracle-query split across the same procedures.
+type Figure3Row struct {
+	Model   string
+	KeyBits int
+	Percent map[metrics.Procedure]float64
+	Queries map[metrics.Procedure]int64
+}
+
+// pipeline holds one fully prepared experiment instance.
+type pipeline struct {
+	lm    *hpnn.LockedModel
+	key   hpnn.Key
+	test  *dataset.Dataset
+	sc    Scale
+	model string
+	bits  int
+}
+
+// buildModel constructs the architecture and its matching dataset.
+func buildModel(name string, sc Scale, rng *rand.Rand) (*nn.Network, *dataset.Dataset, error) {
+	n := sc.TrainExamples + sc.TrainExamples/4
+	if sc.Tiny {
+		switch name {
+		case "mlp":
+			return models.TinyMLP(rng), dataset.Custom(n, sc.Seed+7, 4, 1, 4, 5), nil
+		case "lenet":
+			return models.TinyLeNet(rng), dataset.Custom(n, sc.Seed+7, 4, 1, 12, 12), nil
+		case "resnet":
+			return models.TinyResNet(rng), dataset.Custom(n, sc.Seed+7, 3, 1, 8, 8), nil
+		case "vtransformer":
+			return models.TinyVTransformer(rng), dataset.Custom(n, sc.Seed+7, 3, 1, 8, 8), nil
+		}
+		return nil, nil, fmt.Errorf("harness: unknown model %q", name)
+	}
+	builder, c, h, w, err := models.ByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ds *dataset.Dataset
+	if c == 1 && h == 28 {
+		ds = dataset.Digits(n, sc.Seed+7)
+	} else {
+		ds = dataset.Shapes(n, sc.Seed+7)
+	}
+	_ = w
+	return builder(rng), ds, nil
+}
+
+// prepare trains a locked model for one (model, keyBits) cell.
+func prepare(model string, bits int, sc Scale, log io.Writer) (*pipeline, error) {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	net, ds, err := buildModel(model, sc, rng)
+	if err != nil {
+		return nil, err
+	}
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: bits, Rng: rng})
+	trainSet, testSet := ds.Split(0.8)
+	if sc.TrainEpochs > 0 {
+		train.Fit(net, trainSet.X, trainSet.Y, testSet.X, testSet.Y, train.Config{
+			Epochs:    sc.TrainEpochs,
+			BatchSize: sc.BatchSize,
+			Optimizer: train.NewAdam(sc.LearnRate),
+			Seed:      sc.Seed,
+			Log:       log,
+		})
+	}
+	return &pipeline{lm: lm, key: key, test: testSet, sc: sc, model: model, bits: bits}, nil
+}
+
+// accuracyUnderKey evaluates the locked model under an arbitrary key.
+func (p *pipeline) accuracyUnderKey(key hpnn.Key) float64 {
+	return train.Evaluate(p.lm.Apply(key), p.test.X, p.test.Y)
+}
+
+// baselineAccuracy averages accuracy over random incorrect keys (§4.2).
+func (p *pipeline) baselineAccuracy(rng *rand.Rand) float64 {
+	sum := 0.0
+	for i := 0; i < p.sc.BaselineKeys; i++ {
+		wrong := hpnn.RandomKey(len(p.key), rng)
+		if wrong.Fidelity(p.key) == 1 { // force incorrectness
+			wrong[rng.Intn(len(wrong))] = !wrong[rng.Intn(len(wrong))]
+		}
+		sum += p.accuracyUnderKey(wrong)
+	}
+	return sum / float64(p.sc.BaselineKeys)
+}
+
+// runCell executes both attacks for one Table 1 cell.
+func (p *pipeline) runCell(w io.Writer) Table1Row {
+	row := Table1Row{
+		Model:   p.model,
+		KeyBits: p.bits,
+	}
+	rng := rand.New(rand.NewSource(p.sc.Seed + 99))
+	row.OriginalAccuracy = p.accuracyUnderKey(p.key)
+	row.BaselineAccuracy = p.baselineAccuracy(rng)
+
+	// Monolithic learning-based attack (§4.3).
+	monoCfg := p.sc.AttackCfg
+	monoCfg.LearnQueries = p.sc.MonoQueries
+	monoCfg.LearnEpochs = p.sc.MonoEpochs
+	monoCfg.Seed = p.sc.Seed + 1
+	monoOrc := oracle.New(p.lm, p.key)
+	monoStart := time.Now()
+	mono := core.Monolithic(p.lm.WhiteBox(), p.lm.Spec, monoOrc, monoCfg, nil)
+	row.Monolithic = AttackCell{
+		Accuracy: p.accuracyUnderKey(mono.Key),
+		Fidelity: mono.Key.Fidelity(p.key),
+		Seconds:  time.Since(monoStart).Seconds(),
+		Queries:  mono.Queries,
+	}
+
+	// The DNN decryption attack (Algorithm 2).
+	decCfg := p.sc.AttackCfg
+	decCfg.Seed = p.sc.Seed + 2
+	decOrc := oracle.New(p.lm, p.key)
+	decStart := time.Now()
+	res, err := core.Run(p.lm.WhiteBox(), p.lm.Spec, decOrc, decCfg)
+	if err != nil {
+		row.DecryptErr = err
+		if res == nil {
+			return row
+		}
+	}
+	row.Decryption = AttackCell{
+		Accuracy: p.accuracyUnderKey(res.Key),
+		Fidelity: res.Key.Fidelity(p.key),
+		Seconds:  time.Since(decStart).Seconds(),
+		Queries:  res.Queries,
+	}
+	row.Breakdown = res.Breakdown
+	row.QueriesByProc = res.QueriesByProc
+	if w != nil {
+		fmt.Fprintf(w, "%s\n", FormatRow(row))
+	}
+	return row
+}
+
+// RunTable1 regenerates Table 1 for the given models at the given scale,
+// streaming rows to w as they complete.
+func RunTable1(sc Scale, modelNames []string, w io.Writer) ([]Table1Row, error) {
+	var rows []Table1Row
+	if w != nil {
+		fmt.Fprintln(w, TableHeader())
+	}
+	for _, m := range modelNames {
+		for _, bits := range sc.KeySizes[m] {
+			p, err := prepare(m, bits, sc, nil)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, p.runCell(w))
+		}
+	}
+	return rows, nil
+}
+
+// RunFigure3 regenerates Figure 3: the per-procedure runtime breakdown of
+// the decryption attack across architectures and key sizes.
+func RunFigure3(rows []Table1Row) []Figure3Row {
+	var out []Figure3Row
+	for _, r := range rows {
+		if r.Breakdown == nil {
+			continue
+		}
+		out = append(out, Figure3Row{
+			Model:   r.Model,
+			KeyBits: r.KeyBits,
+			Percent: r.Breakdown.Percentages(),
+			Queries: r.QueriesByProc,
+		})
+	}
+	return out
+}
+
+// TableHeader renders the Table 1 column header.
+func TableHeader() string {
+	return fmt.Sprintf("%-13s %5s | %8s %8s | %8s %8s %9s %9s | %8s %8s %9s %9s",
+		"DNN", "key",
+		"orig", "base",
+		"m.acc", "m.fid", "m.time", "m.query",
+		"d.acc", "d.fid", "d.time", "d.query")
+}
+
+// FormatRow renders one Table 1 row.
+func FormatRow(r Table1Row) string {
+	s := fmt.Sprintf("%-13s %5d | %7.1f%% %7.1f%% | %7.1f%% %7.1f%% %8.2fs %9d | %7.1f%% %7.1f%% %8.2fs %9d",
+		r.Model, r.KeyBits,
+		100*r.OriginalAccuracy, 100*r.BaselineAccuracy,
+		100*r.Monolithic.Accuracy, 100*r.Monolithic.Fidelity, r.Monolithic.Seconds, r.Monolithic.Queries,
+		100*r.Decryption.Accuracy, 100*r.Decryption.Fidelity, r.Decryption.Seconds, r.Decryption.Queries)
+	if r.DecryptErr != nil {
+		s += "  !! " + r.DecryptErr.Error()
+	}
+	return s
+}
+
+// WriteCSV emits the Table 1 rows as CSV for downstream plotting.
+func WriteCSV(rows []Table1Row, w io.Writer) {
+	fmt.Fprintln(w, "model,key_bits,orig_acc,base_acc,mono_acc,mono_fid,mono_s,mono_q,dec_acc,dec_fid,dec_s,dec_q")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%d,%.4f,%.4f,%.4f,%.4f,%.2f,%d,%.4f,%.4f,%.2f,%d\n",
+			r.Model, r.KeyBits,
+			r.OriginalAccuracy, r.BaselineAccuracy,
+			r.Monolithic.Accuracy, r.Monolithic.Fidelity, r.Monolithic.Seconds, r.Monolithic.Queries,
+			r.Decryption.Accuracy, r.Decryption.Fidelity, r.Decryption.Seconds, r.Decryption.Queries)
+	}
+}
+
+// FormatFigure3 renders the Figure 3 series as text bars.
+func FormatFigure3(rows []Figure3Row, w io.Writer) {
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %3d bits:", r.Model, r.KeyBits)
+		for _, p := range metrics.AllProcedures {
+			fmt.Fprintf(w, "  %s %5.1f%%", p, r.Percent[p])
+			if r.Queries != nil {
+				fmt.Fprintf(w, " (%dq)", r.Queries[p])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

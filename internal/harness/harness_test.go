@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dnnlock/internal/metrics"
+)
+
+func TestScalesWellFormed(t *testing.T) {
+	for _, sc := range []Scale{TinyScale(), QuickScale(), PaperScale()} {
+		if sc.TrainExamples <= 0 || sc.BatchSize <= 0 || sc.BaselineKeys <= 0 {
+			t.Fatalf("%s: bad scale %+v", sc.Name, sc)
+		}
+		for _, m := range []string{"mlp", "lenet", "resnet", "vtransformer"} {
+			if len(sc.KeySizes[m]) == 0 {
+				t.Fatalf("%s: no key sizes for %s", sc.Name, m)
+			}
+		}
+	}
+}
+
+func TestTable1TinyMLP(t *testing.T) {
+	sc := TinyScale()
+	sc.KeySizes = map[string][]int{"mlp": {6}}
+	var buf bytes.Buffer
+	rows, err := RunTable1(sc, []string{"mlp"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.DecryptErr != nil {
+		t.Fatalf("decryption failed: %v", r.DecryptErr)
+	}
+	// The headline claims of Table 1, at tiny scale:
+	if r.Decryption.Fidelity != 1 {
+		t.Fatalf("decryption fidelity %.3f != 1", r.Decryption.Fidelity)
+	}
+	if r.Decryption.Accuracy < r.OriginalAccuracy-1e-9 {
+		t.Fatal("decrypted accuracy below original")
+	}
+	if r.OriginalAccuracy < 0.8 {
+		t.Fatalf("locked model failed to train: acc %.3f", r.OriginalAccuracy)
+	}
+	if r.BaselineAccuracy >= r.OriginalAccuracy {
+		t.Fatal("wrong keys should lose accuracy")
+	}
+	if r.Decryption.Queries <= 0 || r.Monolithic.Queries <= 0 {
+		t.Fatal("query counts missing")
+	}
+	if !strings.Contains(buf.String(), "mlp") {
+		t.Fatal("no streamed output")
+	}
+}
+
+func TestFigure3FromRows(t *testing.T) {
+	sc := TinyScale()
+	sc.KeySizes = map[string][]int{"mlp": {4}}
+	rows, err := RunTable1(sc, []string{"mlp"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3 := RunFigure3(rows)
+	if len(f3) != 1 {
+		t.Fatalf("figure3 rows = %d", len(f3))
+	}
+	total := 0.0
+	for _, p := range metrics.AllProcedures {
+		total += f3[0].Percent[p]
+	}
+	if total < 99 || total > 101 {
+		t.Fatalf("percentages sum to %.2f", total)
+	}
+	var buf bytes.Buffer
+	FormatFigure3(f3, &buf)
+	if !strings.Contains(buf.String(), "key_bit_inference") {
+		t.Fatal("figure text missing procedures")
+	}
+}
+
+func TestBuildModelUnknown(t *testing.T) {
+	sc := TinyScale()
+	if _, _, err := buildModel("nope", sc, nil); err == nil {
+		t.Fatal("unknown tiny model accepted")
+	}
+	sc.Tiny = false
+	if _, _, err := buildModel("nope", sc, nil); err == nil {
+		t.Fatal("unknown full model accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Table1Row{{
+		Model: "mlp", KeyBits: 32,
+		OriginalAccuracy: 0.98, BaselineAccuracy: 0.27,
+		Monolithic: AttackCell{Accuracy: 0.98, Fidelity: 1, Seconds: 2.7, Queries: 1000},
+		Decryption: AttackCell{Accuracy: 0.98, Fidelity: 1, Seconds: 0.18, Queries: 156},
+	}}
+	var buf bytes.Buffer
+	WriteCSV(rows, &buf)
+	got := buf.String()
+	if !strings.HasPrefix(got, "model,key_bits") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(got, "mlp,32,0.9800,0.2700") {
+		t.Fatalf("row malformed: %q", got)
+	}
+}
+
+func TestHeaderAndRowFormatting(t *testing.T) {
+	if !strings.Contains(TableHeader(), "d.fid") {
+		t.Fatal("header missing columns")
+	}
+	row := Table1Row{Model: "mlp", KeyBits: 32}
+	if !strings.Contains(FormatRow(row), "mlp") {
+		t.Fatal("row missing model")
+	}
+}

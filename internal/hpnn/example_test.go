@@ -1,0 +1,43 @@
+package hpnn_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/nn"
+)
+
+// ExampleLock shows the vendor-side flow: build a model, lock a subset of
+// neurons, and read back the key entangled into the network.
+func ExampleLock() {
+	rng := rand.New(rand.NewSource(7))
+	net := nn.NewNetwork(
+		nn.NewDense(4, 6).InitHe(rng), nn.NewFlip(6), nn.NewReLU(6),
+		nn.NewDense(6, 2).InitHe(rng),
+	)
+	locked, key := hpnn.Lock(net, hpnn.Config{
+		Scheme:  hpnn.Negation,
+		KeyBits: 4,
+		Rng:     rng,
+	})
+	fmt.Println("bits:", locked.Spec.NumBits())
+	fmt.Println("scheme:", locked.Spec.Scheme)
+	fmt.Println("key matches network state:", locked.ExtractKey(net).Fidelity(key) == 1)
+	// Output:
+	// bits: 4
+	// scheme: negation
+	// key matches network state: true
+}
+
+// ExampleKey_Fidelity computes the paper's fidelity metric between an
+// extracted key and the ground truth.
+func ExampleKey_Fidelity() {
+	truth := hpnn.Key{true, false, true, true}
+	extracted := hpnn.Key{true, false, false, true}
+	fmt.Printf("%.2f\n", extracted.Fidelity(truth))
+	fmt.Println(extracted.HammingDistance(truth))
+	// Output:
+	// 0.75
+	// 1
+}

@@ -1,0 +1,359 @@
+// Package hpnn implements the Hardware Protected Neural Network locking
+// scheme of Chakraborty et al. (DAC 2020) as described in the attacked
+// paper's §2.2, plus the foreseeable variants of §3.9: a key bit is
+// associated with each protected neuron and controls a modification of that
+// neuron's pre-activation (sign flip for standard HPNN, scaling or bias
+// shift for the variants) or of a single weight element (weight
+// perturbation variant).
+package hpnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dnnlock/internal/nn"
+)
+
+// Scheme selects the locking operator.
+type Scheme int
+
+// Locking schemes. Negation is standard HPNN (Equation 1 of the paper); the
+// others are the §3.9 variants.
+const (
+	Negation Scheme = iota
+	Scaling
+	BiasShift
+	WeightPerturb
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Negation:
+		return "negation"
+	case Scaling:
+		return "scaling"
+	case BiasShift:
+		return "bias-shift"
+	case WeightPerturb:
+		return "weight-perturb"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// ProtectedNeuron identifies one key-protected neuron: a flip site (one per
+// lockable layer, in network order) and a flattened neuron index within it.
+// For convolutional sites the index addresses a single (channel, y, x)
+// activation unit. Col is only used by the WeightPerturb scheme and selects
+// the perturbed input coordinate of the neuron's weight row.
+type ProtectedNeuron struct {
+	Site  int
+	Index int
+	Col   int
+}
+
+// Key is a vector of key bits aligned with a LockSpec's protected neurons.
+type Key []bool
+
+// Clone copies the key.
+func (k Key) Clone() Key {
+	c := make(Key, len(k))
+	copy(c, k)
+	return c
+}
+
+// Fidelity returns the fraction of positions where k and other agree — the
+// paper's fidelity metric for extracted keys.
+func (k Key) Fidelity(other Key) float64 {
+	if len(k) != len(other) {
+		panic("hpnn: fidelity of different-length keys")
+	}
+	if len(k) == 0 {
+		return 1
+	}
+	same := 0
+	for i := range k {
+		if k[i] == other[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(k))
+}
+
+// HammingDistance counts differing positions.
+func (k Key) HammingDistance(other Key) int {
+	d := 0
+	for i := range k {
+		if k[i] != other[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// String renders the key as a bit string.
+func (k Key) String() string {
+	b := make([]byte, len(k))
+	for i, bit := range k {
+		if bit {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// RandomKey draws a uniform key of length n.
+func RandomKey(n int, rng *rand.Rand) Key {
+	k := make(Key, n)
+	for i := range k {
+		k[i] = rng.Intn(2) == 1
+	}
+	return k
+}
+
+// LockSpec describes where and how a model is locked. The spec is public
+// knowledge under the standard logic-locking adversary model (§2.3): only
+// the key bits are secret.
+type LockSpec struct {
+	Scheme  Scheme
+	Alpha   float64 // Scaling multiplier (≠1) or BiasShift/WeightPerturb delta
+	Neurons []ProtectedNeuron
+}
+
+// NumBits returns the key length.
+func (s *LockSpec) NumBits() int { return len(s.Neurons) }
+
+// SiteBits groups the protected-neuron positions by flip site: the returned
+// map's values index into Neurons.
+func (s *LockSpec) SiteBits() map[int][]int {
+	m := make(map[int][]int)
+	for i, pn := range s.Neurons {
+		m[pn.Site] = append(m[pn.Site], i)
+	}
+	return m
+}
+
+// Config controls neuron selection during locking.
+type Config struct {
+	Scheme  Scheme
+	Alpha   float64 // required ≠ 0 for non-Negation schemes
+	KeyBits int
+	Sites   []int // flip sites to protect; nil means every site
+	Rng     *rand.Rand
+}
+
+// LockedModel couples a network with a lock specification. The embedded
+// network holds the trained parameters; its flips are identity until a key
+// is applied.
+type LockedModel struct {
+	Net  *nn.Network
+	Spec LockSpec
+
+	// wpBase holds the unperturbed weight element per protected neuron for
+	// the WeightPerturb scheme, captured at lock time. (This implementation
+	// does not support re-training a WeightPerturb model after locking.)
+	wpBase []float64
+}
+
+// NewLockSpec selects protected neurons per the paper's procedure (§4.2):
+// key bits are distributed equally across the designated sites and assigned
+// to randomly selected distinct neurons within each site.
+func NewLockSpec(net *nn.Network, cfg Config) LockSpec {
+	if cfg.Rng == nil {
+		panic("hpnn: Config.Rng is required")
+	}
+	sites := cfg.Sites
+	if sites == nil {
+		for s := 0; s < net.NumFlipSites(); s++ {
+			sites = append(sites, s)
+		}
+	}
+	if len(sites) == 0 {
+		panic("hpnn: no lockable sites")
+	}
+	spec := LockSpec{Scheme: cfg.Scheme, Alpha: cfg.Alpha}
+	if cfg.Scheme != Negation && cfg.Alpha == 0 {
+		panic("hpnn: variant schemes need Alpha != 0")
+	}
+	if cfg.Scheme == Scaling && cfg.Alpha == 1 {
+		panic("hpnn: scaling with Alpha == 1 is a no-op")
+	}
+	flips := net.Flips()
+	// Equal distribution with remainder spread over the first sites.
+	per := cfg.KeyBits / len(sites)
+	rem := cfg.KeyBits % len(sites)
+	for si, site := range sites {
+		want := per
+		if si < rem {
+			want++
+		}
+		width := flips[site].N
+		if want > width {
+			panic(fmt.Sprintf("hpnn: site %d has %d neurons, cannot hold %d key bits", site, width, want))
+		}
+		perm := cfg.Rng.Perm(width)[:want]
+		for _, idx := range perm {
+			pn := ProtectedNeuron{Site: site, Index: idx}
+			if cfg.Scheme == WeightPerturb {
+				pn.Col = cfg.Rng.Intn(linearBefore(net, site).(*nn.Dense).In)
+			}
+			spec.Neurons = append(spec.Neurons, pn)
+		}
+	}
+	return spec
+}
+
+// Lock selects protected neurons, draws a uniform key, and applies it to
+// net in place (so the model can then be trained as a function of the key,
+// §2.2). It returns the locked model and the correct key K*.
+func Lock(net *nn.Network, cfg Config) (*LockedModel, Key) {
+	spec := NewLockSpec(net, cfg)
+	key := RandomKey(spec.NumBits(), cfg.Rng)
+	lm := NewLockedModel(net, spec)
+	lm.applyInPlace(net, key)
+	return lm, key
+}
+
+// NewLockedModel wraps an existing network and spec, capturing the
+// WeightPerturb reference values.
+func NewLockedModel(net *nn.Network, spec LockSpec) *LockedModel {
+	lm := &LockedModel{Net: net, Spec: spec}
+	if spec.Scheme == WeightPerturb {
+		lm.wpBase = make([]float64, len(spec.Neurons))
+		for i, pn := range spec.Neurons {
+			d, ok := linearBefore(net, pn.Site).(*nn.Dense)
+			if !ok {
+				panic("hpnn: WeightPerturb requires a Dense producer layer")
+			}
+			lm.wpBase[i] = d.W.W.At(pn.Index, pn.Col)
+		}
+	}
+	return lm
+}
+
+// Apply returns a network computing the model under the given key. The
+// result shares weights with the stored network for the pre-activation
+// schemes and deep-copies for WeightPerturb.
+func (lm *LockedModel) Apply(key Key) *nn.Network {
+	var out *nn.Network
+	if lm.Spec.Scheme == WeightPerturb {
+		out = lm.Net.Clone()
+	} else {
+		out = lm.Net.CloneForKeys()
+	}
+	lm.applyInPlace(out, key)
+	return out
+}
+
+// WhiteBox returns the adversary's view: architecture and weights with all
+// protected units in their identity state (key unknown).
+func (lm *LockedModel) WhiteBox() *nn.Network {
+	var out *nn.Network
+	if lm.Spec.Scheme == WeightPerturb {
+		out = lm.Net.Clone()
+	} else {
+		out = lm.Net.CloneForKeys()
+	}
+	lm.applyInPlace(out, make(Key, lm.Spec.NumBits()))
+	return out
+}
+
+// applyInPlace writes the locking state implied by key into target.
+func (lm *LockedModel) applyInPlace(target *nn.Network, key Key) {
+	if len(key) != lm.Spec.NumBits() {
+		panic(fmt.Sprintf("hpnn: key length %d != %d", len(key), lm.Spec.NumBits()))
+	}
+	flips := target.Flips()
+	for i, pn := range lm.Spec.Neurons {
+		f := flips[pn.Site]
+		switch lm.Spec.Scheme {
+		case Negation:
+			f.SetBit(pn.Index, key[i])
+		case Scaling:
+			if key[i] {
+				f.Signs[pn.Index] = lm.Spec.Alpha
+			} else {
+				f.Signs[pn.Index] = 1
+			}
+		case BiasShift:
+			if key[i] {
+				f.SetOffset(pn.Index, lm.Spec.Alpha)
+			} else {
+				f.SetOffset(pn.Index, 0)
+			}
+		case WeightPerturb:
+			d, ok := linearBefore(target, pn.Site).(*nn.Dense)
+			if !ok {
+				panic("hpnn: WeightPerturb requires a Dense producer layer")
+			}
+			base := lm.wpBase[i]
+			if key[i] {
+				d.W.W.Set(pn.Index, pn.Col, base+lm.Spec.Alpha)
+			} else {
+				d.W.W.Set(pn.Index, pn.Col, base)
+			}
+		}
+	}
+}
+
+// ExtractKey reads the key currently applied to target (used by tests and
+// by the attack when assembling its recovered key).
+func (lm *LockedModel) ExtractKey(target *nn.Network) Key {
+	flips := target.Flips()
+	key := make(Key, lm.Spec.NumBits())
+	for i, pn := range lm.Spec.Neurons {
+		f := flips[pn.Site]
+		switch lm.Spec.Scheme {
+		case Negation:
+			key[i] = f.Signs[pn.Index] < 0
+		case Scaling:
+			key[i] = f.Signs[pn.Index] != 1
+		case BiasShift:
+			key[i] = f.Offsets != nil && f.Offsets[pn.Index] != 0
+		case WeightPerturb:
+			d := linearBefore(target, pn.Site).(*nn.Dense)
+			key[i] = d.W.W.At(pn.Index, pn.Col) != lm.wpBase[i]
+		}
+	}
+	return key
+}
+
+// ProducerDense returns the Dense layer feeding the given flip site, or
+// false when the producer is not a Dense layer. The WeightPerturb variant
+// and its attack reduction need this mapping.
+func ProducerDense(net *nn.Network, site int) (*nn.Dense, bool) {
+	d, ok := linearBefore(net, site).(*nn.Dense)
+	return d, ok
+}
+
+// linearBefore returns the layer that produces the pre-activation consumed
+// by the given flip site (the layer immediately preceding the Flip in its
+// sequence).
+func linearBefore(net *nn.Network, site int) nn.Layer {
+	target := net.Flips()[site]
+	var found nn.Layer
+	var walk func(seq []nn.Layer)
+	walk = func(seq []nn.Layer) {
+		for i, l := range seq {
+			if l == nn.Layer(target) && i > 0 {
+				found = seq[i-1]
+				return
+			}
+			if r, ok := l.(*nn.Residual); ok {
+				walk(r.Body)
+				walk(r.Shortcut)
+				if found != nil {
+					return
+				}
+			}
+		}
+	}
+	walk(net.Layers)
+	if found == nil {
+		panic(fmt.Sprintf("hpnn: no producer layer found for flip site %d", site))
+	}
+	return found
+}

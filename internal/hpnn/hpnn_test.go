@@ -1,0 +1,277 @@
+package hpnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dnnlock/internal/nn"
+	"dnnlock/internal/tensor"
+)
+
+func testMLP(rng *rand.Rand) *nn.Network {
+	return nn.NewNetwork(
+		nn.NewDense(6, 8).InitHe(rng), nn.NewFlip(8), nn.NewReLU(8),
+		nn.NewDense(8, 5).InitHe(rng), nn.NewFlip(5), nn.NewReLU(5),
+		nn.NewDense(5, 3).InitHe(rng),
+	)
+}
+
+func TestKeyBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k := RandomKey(16, rng)
+	if len(k) != 16 {
+		t.Fatal("key length")
+	}
+	if k.Fidelity(k) != 1 {
+		t.Fatal("self fidelity != 1")
+	}
+	flipped := k.Clone()
+	flipped[3] = !flipped[3]
+	if k.HammingDistance(flipped) != 1 {
+		t.Fatal("hamming distance")
+	}
+	if math.Abs(k.Fidelity(flipped)-15.0/16) > 1e-12 {
+		t.Fatal("fidelity after one flip")
+	}
+	if len(k.String()) != 16 {
+		t.Fatal("string render")
+	}
+	if (Key{}).Fidelity(Key{}) != 1 {
+		t.Fatal("empty fidelity")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		Negation: "negation", Scaling: "scaling",
+		BiasShift: "bias-shift", WeightPerturb: "weight-perturb",
+	} {
+		if s.String() != want {
+			t.Fatalf("String(%d) = %q", s, s.String())
+		}
+	}
+}
+
+func TestNewLockSpecDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := testMLP(rng)
+	spec := NewLockSpec(net, Config{Scheme: Negation, KeyBits: 7, Rng: rng})
+	if spec.NumBits() != 7 {
+		t.Fatalf("NumBits = %d", spec.NumBits())
+	}
+	bySite := spec.SiteBits()
+	// 7 bits over 2 sites: 4 on site 0, 3 on site 1.
+	if len(bySite[0]) != 4 || len(bySite[1]) != 3 {
+		t.Fatalf("distribution: %d/%d", len(bySite[0]), len(bySite[1]))
+	}
+	// Neuron indices must be distinct within a site.
+	for site, ids := range bySite {
+		seen := map[int]bool{}
+		for _, i := range ids {
+			idx := spec.Neurons[i].Index
+			if seen[idx] {
+				t.Fatalf("duplicate neuron %d in site %d", idx, site)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestLockAppliesKeyInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := testMLP(rng)
+	lm, key := Lock(net, Config{Scheme: Negation, KeyBits: 6, Rng: rng})
+	got := lm.ExtractKey(net)
+	if got.Fidelity(key) != 1 {
+		t.Fatalf("key not applied: %v vs %v", got, key)
+	}
+}
+
+func TestApplyCorrectKeyMatchesOracle(t *testing.T) {
+	// Functional equivalence: Apply(correct key) equals the locked network.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := testMLP(rng)
+		lm, key := Lock(net, Config{Scheme: Negation, KeyBits: 8, Rng: rng})
+		applied := lm.Apply(key)
+		x := make([]float64, 6)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		return tensor.NormInf(tensor.VecSub(net.Forward(x), applied.Forward(x))) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrongKeyChangesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := testMLP(rng)
+	lm, key := Lock(net, Config{Scheme: Negation, KeyBits: 8, Rng: rng})
+	wrong := key.Clone()
+	wrong[0] = !wrong[0]
+	applied := lm.Apply(wrong)
+	diff := false
+	for trial := 0; trial < 20 && !diff; trial++ {
+		x := make([]float64, 6)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		if tensor.NormInf(tensor.VecSub(net.Forward(x), applied.Forward(x))) > 1e-9 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("wrong key produced an identical function on all probes")
+	}
+}
+
+func TestWhiteBoxHasIdentityFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := testMLP(rng)
+	lm, _ := Lock(net, Config{Scheme: Negation, KeyBits: 8, Rng: rng})
+	wb := lm.WhiteBox()
+	for _, f := range wb.Flips() {
+		for _, s := range f.Signs {
+			if s != 1 {
+				t.Fatal("white-box flip not identity")
+			}
+		}
+	}
+	// White-box must not alias the oracle-side flips.
+	wb.Flips()[0].SetBit(0, true)
+	if net.Flips()[0].Bit(0) != lm.ExtractKey(net)[0] {
+		// net's key state must be untouched by white-box mutation; verify
+		// by re-extracting.
+		t.Fatal("white-box mutation leaked")
+	}
+}
+
+func TestScalingScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := testMLP(rng)
+	lm, key := Lock(net, Config{Scheme: Scaling, Alpha: 0.5, KeyBits: 4, Rng: rng})
+	if got := lm.ExtractKey(net); got.Fidelity(key) != 1 {
+		t.Fatal("scaling key mismatch")
+	}
+	// Signs must be either 1 or Alpha.
+	for _, pn := range lm.Spec.Neurons {
+		s := net.Flips()[pn.Site].Signs[pn.Index]
+		if s != 1 && s != 0.5 {
+			t.Fatalf("scaling coefficient = %v", s)
+		}
+	}
+}
+
+func TestBiasShiftScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := testMLP(rng)
+	lm, key := Lock(net, Config{Scheme: BiasShift, Alpha: 0.7, KeyBits: 4, Rng: rng})
+	if got := lm.ExtractKey(net); got.Fidelity(key) != 1 {
+		t.Fatal("bias-shift key mismatch")
+	}
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// Applying the all-zeros key must remove every offset.
+	unlocked := lm.Apply(make(Key, 4))
+	wb := lm.WhiteBox()
+	if tensor.NormInf(tensor.VecSub(unlocked.Forward(x), wb.Forward(x))) > 1e-12 {
+		t.Fatal("zero-key bias shift differs from white-box")
+	}
+}
+
+func TestWeightPerturbScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := testMLP(rng)
+	lm, key := Lock(net, Config{Scheme: WeightPerturb, Alpha: 0.9, KeyBits: 4, Rng: rng})
+	if got := lm.ExtractKey(net); got.Fidelity(key) != 1 {
+		t.Fatalf("weight-perturb key mismatch: %v vs %v", lm.ExtractKey(net), key)
+	}
+	// Apply with the correct key reproduces the locked function.
+	applied := lm.Apply(key)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	if tensor.NormInf(tensor.VecSub(net.Forward(x), applied.Forward(x))) > 1e-12 {
+		t.Fatal("weight-perturb apply mismatch")
+	}
+	// A flipped bit moves exactly one weight element by Alpha.
+	wrong := key.Clone()
+	wrong[2] = !wrong[2]
+	perturbed := lm.Apply(wrong)
+	na := applied.Params()
+	nb := perturbed.Params()
+	changed := 0
+	for i := range na {
+		for j := range na[i].W.Data {
+			if na[i].W.Data[j] != nb[i].W.Data[j] {
+				changed++
+				if math.Abs(math.Abs(na[i].W.Data[j]-nb[i].W.Data[j])-0.9) > 1e-12 {
+					t.Fatal("perturbation magnitude wrong")
+				}
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("%d weight elements changed, want 1", changed)
+	}
+}
+
+func TestVariantConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := testMLP(rng)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("no rng", func() { NewLockSpec(net, Config{Scheme: Negation, KeyBits: 2}) })
+	mustPanic("alpha zero", func() {
+		NewLockSpec(net, Config{Scheme: Scaling, KeyBits: 2, Rng: rng})
+	})
+	mustPanic("alpha one", func() {
+		NewLockSpec(net, Config{Scheme: Scaling, Alpha: 1, KeyBits: 2, Rng: rng})
+	})
+	mustPanic("too many bits", func() {
+		NewLockSpec(net, Config{Scheme: Negation, KeyBits: 1000, Rng: rng})
+	})
+}
+
+func TestLockSpecificSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := testMLP(rng)
+	spec := NewLockSpec(net, Config{Scheme: Negation, KeyBits: 5, Sites: []int{1}, Rng: rng})
+	for _, pn := range spec.Neurons {
+		if pn.Site != 1 {
+			t.Fatal("bit outside designated site")
+		}
+	}
+}
+
+func TestLockInsideResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	body := []nn.Layer{nn.NewDense(5, 5).InitHe(rng), nn.NewFlip(5), nn.NewReLU(5)}
+	net := nn.NewNetwork(nn.NewResidual(body, nil), nn.NewDense(5, 2).InitHe(rng))
+	lm, key := Lock(net, Config{Scheme: Negation, KeyBits: 3, Rng: rng})
+	if lm.ExtractKey(net).Fidelity(key) != 1 {
+		t.Fatal("residual lock failed")
+	}
+	// Apply must clone the flip inside the residual, not alias it.
+	other := lm.Apply(make(Key, 3))
+	x := []float64{1, -1, 0.5, 2, -2}
+	y1 := net.Forward(x)
+	_ = other.Forward(x)
+	y2 := net.Forward(x)
+	if tensor.NormInf(tensor.VecSub(y1, y2)) != 0 {
+		t.Fatal("apply mutated the original network")
+	}
+}

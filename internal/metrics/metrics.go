@@ -1,0 +1,122 @@
+// Package metrics implements the paper's four evaluation metrics (§4.2):
+// accuracy and fidelity live with their data (train.Evaluate, hpnn.Key
+// .Fidelity); this package adds query accounting helpers and the
+// per-procedure runtime breakdown behind Figure 3.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Procedure names the four attack procedures of Figure 3.
+type Procedure string
+
+// The procedures whose runtime Figure 3 breaks down.
+const (
+	ProcKeyBitInference     Procedure = "key_bit_inference"
+	ProcLearningAttack      Procedure = "learning_attack"
+	ProcKeyVectorValidation Procedure = "key_vector_validation"
+	ProcErrorCorrection     Procedure = "error_correction"
+)
+
+// AllProcedures lists the Figure 3 procedures in presentation order.
+var AllProcedures = []Procedure{
+	ProcKeyBitInference,
+	ProcLearningAttack,
+	ProcKeyVectorValidation,
+	ProcErrorCorrection,
+}
+
+// Breakdown accumulates wall time per procedure. Safe for concurrent use.
+type Breakdown struct {
+	mu    sync.Mutex
+	times map[Procedure]time.Duration
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{times: make(map[Procedure]time.Duration)}
+}
+
+// Add accumulates d under proc.
+func (b *Breakdown) Add(proc Procedure, d time.Duration) {
+	b.mu.Lock()
+	b.times[proc] += d
+	b.mu.Unlock()
+}
+
+// Track runs f and accumulates its wall time under proc.
+func (b *Breakdown) Track(proc Procedure, f func()) {
+	start := time.Now()
+	f()
+	b.Add(proc, time.Since(start))
+}
+
+// Get returns the accumulated time of proc.
+func (b *Breakdown) Get(proc Procedure) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.times[proc]
+}
+
+// Total returns the sum over all procedures.
+func (b *Breakdown) Total() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t time.Duration
+	for _, d := range b.times {
+		t += d
+	}
+	return t
+}
+
+// Percent returns proc's share of the total in [0, 100].
+func (b *Breakdown) Percent(proc Procedure) float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(b.Get(proc)) / float64(total)
+}
+
+// Percentages returns the share per procedure for every known procedure.
+func (b *Breakdown) Percentages() map[Procedure]float64 {
+	out := make(map[Procedure]float64, len(AllProcedures))
+	for _, p := range AllProcedures {
+		out[p] = b.Percent(p)
+	}
+	return out
+}
+
+// String renders a one-line summary sorted by presentation order.
+func (b *Breakdown) String() string {
+	var parts []string
+	for _, p := range AllProcedures {
+		parts = append(parts, fmt.Sprintf("%s %.1f%% (%s)", p, b.Percent(p), b.Get(p).Round(time.Millisecond)))
+	}
+	// Include any nonstandard procedures deterministically.
+	b.mu.Lock()
+	var extra []string
+	for p := range b.times {
+		known := false
+		for _, q := range AllProcedures {
+			if p == q {
+				known = true
+				break
+			}
+		}
+		if !known {
+			extra = append(extra, string(p))
+		}
+	}
+	b.mu.Unlock()
+	sort.Strings(extra)
+	for _, p := range extra {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", p, b.Percent(Procedure(p))))
+	}
+	return strings.Join(parts, ", ")
+}

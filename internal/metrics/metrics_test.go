@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakdownAddAndPercent(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(ProcKeyBitInference, 300*time.Millisecond)
+	b.Add(ProcLearningAttack, 700*time.Millisecond)
+	if b.Total() != time.Second {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	if math.Abs(b.Percent(ProcKeyBitInference)-30) > 1e-9 {
+		t.Fatalf("Percent = %v", b.Percent(ProcKeyBitInference))
+	}
+	p := b.Percentages()
+	if math.Abs(p[ProcLearningAttack]-70) > 1e-9 || p[ProcErrorCorrection] != 0 {
+		t.Fatalf("Percentages = %v", p)
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	b := NewBreakdown()
+	if b.Percent(ProcKeyBitInference) != 0 || b.Total() != 0 {
+		t.Fatal("empty breakdown should be all zero")
+	}
+}
+
+func TestBreakdownTrack(t *testing.T) {
+	b := NewBreakdown()
+	b.Track(ProcErrorCorrection, func() { time.Sleep(5 * time.Millisecond) })
+	if b.Get(ProcErrorCorrection) < 4*time.Millisecond {
+		t.Fatalf("Track recorded %v", b.Get(ProcErrorCorrection))
+	}
+}
+
+func TestBreakdownConcurrent(t *testing.T) {
+	b := NewBreakdown()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Add(ProcKeyVectorValidation, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Get(ProcKeyVectorValidation) != 1600*time.Microsecond {
+		t.Fatalf("concurrent total = %v", b.Get(ProcKeyVectorValidation))
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(ProcKeyBitInference, time.Second)
+	b.Add(Procedure("custom"), time.Second)
+	s := b.String()
+	if !strings.Contains(s, "key_bit_inference") || !strings.Contains(s, "custom") {
+		t.Fatalf("String = %q", s)
+	}
+}

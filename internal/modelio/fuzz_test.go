@@ -1,0 +1,43 @@
+package modelio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/models"
+)
+
+// FuzzDecodeNetwork hardens the model loader against malformed inputs: it
+// must never panic, and valid round-trips must stay valid.
+func FuzzDecodeNetwork(f *testing.F) {
+	// Seed with a real serialized model and some mutations.
+	var buf bytes.Buffer
+	net := models.TinyMLP(rand.New(rand.NewSource(1)))
+	if err := EncodeNetwork(&buf, net, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"layers":[]}`))
+	f.Add([]byte(`{"layers":[{"type":"dense","ints":{"in":1,"out":1},"floats":{"w":[1],"b":[0]}}]}`))
+	f.Add([]byte(`{"layers":[{"type":"relu","ints":{"n":-1}}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("DecodeNetwork panicked: %v", r)
+			}
+		}()
+		net, _, err := DecodeNetwork(bytes.NewReader(data))
+		if err != nil || net == nil {
+			return
+		}
+		// A successfully decoded network must re-encode.
+		var out bytes.Buffer
+		if err := EncodeNetwork(&out, net, nil); err != nil {
+			t.Fatalf("re-encode of decoded network failed: %v", err)
+		}
+	})
+}

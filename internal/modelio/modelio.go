@@ -1,0 +1,316 @@
+// Package modelio serializes networks, lock specifications, and keys to
+// JSON so the CLI can persist trained locked models between the train,
+// lock, and attack stages — the artifact flow of the paper's adversary
+// model (the "download the model from a cloud platform" step, §2.3).
+package modelio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/nn"
+)
+
+// layerJSON is the serialized form of one layer.
+type layerJSON struct {
+	Type     string               `json:"type"`
+	Ints     map[string]int       `json:"ints,omitempty"`
+	Floats   map[string][]float64 `json:"floats,omitempty"`
+	Body     []layerJSON          `json:"body,omitempty"`
+	Shortcut []layerJSON          `json:"shortcut,omitempty"`
+}
+
+// ModelFile is the on-disk representation of a locked model.
+type ModelFile struct {
+	Layers []layerJSON     `json:"layers"`
+	Spec   *LockSpecJSON   `json:"spec,omitempty"`
+	Key    map[string]bool `json:"-"` // never serialized: the key lives in hardware
+}
+
+// LockSpecJSON mirrors hpnn.LockSpec.
+type LockSpecJSON struct {
+	Scheme  int                    `json:"scheme"`
+	Alpha   float64                `json:"alpha"`
+	Neurons []hpnn.ProtectedNeuron `json:"neurons"`
+}
+
+// SpecToJSON converts a lock spec.
+func SpecToJSON(s hpnn.LockSpec) *LockSpecJSON {
+	return &LockSpecJSON{Scheme: int(s.Scheme), Alpha: s.Alpha, Neurons: s.Neurons}
+}
+
+// SpecFromJSON converts back.
+func SpecFromJSON(s *LockSpecJSON) hpnn.LockSpec {
+	return hpnn.LockSpec{Scheme: hpnn.Scheme(s.Scheme), Alpha: s.Alpha, Neurons: s.Neurons}
+}
+
+func encodeLayer(l nn.Layer) (layerJSON, error) {
+	switch v := l.(type) {
+	case *nn.Dense:
+		return layerJSON{
+			Type: "dense",
+			Ints: map[string]int{"in": v.In, "out": v.Out},
+			Floats: map[string][]float64{
+				"w": v.W.W.Data, "b": v.B.W.Data,
+			},
+		}, nil
+	case *nn.TokenDense:
+		inner, err := encodeLayer(v.D)
+		if err != nil {
+			return layerJSON{}, err
+		}
+		inner.Type = "token_dense"
+		inner.Ints["t"] = v.T
+		return inner, nil
+	case *nn.ReLU:
+		return layerJSON{Type: "relu", Ints: map[string]int{"n": v.N}}, nil
+	case *nn.Flatten:
+		return layerJSON{Type: "flatten", Ints: map[string]int{"n": v.N}}, nil
+	case *nn.Flip:
+		j := layerJSON{
+			Type:   "flip",
+			Ints:   map[string]int{"n": v.N},
+			Floats: map[string][]float64{"signs": v.Signs},
+		}
+		if v.Offsets != nil {
+			j.Floats["offsets"] = v.Offsets
+		}
+		return j, nil
+	case *nn.Conv2D:
+		return layerJSON{
+			Type: "conv2d",
+			Ints: map[string]int{
+				"in_c": v.InC, "in_h": v.InH, "in_w": v.InW,
+				"out_c": v.OutC, "k": v.KH, "stride": v.Stride, "pad": v.Pad,
+			},
+			Floats: map[string][]float64{"w": v.W.W.Data, "b": v.B.W.Data},
+		}, nil
+	case *nn.MaxPool2D:
+		return layerJSON{
+			Type: "maxpool2d",
+			Ints: map[string]int{"c": v.C, "h": v.InH, "w": v.InW, "k": v.K, "stride": v.Stride},
+		}, nil
+	case *nn.AvgPool2D:
+		return layerJSON{
+			Type: "avgpool2d",
+			Ints: map[string]int{"c": v.C, "h": v.InH, "w": v.InW, "k": v.K, "stride": v.Stride},
+		}, nil
+	case *nn.GlobalAvgPool:
+		return layerJSON{Type: "global_avg_pool", Ints: map[string]int{"c": v.C, "h": v.H, "w": v.W}}, nil
+	case *nn.MeanTokens:
+		return layerJSON{Type: "mean_tokens", Ints: map[string]int{"t": v.T, "d": v.D}}, nil
+	case *nn.AttentionReLU:
+		return layerJSON{
+			Type: "attention_relu",
+			Ints: map[string]int{"t": v.T, "d": v.D, "dh": v.Dh},
+			Floats: map[string][]float64{
+				"wq": v.Wq.W.Data, "wk": v.Wk.W.Data,
+				"wv": v.Wv.W.Data, "wo": v.Wo.W.Data,
+			},
+		}, nil
+	case *nn.PatchEmbed:
+		return layerJSON{
+			Type: "patch_embed",
+			Ints: map[string]int{"c": v.C, "h": v.H, "w": v.W, "p": v.P, "d": v.D},
+			Floats: map[string][]float64{
+				"w": v.Wt.W.Data, "b": v.B.W.Data,
+			},
+		}, nil
+	case *nn.Residual:
+		var body, short []layerJSON
+		for _, b := range v.Body {
+			j, err := encodeLayer(b)
+			if err != nil {
+				return layerJSON{}, err
+			}
+			body = append(body, j)
+		}
+		for _, s := range v.Shortcut {
+			j, err := encodeLayer(s)
+			if err != nil {
+				return layerJSON{}, err
+			}
+			short = append(short, j)
+		}
+		return layerJSON{Type: "residual", Body: body, Shortcut: short}, nil
+	default:
+		return layerJSON{}, fmt.Errorf("modelio: cannot encode layer %T", l)
+	}
+}
+
+func decodeLayer(j layerJSON) (nn.Layer, error) {
+	fill := func(dst []float64, src []float64, what string) error {
+		if len(src) != len(dst) {
+			return fmt.Errorf("modelio: %s length %d != %d", what, len(src), len(dst))
+		}
+		copy(dst, src)
+		return nil
+	}
+	switch j.Type {
+	case "dense":
+		d := nn.NewDense(j.Ints["in"], j.Ints["out"])
+		if err := fill(d.W.W.Data, j.Floats["w"], "dense w"); err != nil {
+			return nil, err
+		}
+		if err := fill(d.B.W.Data, j.Floats["b"], "dense b"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case "token_dense":
+		td := nn.NewTokenDense(j.Ints["t"], j.Ints["in"], j.Ints["out"])
+		if err := fill(td.D.W.W.Data, j.Floats["w"], "token w"); err != nil {
+			return nil, err
+		}
+		if err := fill(td.D.B.W.Data, j.Floats["b"], "token b"); err != nil {
+			return nil, err
+		}
+		return td, nil
+	case "relu":
+		return nn.NewReLU(j.Ints["n"]), nil
+	case "flatten":
+		return nn.NewFlatten(j.Ints["n"]), nil
+	case "flip":
+		f := nn.NewFlip(j.Ints["n"])
+		if err := fill(f.Signs, j.Floats["signs"], "flip signs"); err != nil {
+			return nil, err
+		}
+		if off, ok := j.Floats["offsets"]; ok {
+			f.Offsets = make([]float64, f.N)
+			if err := fill(f.Offsets, off, "flip offsets"); err != nil {
+				return nil, err
+			}
+		}
+		return f, nil
+	case "conv2d":
+		c := nn.NewConv2D(j.Ints["in_c"], j.Ints["in_h"], j.Ints["in_w"],
+			j.Ints["out_c"], j.Ints["k"], j.Ints["stride"], j.Ints["pad"])
+		if err := fill(c.W.W.Data, j.Floats["w"], "conv w"); err != nil {
+			return nil, err
+		}
+		if err := fill(c.B.W.Data, j.Floats["b"], "conv b"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case "maxpool2d":
+		return nn.NewMaxPool2D(j.Ints["c"], j.Ints["h"], j.Ints["w"], j.Ints["k"], j.Ints["stride"]), nil
+	case "avgpool2d":
+		return nn.NewAvgPool2D(j.Ints["c"], j.Ints["h"], j.Ints["w"], j.Ints["k"], j.Ints["stride"]), nil
+	case "global_avg_pool":
+		return nn.NewGlobalAvgPool(j.Ints["c"], j.Ints["h"], j.Ints["w"]), nil
+	case "mean_tokens":
+		return nn.NewMeanTokens(j.Ints["t"], j.Ints["d"]), nil
+	case "attention_relu":
+		a := nn.NewAttentionReLU(j.Ints["t"], j.Ints["d"], j.Ints["dh"])
+		for name, p := range map[string][]float64{
+			"wq": a.Wq.W.Data, "wk": a.Wk.W.Data, "wv": a.Wv.W.Data, "wo": a.Wo.W.Data,
+		} {
+			if err := fill(p, j.Floats[name], "attention "+name); err != nil {
+				return nil, err
+			}
+		}
+		return a, nil
+	case "patch_embed":
+		pe := nn.NewPatchEmbed(j.Ints["c"], j.Ints["h"], j.Ints["w"], j.Ints["p"], j.Ints["d"])
+		if err := fill(pe.Wt.W.Data, j.Floats["w"], "patch w"); err != nil {
+			return nil, err
+		}
+		if err := fill(pe.B.W.Data, j.Floats["b"], "patch b"); err != nil {
+			return nil, err
+		}
+		return pe, nil
+	case "residual":
+		var body, short []nn.Layer
+		for _, b := range j.Body {
+			l, err := decodeLayer(b)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, l)
+		}
+		for _, s := range j.Shortcut {
+			l, err := decodeLayer(s)
+			if err != nil {
+				return nil, err
+			}
+			short = append(short, l)
+		}
+		return nn.NewResidual(body, short), nil
+	default:
+		return nil, fmt.Errorf("modelio: unknown layer type %q", j.Type)
+	}
+}
+
+// EncodeNetwork writes net (and optionally its lock spec) as JSON.
+func EncodeNetwork(w io.Writer, net *nn.Network, spec *hpnn.LockSpec) error {
+	var mf ModelFile
+	for _, l := range net.Layers {
+		j, err := encodeLayer(l)
+		if err != nil {
+			return err
+		}
+		mf.Layers = append(mf.Layers, j)
+	}
+	if spec != nil {
+		mf.Spec = SpecToJSON(*spec)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&mf)
+}
+
+// DecodeNetwork reads a network (and lock spec, when present) from JSON.
+// Structurally invalid files (empty layer lists, mismatched layer size
+// chains, negative widths) are reported as errors, never panics.
+func DecodeNetwork(r io.Reader) (net *nn.Network, spec *hpnn.LockSpec, err error) {
+	var mf ModelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, nil, err
+	}
+	if len(mf.Layers) == 0 {
+		return nil, nil, fmt.Errorf("modelio: model file has no layers")
+	}
+	// Layer constructors and NewNetwork validate by panicking; surface
+	// those as decode errors for untrusted input.
+	defer func() {
+		if r := recover(); r != nil {
+			net, spec = nil, nil
+			err = fmt.Errorf("modelio: invalid model structure: %v", r)
+		}
+	}()
+	var layers []nn.Layer
+	for _, j := range mf.Layers {
+		l, err := decodeLayer(j)
+		if err != nil {
+			return nil, nil, err
+		}
+		layers = append(layers, l)
+	}
+	net = nn.NewNetwork(layers...)
+	if mf.Spec != nil {
+		s := SpecFromJSON(mf.Spec)
+		spec = &s
+	}
+	return net, spec, nil
+}
+
+// SaveNetwork writes the model to a file.
+func SaveNetwork(path string, net *nn.Network, spec *hpnn.LockSpec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return EncodeNetwork(f, net, spec)
+}
+
+// LoadNetwork reads a model from a file.
+func LoadNetwork(path string) (*nn.Network, *hpnn.LockSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return DecodeNetwork(f)
+}

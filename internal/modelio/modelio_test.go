@@ -1,0 +1,122 @@
+package modelio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/tensor"
+)
+
+func roundTrip(t *testing.T, net *nn.Network) *nn.Network {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeNetwork(&buf, net, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func assertSameFunction(t *testing.T, a, b *nn.Network, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 5; trial++ {
+		x := make([]float64, a.InSize())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		if tensor.NormInf(tensor.VecSub(a.Forward(x), b.Forward(x))) > 0 {
+			t.Fatal("round-tripped network differs")
+		}
+	}
+}
+
+func TestRoundTripMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := models.TinyMLP(rng)
+	net.Flips()[0].SetBit(2, true)
+	assertSameFunction(t, net, roundTrip(t, net), 11)
+}
+
+func TestRoundTripLeNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := models.TinyLeNet(rng)
+	assertSameFunction(t, net, roundTrip(t, net), 12)
+}
+
+func TestRoundTripResNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := models.TinyResNet(rng)
+	assertSameFunction(t, net, roundTrip(t, net), 13)
+}
+
+func TestRoundTripVTransformer(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := models.TinyVTransformer(rng)
+	assertSameFunction(t, net, roundTrip(t, net), 14)
+}
+
+func TestRoundTripBiasShiftOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := models.TinyMLP(rng)
+	net.Flips()[1].SetOffset(3, 0.25)
+	assertSameFunction(t, net, roundTrip(t, net), 15)
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := models.TinyMLP(rng)
+	lm, _ := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Scaling, Alpha: 0.5, KeyBits: 4, Rng: rng})
+	var buf bytes.Buffer
+	if err := EncodeNetwork(&buf, net, &lm.Spec); err != nil {
+		t.Fatal(err)
+	}
+	_, spec, err := DecodeNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec == nil || spec.Scheme != hpnn.Scaling || spec.Alpha != 0.5 || len(spec.Neurons) != 4 {
+		t.Fatalf("spec round trip: %+v", spec)
+	}
+	for i, pn := range spec.Neurons {
+		if pn != lm.Spec.Neurons[i] {
+			t.Fatal("protected neuron mismatch")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := models.TinyMLP(rng)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveNetwork(path, net, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadNetwork(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFunction(t, net, got, 16)
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeNetwork(strings.NewReader(`{"layers":[{"type":"warp_drive"}]}`)); err == nil {
+		t.Fatal("unknown layer type accepted")
+	}
+	if _, _, err := DecodeNetwork(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+	if _, _, err := DecodeNetwork(strings.NewReader(
+		`{"layers":[{"type":"dense","ints":{"in":2,"out":2},"floats":{"w":[1],"b":[0,0]}}]}`)); err == nil {
+		t.Fatal("wrong weight length accepted")
+	}
+}

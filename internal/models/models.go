@@ -1,0 +1,204 @@
+// Package models builds the paper's four evaluation architectures (§4.2)
+// with flip sites on every lockable layer: MLP and LeNet at the paper's
+// sizes, and CPU-scaled ResNet / V-Transformer variants (see DESIGN.md §4
+// for the scaling substitution). Every builder also has a "Tiny" variant
+// used by fast tests.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dnnlock/internal/nn"
+)
+
+// MLPConfig parameterizes a multilayer perceptron with a flip site on every
+// hidden layer.
+type MLPConfig struct {
+	In     int
+	Hidden []int
+	Out    int
+}
+
+// MLP builds a fully connected ReLU network with flip sites on all hidden
+// layers. The paper's MLP is In=784, Hidden=[256, 64], Out=10.
+func MLP(cfg MLPConfig, rng *rand.Rand) *nn.Network {
+	var layers []nn.Layer
+	in := cfg.In
+	for _, h := range cfg.Hidden {
+		layers = append(layers,
+			nn.NewDense(in, h).InitHe(rng),
+			nn.NewFlip(h),
+			nn.NewReLU(h),
+		)
+		in = h
+	}
+	layers = append(layers, nn.NewDense(in, cfg.Out).InitHe(rng))
+	return nn.NewNetwork(layers...)
+}
+
+// PaperMLP is the paper's 784-256-64-10 MLP.
+func PaperMLP(rng *rand.Rand) *nn.Network {
+	return MLP(MLPConfig{In: 784, Hidden: []int{256, 64}, Out: 10}, rng)
+}
+
+// TinyMLP is a small contractive MLP for fast tests. The hidden widths
+// shrink fast enough (20 → 16 → 6) that pre-images of second-layer basis
+// vectors exist even with roughly half of the first layer inactive (§3.4).
+func TinyMLP(rng *rand.Rand) *nn.Network {
+	return MLP(MLPConfig{In: 20, Hidden: []int{16, 6}, Out: 4}, rng)
+}
+
+// LeNet builds the ReLU variant of LeNet-5 for inC×28×28 inputs, with flip
+// sites after both convolutions and both hidden dense layers.
+func LeNet(inC int, rng *rand.Rand) *nn.Network {
+	conv1 := nn.NewConv2D(inC, 28, 28, 6, 5, 1, 0).InitHe(rng) // 6×24×24
+	pool1 := nn.NewMaxPool2D(6, 24, 24, 2, 2)                  // 6×12×12
+	conv2 := nn.NewConv2D(6, 12, 12, 16, 5, 1, 0).InitHe(rng)  // 16×8×8
+	pool2 := nn.NewMaxPool2D(16, 8, 8, 2, 2)                   // 16×4×4
+	return nn.NewNetwork(
+		conv1, nn.NewFlip(conv1.OutSize()), nn.NewReLU(conv1.OutSize()), pool1,
+		conv2, nn.NewFlip(conv2.OutSize()), nn.NewReLU(conv2.OutSize()), pool2,
+		nn.NewFlatten(16*4*4),
+		nn.NewDense(16*4*4, 120).InitHe(rng), nn.NewFlip(120), nn.NewReLU(120),
+		nn.NewDense(120, 84).InitHe(rng), nn.NewFlip(84), nn.NewReLU(84),
+		nn.NewDense(84, 10).InitHe(rng),
+	)
+}
+
+// TinyLeNet is a reduced conv net (1×12×12 input) for fast tests.
+func TinyLeNet(rng *rand.Rand) *nn.Network {
+	conv1 := nn.NewConv2D(1, 12, 12, 3, 3, 1, 0).InitHe(rng) // 3×10×10
+	pool1 := nn.NewMaxPool2D(3, 10, 10, 2, 2)                // 3×5×5
+	return nn.NewNetwork(
+		conv1, nn.NewFlip(conv1.OutSize()), nn.NewReLU(conv1.OutSize()), pool1,
+		nn.NewFlatten(3*5*5),
+		nn.NewDense(3*5*5, 16).InitHe(rng), nn.NewFlip(16), nn.NewReLU(16),
+		nn.NewDense(16, 4).InitHe(rng),
+	)
+}
+
+// basicBlock builds a ResNet basic block: conv-flip-relu-conv-flip with an
+// additive shortcut (1×1 strided conv projection when shapes change),
+// followed by an external ReLU.
+func basicBlock(inC, h, w, outC, stride int, rng *rand.Rand) []nn.Layer {
+	conv1 := nn.NewConv2D(inC, h, w, outC, 3, stride, 1).InitHe(rng)
+	conv2 := nn.NewConv2D(outC, conv1.OutH, conv1.OutW, outC, 3, 1, 1).InitHe(rng)
+	body := []nn.Layer{
+		conv1, nn.NewFlip(conv1.OutSize()), nn.NewReLU(conv1.OutSize()),
+		conv2, nn.NewFlip(conv2.OutSize()),
+	}
+	var shortcut []nn.Layer
+	if stride != 1 || inC != outC {
+		proj := nn.NewConv2D(inC, h, w, outC, 1, stride, 0).InitHe(rng)
+		shortcut = []nn.Layer{proj}
+	}
+	return []nn.Layer{
+		nn.NewResidual(body, shortcut),
+		nn.NewReLU(conv2.OutSize()),
+	}
+}
+
+// ResNet builds the CPU-scaled residual network for inC×16×16 inputs:
+// stem conv + two stages of two basic blocks (8 then 16 channels), global
+// average pooling, and a linear classifier. Flip sites sit on the stem and
+// on every block convolution.
+func ResNet(inC int, rng *rand.Rand) *nn.Network {
+	stem := nn.NewConv2D(inC, 16, 16, 8, 3, 1, 1).InitHe(rng) // 8×16×16
+	layers := []nn.Layer{stem, nn.NewFlip(stem.OutSize()), nn.NewReLU(stem.OutSize())}
+	layers = append(layers, basicBlock(8, 16, 16, 8, 1, rng)...)
+	layers = append(layers, basicBlock(8, 16, 16, 8, 1, rng)...)
+	layers = append(layers, basicBlock(8, 16, 16, 16, 2, rng)...) // 16×8×8
+	layers = append(layers, basicBlock(16, 8, 8, 16, 1, rng)...)
+	layers = append(layers,
+		nn.NewGlobalAvgPool(16, 8, 8),
+		nn.NewDense(16, 10).InitHe(rng),
+	)
+	return nn.NewNetwork(layers...)
+}
+
+// TinyResNet is a one-block residual net (1×8×8 input) for fast tests.
+func TinyResNet(rng *rand.Rand) *nn.Network {
+	stem := nn.NewConv2D(1, 8, 8, 4, 3, 1, 1).InitHe(rng)
+	layers := []nn.Layer{stem, nn.NewFlip(stem.OutSize()), nn.NewReLU(stem.OutSize())}
+	layers = append(layers, basicBlock(4, 8, 8, 4, 1, rng)...)
+	layers = append(layers,
+		nn.NewGlobalAvgPool(4, 8, 8),
+		nn.NewDense(4, 3).InitHe(rng),
+	)
+	return nn.NewNetwork(layers...)
+}
+
+// transformerBlock builds one V-Transformer block: a residual ReLU
+// self-attention, then a residual token MLP whose hidden layer carries the
+// flip site.
+func transformerBlock(t, d, dh, dm int, rng *rand.Rand) []nn.Layer {
+	attn := nn.NewResidual([]nn.Layer{nn.NewAttentionReLU(t, d, dh).InitXavier(rng)}, nil)
+	mlp := nn.NewResidual([]nn.Layer{
+		nn.NewTokenDense(t, d, dm).InitHe(rng),
+		nn.NewFlip(t * dm),
+		nn.NewReLU(t * dm),
+		nn.NewTokenDense(t, dm, d).InitHe(rng),
+	}, nil)
+	return []nn.Layer{attn, mlp}
+}
+
+// VTransformer builds the CPU-scaled ReLU Vision Transformer for inC×16×16
+// inputs: 4×4 patches (16 tokens), model width 24, two blocks, mean-token
+// pooling, linear head. Flip sites sit on the MLP hidden neurons of every
+// block, matching the paper's lockable ReLU pre-activations.
+func VTransformer(inC int, rng *rand.Rand) *nn.Network {
+	const (
+		t  = 16 // tokens
+		d  = 24 // model width
+		dh = 16 // attention head width
+		dm = 48 // MLP hidden width
+	)
+	pe := nn.NewPatchEmbed(inC, 16, 16, 4, d).InitXavier(rng)
+	layers := []nn.Layer{pe}
+	layers = append(layers, transformerBlock(t, d, dh, dm, rng)...)
+	layers = append(layers, transformerBlock(t, d, dh, dm, rng)...)
+	layers = append(layers,
+		nn.NewMeanTokens(t, d),
+		nn.NewDense(d, 10).InitHe(rng),
+	)
+	return nn.NewNetwork(layers...)
+}
+
+// TinyVTransformer is a one-block transformer (1×8×8 input, 4 tokens) for
+// fast tests.
+func TinyVTransformer(rng *rand.Rand) *nn.Network {
+	const (
+		t  = 4
+		d  = 8
+		dh = 6
+		dm = 12
+	)
+	pe := nn.NewPatchEmbed(1, 8, 8, 4, d).InitXavier(rng)
+	layers := []nn.Layer{pe}
+	layers = append(layers, transformerBlock(t, d, dh, dm, rng)...)
+	layers = append(layers,
+		nn.NewMeanTokens(t, d),
+		nn.NewDense(d, 3).InitHe(rng),
+	)
+	return nn.NewNetwork(layers...)
+}
+
+// Builder names a model constructor for the CLI and harness.
+type Builder func(rng *rand.Rand) *nn.Network
+
+// ByName returns the builder and input geometry (C, H, W) for a model name.
+func ByName(name string) (Builder, int, int, int, error) {
+	switch name {
+	case "mlp":
+		return PaperMLP, 1, 28, 28, nil
+	case "lenet":
+		return func(rng *rand.Rand) *nn.Network { return LeNet(1, rng) }, 1, 28, 28, nil
+	case "resnet":
+		return func(rng *rand.Rand) *nn.Network { return ResNet(3, rng) }, 3, 16, 16, nil
+	case "vtransformer":
+		return func(rng *rand.Rand) *nn.Network { return VTransformer(3, rng) }, 3, 16, 16, nil
+	default:
+		return nil, 0, 0, 0, fmt.Errorf("models: unknown model %q (want mlp, lenet, resnet, vtransformer)", name)
+	}
+}

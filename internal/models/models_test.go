@@ -1,0 +1,95 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/nn"
+)
+
+func checkRuns(t *testing.T, net *nn.Network, wantFlips int) {
+	t.Helper()
+	if net.NumFlipSites() != wantFlips {
+		t.Fatalf("flip sites = %d, want %d", net.NumFlipSites(), wantFlips)
+	}
+	x := make([]float64, net.InSize())
+	rng := rand.New(rand.NewSource(42))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := net.Forward(x)
+	if len(y) != net.OutSize() {
+		t.Fatalf("output size %d != %d", len(y), net.OutSize())
+	}
+	tr := net.ForwardTrace(x)
+	for s := 0; s < net.NumFlipSites(); s++ {
+		if tr.Pre[s] == nil {
+			t.Fatalf("flip site %d not traced", s)
+		}
+	}
+}
+
+func TestPaperMLP(t *testing.T) {
+	net := PaperMLP(rand.New(rand.NewSource(1)))
+	if net.InSize() != 784 || net.OutSize() != 10 {
+		t.Fatal("wrong geometry")
+	}
+	checkRuns(t, net, 2)
+}
+
+func TestTinyMLP(t *testing.T) {
+	checkRuns(t, TinyMLP(rand.New(rand.NewSource(2))), 2)
+}
+
+func TestLeNet(t *testing.T) {
+	net := LeNet(1, rand.New(rand.NewSource(3)))
+	if net.InSize() != 784 || net.OutSize() != 10 {
+		t.Fatal("wrong geometry")
+	}
+	checkRuns(t, net, 4)
+}
+
+func TestTinyLeNet(t *testing.T) {
+	checkRuns(t, TinyLeNet(rand.New(rand.NewSource(4))), 2)
+}
+
+func TestResNet(t *testing.T) {
+	net := ResNet(3, rand.New(rand.NewSource(5)))
+	if net.InSize() != 3*16*16 || net.OutSize() != 10 {
+		t.Fatal("wrong geometry")
+	}
+	// 1 stem + 2 flips in each of 4 blocks.
+	checkRuns(t, net, 9)
+}
+
+func TestTinyResNet(t *testing.T) {
+	checkRuns(t, TinyResNet(rand.New(rand.NewSource(6))), 3)
+}
+
+func TestVTransformer(t *testing.T) {
+	net := VTransformer(3, rand.New(rand.NewSource(7)))
+	if net.InSize() != 3*16*16 || net.OutSize() != 10 {
+		t.Fatal("wrong geometry")
+	}
+	checkRuns(t, net, 2)
+}
+
+func TestTinyVTransformer(t *testing.T) {
+	checkRuns(t, TinyVTransformer(rand.New(rand.NewSource(8))), 1)
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mlp", "lenet", "resnet", "vtransformer"} {
+		b, c, h, w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := b(rand.New(rand.NewSource(9)))
+		if net.InSize() != c*h*w {
+			t.Fatalf("%s: input %d != %d", name, net.InSize(), c*h*w)
+		}
+	}
+	if _, _, _, _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}

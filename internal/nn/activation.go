@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"dnnlock/internal/tensor"
+)
+
+// ReLU is the element-wise rectifier φ(z) = max(z, 0). A ReLU owns a site ID
+// so forward traces can record its activation pattern m^(i) (paper §3.2).
+type ReLU struct {
+	N      int
+	SiteID int
+
+	lastMask []bool // training cache
+}
+
+// NewReLU constructs an n-wide rectifier.
+func NewReLU(n int) *ReLU { return &ReLU{N: n, SiteID: -1} }
+
+func (r *ReLU) Name() string { return "relu" }
+
+// InSize returns the width.
+func (r *ReLU) InSize() int { return r.N }
+
+// OutSize returns the width.
+func (r *ReLU) OutSize() int { return r.N }
+
+func (r *ReLU) registerSites(nextFlip, nextReLU *int) {
+	r.SiteID = *nextReLU
+	*nextReLU++
+}
+
+// Forward rectifies x, recording the activation pattern into tr if non-nil.
+// The boundary z == 0 is treated as inactive, matching the paper's
+// definition (a neuron is active iff z > 0).
+func (r *ReLU) Forward(x []float64, tr *Trace) []float64 {
+	checkSize("relu", r.N, len(x))
+	y := make([]float64, r.N)
+	var pat []bool
+	if tr != nil {
+		pat = make([]bool, r.N)
+	}
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+			if pat != nil {
+				pat[i] = true
+			}
+		}
+	}
+	if tr != nil {
+		tr.Patterns[r.SiteID] = pat
+		tr.ReluIn[r.SiteID] = append([]float64(nil), x...)
+	}
+	return y
+}
+
+// ForwardBatch rectifies a batch.
+func (r *ReLU) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// TrainForward rectifies and caches the activity mask.
+func (r *ReLU) TrainForward(x *tensor.Matrix) *tensor.Matrix {
+	out := x.Clone()
+	r.lastMask = make([]bool, len(out.Data))
+	for i, v := range out.Data {
+		if v > 0 {
+			r.lastMask[i] = true
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward gates the incoming gradient by the cached activity mask.
+func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if r.lastMask == nil {
+		panic("nn: ReLU.Backward before TrainForward")
+	}
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if !r.lastMask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// JVP gates tangent rows by the activation pattern of the value path and
+// records the input Jacobian into jtr.
+func (r *ReLU) JVP(x []float64, j *tensor.Matrix, jtr *JVPTrace) ([]float64, *tensor.Matrix) {
+	if jtr != nil {
+		jtr.ReluJ[r.SiteID] = j.Clone()
+	}
+	y := make([]float64, r.N)
+	jy := j.Clone()
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+		} else {
+			row := jy.Row(i)
+			for c := range row {
+				row[c] = 0
+			}
+		}
+	}
+	return y, jy
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Flatten is a shape-only identity layer kept for architectural clarity
+// (between spatial and dense stages).
+type Flatten struct{ N int }
+
+// NewFlatten constructs an n-wide identity.
+func NewFlatten(n int) *Flatten { return &Flatten{N: n} }
+
+func (f *Flatten) Name() string { return "flatten" }
+
+// InSize returns the width.
+func (f *Flatten) InSize() int { return f.N }
+
+// OutSize returns the width.
+func (f *Flatten) OutSize() int { return f.N }
+
+// Forward returns x unchanged.
+func (f *Flatten) Forward(x []float64, _ *Trace) []float64 {
+	checkSize("flatten", f.N, len(x))
+	return x
+}
+
+// ForwardBatch returns x unchanged.
+func (f *Flatten) ForwardBatch(x *tensor.Matrix) *tensor.Matrix { return x }
+
+// TrainForward returns x unchanged.
+func (f *Flatten) TrainForward(x *tensor.Matrix) *tensor.Matrix { return x }
+
+// Backward returns dy unchanged.
+func (f *Flatten) Backward(dy *tensor.Matrix) *tensor.Matrix { return dy }
+
+// JVP returns x and j unchanged.
+func (f *Flatten) JVP(x []float64, j *tensor.Matrix, _ *JVPTrace) ([]float64, *tensor.Matrix) {
+	return x, j
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"dnnlock/internal/tensor"
+)
+
+// AttentionReLU is a single-head self-attention block with the ReLU score
+// map of the paper's "ReLU variant" of ViT: instead of softmax, attention
+// scores are S = φ(Q·Kᵀ/√Dh)/T, keeping the whole block piecewise
+// polynomial and ReLU-gated so the attack's critical-point machinery
+// applies. Input/output are T·D flat token stacks.
+type AttentionReLU struct {
+	T, D, Dh       int
+	Wq, Wk, Wv, Wo *Param
+
+	// Training caches (single-goroutine).
+	cX, cQ, cK, cV, cS, cO []*tensor.Matrix
+	cMask                  [][]bool
+}
+
+// NewAttentionReLU constructs an attention block over t tokens of width d
+// with head width dh.
+func NewAttentionReLU(t, d, dh int) *AttentionReLU {
+	return &AttentionReLU{
+		T: t, D: d, Dh: dh,
+		Wq: NewParam("attn_wq", d, dh),
+		Wk: NewParam("attn_wk", d, dh),
+		Wv: NewParam("attn_wv", d, dh),
+		Wo: NewParam("attn_wo", dh, d),
+	}
+}
+
+// InitXavier initializes all projection matrices.
+func (a *AttentionReLU) InitXavier(rng *rand.Rand) *AttentionReLU {
+	for _, p := range []*Param{a.Wq, a.Wk, a.Wv, a.Wo} {
+		fanIn, fanOut := p.W.Rows, p.W.Cols
+		std := math.Sqrt(2.0 / float64(fanIn+fanOut))
+		for i := range p.W.Data {
+			p.W.Data[i] = rng.NormFloat64() * std
+		}
+	}
+	return a
+}
+
+func (a *AttentionReLU) Name() string { return "attention_relu" }
+
+// InSize returns T·D.
+func (a *AttentionReLU) InSize() int { return a.T * a.D }
+
+// OutSize returns T·D.
+func (a *AttentionReLU) OutSize() int { return a.T * a.D }
+
+func (a *AttentionReLU) scaleA() float64 { return 1 / math.Sqrt(float64(a.Dh)) }
+func (a *AttentionReLU) scaleB() float64 { return 1 / float64(a.T) }
+
+// forwardOne computes the block for one example and returns all
+// intermediates for reuse by Backward and JVP.
+func (a *AttentionReLU) forwardOne(x []float64) (xm, q, k, v, s, o *tensor.Matrix, mask []bool, y []float64) {
+	xm = tensor.FromSlice(a.T, a.D, x)
+	q = tensor.MatMul(xm, a.Wq.W)
+	k = tensor.MatMul(xm, a.Wk.W)
+	v = tensor.MatMul(xm, a.Wv.W)
+	u := tensor.MatMul(q, k.T())
+	u.ScaleInPlace(a.scaleA())
+	mask = make([]bool, a.T*a.T)
+	s = tensor.New(a.T, a.T)
+	b := a.scaleB()
+	for i, uv := range u.Data {
+		if uv > 0 {
+			mask[i] = true
+			s.Data[i] = uv * b
+		}
+	}
+	o = tensor.MatMul(s, v)
+	ym := tensor.MatMul(o, a.Wo.W)
+	return xm, q, k, v, s, o, mask, ym.Data
+}
+
+// Forward computes attention for one flat example.
+func (a *AttentionReLU) Forward(x []float64, _ *Trace) []float64 {
+	checkSize("attention_relu", a.InSize(), len(x))
+	_, _, _, _, _, _, _, y := a.forwardOne(x)
+	return y
+}
+
+// ForwardBatch maps each row.
+func (a *AttentionReLU) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
+	return forwardBatchViaSingle(a, x)
+}
+
+// TrainForward runs the batch while caching all per-example intermediates.
+func (a *AttentionReLU) TrainForward(x *tensor.Matrix) *tensor.Matrix {
+	n := x.Rows
+	a.cX = make([]*tensor.Matrix, n)
+	a.cQ = make([]*tensor.Matrix, n)
+	a.cK = make([]*tensor.Matrix, n)
+	a.cV = make([]*tensor.Matrix, n)
+	a.cS = make([]*tensor.Matrix, n)
+	a.cO = make([]*tensor.Matrix, n)
+	a.cMask = make([][]bool, n)
+	out := tensor.New(n, a.OutSize())
+	for r := 0; r < n; r++ {
+		xm, q, k, v, s, o, mask, y := a.forwardOne(tensor.VecClone(x.Row(r)))
+		a.cX[r], a.cQ[r], a.cK[r], a.cV[r], a.cS[r], a.cO[r], a.cMask[r] = xm, q, k, v, s, o, mask
+		out.SetRow(r, y)
+	}
+	return out
+}
+
+// Backward propagates gradients through the attention algebra:
+// dO = dY·Woᵀ, dS = dO·Vᵀ, dU = 1[U>0]∘dS·b, dQ = dU·K·a, dK = dUᵀ·Q·a,
+// dX = dQ·Wqᵀ + dK·Wkᵀ + dV·Wvᵀ.
+func (a *AttentionReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if a.cX == nil {
+		panic("nn: AttentionReLU.Backward before TrainForward")
+	}
+	sa, sb := a.scaleA(), a.scaleB()
+	dx := tensor.New(dy.Rows, a.InSize())
+	for r := 0; r < dy.Rows; r++ {
+		dym := tensor.FromSlice(a.T, a.D, tensor.VecClone(dy.Row(r)))
+		x, q, k, v, s, o, mask := a.cX[r], a.cQ[r], a.cK[r], a.cV[r], a.cS[r], a.cO[r], a.cMask[r]
+
+		do := tensor.MatMul(dym, a.Wo.W.T())
+		a.Wo.G.AddInPlace(tensor.MatMul(o.T(), dym))
+
+		ds := tensor.MatMul(do, v.T())
+		dv := tensor.MatMul(s.T(), do)
+
+		du := tensor.New(a.T, a.T)
+		for i := range ds.Data {
+			if mask[i] {
+				du.Data[i] = ds.Data[i] * sb
+			}
+		}
+		dq := tensor.MatMul(du, k)
+		dq.ScaleInPlace(sa)
+		dk := tensor.MatMul(du.T(), q)
+		dk.ScaleInPlace(sa)
+
+		a.Wq.G.AddInPlace(tensor.MatMul(x.T(), dq))
+		a.Wk.G.AddInPlace(tensor.MatMul(x.T(), dk))
+		a.Wv.G.AddInPlace(tensor.MatMul(x.T(), dv))
+
+		dxm := tensor.MatMul(dq, a.Wq.W.T())
+		dxm.AddInPlace(tensor.MatMul(dk, a.Wk.W.T()))
+		dxm.AddInPlace(tensor.MatMul(dv, a.Wv.W.T()))
+		dx.SetRow(r, dxm.Data)
+	}
+	return dx
+}
+
+// JVP propagates each tangent column through the bilinear attention map by
+// the product rule: dU = (dQ·Kᵀ + Q·dKᵀ)·a, dS = 1[U>0]∘dU·b,
+// dO = dS·V + S·dV, dY = dO·Wo.
+func (a *AttentionReLU) JVP(x []float64, j *tensor.Matrix, _ *JVPTrace) ([]float64, *tensor.Matrix) {
+	_, q, k, v, s, _, mask, y := a.forwardOne(x)
+	sa, sb := a.scaleA(), a.scaleB()
+	p := j.Cols
+	jy := tensor.New(a.OutSize(), p)
+	col := make([]float64, a.InSize())
+	for t := 0; t < p; t++ {
+		for i := range col {
+			col[i] = j.At(i, t)
+		}
+		dxm := tensor.FromSlice(a.T, a.D, col)
+		dq := tensor.MatMul(dxm, a.Wq.W)
+		dk := tensor.MatMul(dxm, a.Wk.W)
+		dv := tensor.MatMul(dxm, a.Wv.W)
+		du := tensor.MatMul(dq, k.T())
+		du.AddInPlace(tensor.MatMul(q, dk.T()))
+		du.ScaleInPlace(sa)
+		dsm := tensor.New(a.T, a.T)
+		for i := range du.Data {
+			if mask[i] {
+				dsm.Data[i] = du.Data[i] * sb
+			}
+		}
+		do := tensor.MatMul(dsm, v)
+		do.AddInPlace(tensor.MatMul(s, dv))
+		dym := tensor.MatMul(do, a.Wo.W)
+		jy.SetCol(t, dym.Data)
+	}
+	return y, jy
+}
+
+// Params returns the four projection parameters.
+func (a *AttentionReLU) Params() []*Param { return []*Param{a.Wq, a.Wk, a.Wv, a.Wo} }

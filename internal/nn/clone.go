@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+)
+
+// cloneParam deep-copies a parameter (gradients start at zero).
+func cloneParam(p *Param) *Param {
+	c := NewParam(p.Name, p.W.Rows, p.W.Cols)
+	c.W.CopyFrom(p.W)
+	c.Frozen = p.Frozen
+	return c
+}
+
+// CloneLayer returns a deep copy of a layer: parameters are copied,
+// training caches are dropped, soft flip state is not carried over.
+func CloneLayer(l Layer) Layer {
+	switch v := l.(type) {
+	case *Dense:
+		c := NewDense(v.In, v.Out)
+		c.W = cloneParam(v.W)
+		c.B = cloneParam(v.B)
+		return c
+	case *TokenDense:
+		c := NewTokenDense(v.T, v.D.In, v.D.Out)
+		c.D = CloneLayer(v.D).(*Dense)
+		return c
+	case *ReLU:
+		return NewReLU(v.N)
+	case *Flatten:
+		return NewFlatten(v.N)
+	case *Flip:
+		c := NewFlip(v.N)
+		copy(c.Signs, v.Signs)
+		if v.Offsets != nil {
+			c.Offsets = make([]float64, len(v.Offsets))
+			copy(c.Offsets, v.Offsets)
+		}
+		return c
+	case *Conv2D:
+		c := NewConv2D(v.InC, v.InH, v.InW, v.OutC, v.KH, v.Stride, v.Pad)
+		c.W = cloneParam(v.W)
+		c.B = cloneParam(v.B)
+		return c
+	case *MaxPool2D:
+		return NewMaxPool2D(v.C, v.InH, v.InW, v.K, v.Stride)
+	case *AvgPool2D:
+		return NewAvgPool2D(v.C, v.InH, v.InW, v.K, v.Stride)
+	case *GlobalAvgPool:
+		return NewGlobalAvgPool(v.C, v.H, v.W)
+	case *MeanTokens:
+		return NewMeanTokens(v.T, v.D)
+	case *Residual:
+		body := make([]Layer, len(v.Body))
+		for i, b := range v.Body {
+			body[i] = CloneLayer(b)
+		}
+		short := make([]Layer, len(v.Shortcut))
+		for i, s := range v.Shortcut {
+			short[i] = CloneLayer(s)
+		}
+		return &Residual{Body: body, Shortcut: short}
+	case *AttentionReLU:
+		c := NewAttentionReLU(v.T, v.D, v.Dh)
+		c.Wq = cloneParam(v.Wq)
+		c.Wk = cloneParam(v.Wk)
+		c.Wv = cloneParam(v.Wv)
+		c.Wo = cloneParam(v.Wo)
+		return c
+	case *PatchEmbed:
+		c := NewPatchEmbed(v.C, v.H, v.W, v.P, v.D)
+		c.Wt = cloneParam(v.Wt)
+		c.B = cloneParam(v.B)
+		return c
+	default:
+		panic(fmt.Sprintf("nn: CloneLayer does not know %T", l))
+	}
+}
+
+// Clone returns a fully independent deep copy of the network.
+func (n *Network) Clone() *Network {
+	layers := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		layers[i] = CloneLayer(l)
+	}
+	return NewNetwork(layers...)
+}

@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dnnlock/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over CHW-flattened inputs.
+//
+// The flat input vector holds channels-major data: index c·H·W + y·W + x.
+// Weights are stored as an F×(C·KH·KW) matrix so one output activation is a
+// dot product between a filter row and an im2col patch.
+type Conv2D struct {
+	InC, InH, InW int
+	OutC          int
+	KH, KW        int
+	Stride, Pad   int
+	OutH, OutW    int
+	W, B          *Param
+
+	lastX *tensor.Matrix // training cache
+}
+
+// NewConv2D constructs a convolution layer and computes its output geometry.
+func NewConv2D(inC, inH, inW, outC, k, stride, pad int) *Conv2D {
+	outH := (inH+2*pad-k)/stride + 1
+	outW := (inW+2*pad-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: conv output %dx%d is empty", outH, outW))
+	}
+	return &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad,
+		OutH: outH, OutW: outW,
+		W: NewParam("conv_w", outC, inC*k*k),
+		B: NewParam("conv_b", 1, outC),
+	}
+}
+
+// InitHe fills the kernels with He-normal initialization.
+func (c *Conv2D) InitHe(rng *rand.Rand) *Conv2D {
+	std := math.Sqrt(2.0 / float64(c.InC*c.KH*c.KW))
+	for i := range c.W.W.Data {
+		c.W.W.Data[i] = rng.NormFloat64() * std
+	}
+	return c
+}
+
+func (c *Conv2D) Name() string { return "conv2d" }
+
+// InSize returns C·H·W.
+func (c *Conv2D) InSize() int { return c.InC * c.InH * c.InW }
+
+// OutSize returns F·OH·OW.
+func (c *Conv2D) OutSize() int { return c.OutC * c.OutH * c.OutW }
+
+// patch gathers the im2col patch for output position (oy, ox) into dst,
+// which must have length InC·KH·KW. Out-of-bounds taps read zero.
+func (c *Conv2D) patch(x []float64, oy, ox int, dst []float64) {
+	idx := 0
+	for ch := 0; ch < c.InC; ch++ {
+		base := ch * c.InH * c.InW
+		for ky := 0; ky < c.KH; ky++ {
+			iy := oy*c.Stride - c.Pad + ky
+			for kx := 0; kx < c.KW; kx++ {
+				ix := ox*c.Stride - c.Pad + kx
+				if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
+					dst[idx] = x[base+iy*c.InW+ix]
+				} else {
+					dst[idx] = 0
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// forwardOne convolves a single flat example; bias is optional so the JVP
+// path can reuse this as a pure linear map.
+func (c *Conv2D) forwardOne(x []float64, withBias bool) []float64 {
+	out := make([]float64, c.OutSize())
+	buf := make([]float64, c.InC*c.KH*c.KW)
+	brow := c.B.W.Row(0)
+	for oy := 0; oy < c.OutH; oy++ {
+		for ox := 0; ox < c.OutW; ox++ {
+			c.patch(x, oy, ox, buf)
+			for f := 0; f < c.OutC; f++ {
+				v := tensor.Dot(c.W.W.Row(f), buf)
+				if withBias {
+					v += brow[f]
+				}
+				out[f*c.OutH*c.OutW+oy*c.OutW+ox] = v
+			}
+		}
+	}
+	return out
+}
+
+// Forward convolves one example.
+func (c *Conv2D) Forward(x []float64, _ *Trace) []float64 {
+	checkSize("conv2d", c.InSize(), len(x))
+	return c.forwardOne(x, true)
+}
+
+// ForwardBatch convolves each row of x.
+func (c *Conv2D) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
+	return forwardBatchViaSingle(c, x)
+}
+
+// TrainForward is ForwardBatch with input caching.
+func (c *Conv2D) TrainForward(x *tensor.Matrix) *tensor.Matrix {
+	c.lastX = x
+	return c.ForwardBatch(x)
+}
+
+// Backward accumulates kernel/bias gradients and returns dX.
+func (c *Conv2D) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	x := c.lastX
+	if x == nil {
+		panic("nn: Conv2D.Backward before TrainForward")
+	}
+	dx := tensor.New(dy.Rows, c.InSize())
+	buf := make([]float64, c.InC*c.KH*c.KW)
+	plane := c.OutH * c.OutW
+	for r := 0; r < dy.Rows; r++ {
+		xr := x.Row(r)
+		dyr := dy.Row(r)
+		dxr := dx.Row(r)
+		for oy := 0; oy < c.OutH; oy++ {
+			for ox := 0; ox < c.OutW; ox++ {
+				c.patch(xr, oy, ox, buf)
+				for f := 0; f < c.OutC; f++ {
+					g := dyr[f*plane+oy*c.OutW+ox]
+					if g == 0 {
+						continue
+					}
+					c.B.G.Data[f] += g
+					wg := c.W.G.Row(f)
+					wr := c.W.W.Row(f)
+					// dW += g·patch and dX scatter += g·W.
+					idx := 0
+					for ch := 0; ch < c.InC; ch++ {
+						base := ch * c.InH * c.InW
+						for ky := 0; ky < c.KH; ky++ {
+							iy := oy*c.Stride - c.Pad + ky
+							for kx := 0; kx < c.KW; kx++ {
+								ix := ox*c.Stride - c.Pad + kx
+								wg[idx] += g * buf[idx]
+								if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
+									dxr[base+iy*c.InW+ix] += g * wr[idx]
+								}
+								idx++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// JVP convolves the value with bias and every tangent column without bias
+// (the convolution is linear, so tangents transform exactly).
+func (c *Conv2D) JVP(x []float64, j *tensor.Matrix, _ *JVPTrace) ([]float64, *tensor.Matrix) {
+	y := c.forwardOne(x, true)
+	p := j.Cols
+	jy := tensor.New(c.OutSize(), p)
+	col := make([]float64, c.InSize())
+	for t := 0; t < p; t++ {
+		for i := 0; i < c.InSize(); i++ {
+			col[i] = j.At(i, t)
+		}
+		jy.SetCol(t, c.forwardOne(col, false))
+	}
+	return y, jy
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }

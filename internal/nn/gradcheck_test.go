@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/tensor"
+)
+
+// numericalParamGrad perturbs one scalar parameter and measures the change
+// in a scalar loss L = Σ out∘coef over a batch.
+func numericalParamGrad(net *Network, x, coef *tensor.Matrix, p *Param, idx int) float64 {
+	const h = 1e-5
+	orig := p.W.Data[idx]
+	p.W.Data[idx] = orig + h
+	lp := scalarLoss(net.ForwardBatch(x), coef)
+	p.W.Data[idx] = orig - h
+	lm := scalarLoss(net.ForwardBatch(x), coef)
+	p.W.Data[idx] = orig
+	return (lp - lm) / (2 * h)
+}
+
+func scalarLoss(out, coef *tensor.Matrix) float64 {
+	s := 0.0
+	for i, v := range out.Data {
+		s += v * coef.Data[i]
+	}
+	return s
+}
+
+// checkGradients verifies backprop parameter and input gradients against
+// central finite differences for the given network and batch.
+func checkGradients(t *testing.T, net *Network, x *tensor.Matrix, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	out := net.TrainForward(x)
+	coef := tensor.New(out.Rows, out.Cols)
+	for i := range coef.Data {
+		coef.Data[i] = rng.NormFloat64()
+	}
+	net.ZeroGrad()
+	dx := net.TrainBackward(coef.Clone())
+
+	for _, p := range net.Params() {
+		n := len(p.W.Data)
+		// Check a subset of indices for large parameters.
+		step := 1
+		if n > 40 {
+			step = n / 40
+		}
+		for idx := 0; idx < n; idx += step {
+			num := numericalParamGrad(net, x, coef, p, idx)
+			got := p.G.Data[idx]
+			if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %s[%d]: backprop %.8f vs numeric %.8f", p.Name, idx, got, num)
+			}
+		}
+	}
+	// Input gradient check on a few coordinates.
+	const h = 1e-5
+	for c := 0; c < x.Cols; c += 1 + x.Cols/20 {
+		orig := x.At(0, c)
+		x.Set(0, c, orig+h)
+		lp := scalarLoss(net.ForwardBatch(x), coef)
+		x.Set(0, c, orig-h)
+		lm := scalarLoss(net.ForwardBatch(x), coef)
+		x.Set(0, c, orig)
+		num := (lp - lm) / (2 * h)
+		got := dx.At(0, c)
+		if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+			t.Fatalf("input grad [0,%d]: backprop %.8f vs numeric %.8f", c, got, num)
+		}
+	}
+}
+
+func randBatch(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestGradDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewNetwork(NewDense(5, 4).InitHe(rng), NewReLU(4), NewDense(4, 3).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 3, 5), 1e-4)
+}
+
+func TestGradFlipHard(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := NewFlip(4)
+	f.SetBit(1, true)
+	f.SetBit(3, true)
+	net := NewNetwork(NewDense(5, 4).InitHe(rng), f, NewReLU(4), NewDense(4, 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 3, 5), 1e-4)
+}
+
+func TestGradFlipSoftGated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := NewFlip(4)
+	f.SetBit(0, true)
+	p := f.Soften([]int{1, 2}, true)
+	p.W.Data[0], p.W.Data[1] = 0.4, -0.7
+	net := NewNetwork(NewDense(5, 4).InitHe(rng), f, NewReLU(4), NewDense(4, 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 4, 5), 1e-4)
+}
+
+func TestGradFlipSoftUngated(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := NewFlip(5)
+	p := f.Soften([]int{0, 3}, false)
+	p.W.Data[0], p.W.Data[1] = -0.2, 0.9
+	body := []Layer{NewDense(5, 5).InitHe(rng), f}
+	net := NewNetwork(NewResidual(body, nil), NewReLU(5), NewDense(5, 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 4, 5), 1e-4)
+}
+
+func TestGradConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	conv := NewConv2D(2, 6, 6, 3, 3, 1, 1).InitHe(rng)
+	net := NewNetwork(conv, NewReLU(conv.OutSize()), NewDense(conv.OutSize(), 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 2, conv.InSize()), 1e-4)
+}
+
+func TestGradConvStridePad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv := NewConv2D(1, 7, 7, 2, 3, 2, 0).InitHe(rng)
+	net := NewNetwork(conv, NewDense(conv.OutSize(), 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 2, conv.InSize()), 1e-4)
+}
+
+func TestGradMaxPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pool := NewMaxPool2D(2, 4, 4, 2, 2)
+	net := NewNetwork(pool, NewDense(pool.OutSize(), 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 2, pool.InSize()), 1e-4)
+}
+
+func TestGradAvgPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	pool := NewAvgPool2D(2, 6, 6, 2, 2)
+	net := NewNetwork(pool, NewReLU(pool.OutSize()), NewDense(pool.OutSize(), 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 2, pool.InSize()), 1e-4)
+}
+
+func TestGradGlobalAvgPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := NewGlobalAvgPool(3, 4, 4)
+	net := NewNetwork(pool, NewDense(3, 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 2, pool.InSize()), 1e-4)
+}
+
+func TestGradResidualIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	body := []Layer{NewDense(6, 6).InitHe(rng), NewReLU(6), NewDense(6, 6).InitHe(rng)}
+	res := NewResidual(body, nil)
+	net := NewNetwork(res, NewReLU(6), NewDense(6, 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 3, 6), 1e-4)
+}
+
+func TestGradResidualProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	body := []Layer{NewDense(5, 7).InitHe(rng), NewReLU(7)}
+	short := []Layer{NewDense(5, 7).InitHe(rng)}
+	net := NewNetwork(NewResidual(body, short), NewDense(7, 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 3, 5), 1e-4)
+}
+
+func TestGradTokenDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	td := NewTokenDense(3, 4, 5).InitHe(rng)
+	net := NewNetwork(td, NewReLU(td.OutSize()), NewDense(td.OutSize(), 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 2, td.InSize()), 1e-4)
+}
+
+func TestGradAttention(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	attn := NewAttentionReLU(4, 5, 3).InitXavier(rng)
+	net := NewNetwork(attn, NewDense(attn.OutSize(), 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 2, attn.InSize()), 1e-3)
+}
+
+func TestGradPatchEmbed(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pe := NewPatchEmbed(2, 4, 4, 2, 5).InitXavier(rng)
+	net := NewNetwork(pe, NewDense(pe.OutSize(), 2).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 2, pe.InSize()), 1e-4)
+}
+
+func TestGradTransformerBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const T, D, Dh, Dm = 4, 6, 4, 8
+	attn := NewResidual([]Layer{NewAttentionReLU(T, D, Dh).InitXavier(rng)}, nil)
+	f := NewFlip(T * Dm)
+	f.SetBit(2, true)
+	mlp := NewResidual([]Layer{
+		NewTokenDense(T, D, Dm).InitHe(rng),
+		f,
+		NewReLU(T * Dm),
+		NewTokenDense(T, Dm, D).InitHe(rng),
+	}, nil)
+	net := NewNetwork(attn, mlp, NewMeanTokens(T, D), NewDense(D, 3).InitHe(rng))
+	checkGradients(t, net, randBatch(rng, 2, T*D), 1e-3)
+}

@@ -1,0 +1,277 @@
+package nn
+
+import (
+	"math"
+
+	"dnnlock/internal/tensor"
+)
+
+// MaxPool2D is a channel-wise max pool over CHW-flattened inputs.
+type MaxPool2D struct {
+	C, InH, InW int
+	K, Stride   int
+	OutH, OutW  int
+
+	lastArg []int // training cache: flat input index of each output max
+	rows    int
+}
+
+// NewMaxPool2D constructs a k×k max pool with the given stride.
+func NewMaxPool2D(c, inH, inW, k, stride int) *MaxPool2D {
+	return &MaxPool2D{
+		C: c, InH: inH, InW: inW, K: k, Stride: stride,
+		OutH: (inH-k)/stride + 1, OutW: (inW-k)/stride + 1,
+	}
+}
+
+func (m *MaxPool2D) Name() string { return "maxpool2d" }
+
+// InSize returns C·H·W.
+func (m *MaxPool2D) InSize() int { return m.C * m.InH * m.InW }
+
+// OutSize returns C·OH·OW.
+func (m *MaxPool2D) OutSize() int { return m.C * m.OutH * m.OutW }
+
+// forwardArg pools one example and reports the argmax input index per output.
+func (m *MaxPool2D) forwardArg(x []float64) (y []float64, arg []int) {
+	y = make([]float64, m.OutSize())
+	arg = make([]int, m.OutSize())
+	for c := 0; c < m.C; c++ {
+		inBase := c * m.InH * m.InW
+		outBase := c * m.OutH * m.OutW
+		for oy := 0; oy < m.OutH; oy++ {
+			for ox := 0; ox < m.OutW; ox++ {
+				best := math.Inf(-1)
+				bestIdx := -1
+				for ky := 0; ky < m.K; ky++ {
+					iy := oy*m.Stride + ky
+					for kx := 0; kx < m.K; kx++ {
+						ix := ox*m.Stride + kx
+						idx := inBase + iy*m.InW + ix
+						if x[idx] > best {
+							best = x[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := outBase + oy*m.OutW + ox
+				y[o] = best
+				arg[o] = bestIdx
+			}
+		}
+	}
+	return y, arg
+}
+
+// Forward pools one example.
+func (m *MaxPool2D) Forward(x []float64, _ *Trace) []float64 {
+	checkSize("maxpool2d", m.InSize(), len(x))
+	y, _ := m.forwardArg(x)
+	return y
+}
+
+// ForwardBatch pools each row.
+func (m *MaxPool2D) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
+	return forwardBatchViaSingle(m, x)
+}
+
+// TrainForward pools and caches argmax indices for Backward.
+func (m *MaxPool2D) TrainForward(x *tensor.Matrix) *tensor.Matrix {
+	m.rows = x.Rows
+	m.lastArg = make([]int, x.Rows*m.OutSize())
+	out := tensor.New(x.Rows, m.OutSize())
+	for r := 0; r < x.Rows; r++ {
+		y, arg := m.forwardArg(x.Row(r))
+		out.SetRow(r, y)
+		copy(m.lastArg[r*m.OutSize():], arg)
+	}
+	return out
+}
+
+// Backward routes each output gradient to its argmax input.
+func (m *MaxPool2D) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if m.lastArg == nil {
+		panic("nn: MaxPool2D.Backward before TrainForward")
+	}
+	dx := tensor.New(dy.Rows, m.InSize())
+	for r := 0; r < dy.Rows; r++ {
+		dyr := dy.Row(r)
+		dxr := dx.Row(r)
+		args := m.lastArg[r*m.OutSize() : (r+1)*m.OutSize()]
+		for o, g := range dyr {
+			dxr[args[o]] += g
+		}
+	}
+	return dx
+}
+
+// JVP selects tangent rows by the value path's argmax (exact inside a linear
+// region, where the argmax is locally constant).
+func (m *MaxPool2D) JVP(x []float64, j *tensor.Matrix, _ *JVPTrace) ([]float64, *tensor.Matrix) {
+	y, arg := m.forwardArg(x)
+	jy := tensor.New(m.OutSize(), j.Cols)
+	for o, idx := range arg {
+		jy.SetRow(o, j.Row(idx))
+	}
+	return y, jy
+}
+
+// Params returns nil.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool averages each channel's spatial plane into one scalar.
+type GlobalAvgPool struct {
+	C, H, W int
+}
+
+// NewGlobalAvgPool constructs the pool.
+func NewGlobalAvgPool(c, h, w int) *GlobalAvgPool { return &GlobalAvgPool{C: c, H: h, W: w} }
+
+func (g *GlobalAvgPool) Name() string { return "global_avg_pool" }
+
+// InSize returns C·H·W.
+func (g *GlobalAvgPool) InSize() int { return g.C * g.H * g.W }
+
+// OutSize returns C.
+func (g *GlobalAvgPool) OutSize() int { return g.C }
+
+// Forward averages each channel.
+func (g *GlobalAvgPool) Forward(x []float64, _ *Trace) []float64 {
+	checkSize("global_avg_pool", g.InSize(), len(x))
+	plane := g.H * g.W
+	y := make([]float64, g.C)
+	for c := 0; c < g.C; c++ {
+		s := 0.0
+		for i := c * plane; i < (c+1)*plane; i++ {
+			s += x[i]
+		}
+		y[c] = s / float64(plane)
+	}
+	return y
+}
+
+// ForwardBatch averages each row's channels.
+func (g *GlobalAvgPool) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
+	return forwardBatchViaSingle(g, x)
+}
+
+// TrainForward is ForwardBatch (the map is linear; no cache needed).
+func (g *GlobalAvgPool) TrainForward(x *tensor.Matrix) *tensor.Matrix {
+	return g.ForwardBatch(x)
+}
+
+// Backward spreads each channel gradient evenly over its plane.
+func (g *GlobalAvgPool) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	plane := g.H * g.W
+	inv := 1 / float64(plane)
+	dx := tensor.New(dy.Rows, g.InSize())
+	for r := 0; r < dy.Rows; r++ {
+		dyr := dy.Row(r)
+		dxr := dx.Row(r)
+		for c := 0; c < g.C; c++ {
+			gv := dyr[c] * inv
+			for i := c * plane; i < (c+1)*plane; i++ {
+				dxr[i] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// JVP averages tangent rows channel-wise.
+func (g *GlobalAvgPool) JVP(x []float64, j *tensor.Matrix, _ *JVPTrace) ([]float64, *tensor.Matrix) {
+	y := g.Forward(x, nil)
+	plane := g.H * g.W
+	inv := 1 / float64(plane)
+	jy := tensor.New(g.C, j.Cols)
+	for c := 0; c < g.C; c++ {
+		dst := jy.Row(c)
+		for i := c * plane; i < (c+1)*plane; i++ {
+			src := j.Row(i)
+			for t := range dst {
+				dst[t] += src[t] * inv
+			}
+		}
+	}
+	return y, jy
+}
+
+// Params returns nil.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// MeanTokens averages T tokens of width D into a single D-vector (the
+// V-Transformer's classification head input).
+type MeanTokens struct {
+	T, D int
+}
+
+// NewMeanTokens constructs the token average.
+func NewMeanTokens(t, d int) *MeanTokens { return &MeanTokens{T: t, D: d} }
+
+func (m *MeanTokens) Name() string { return "mean_tokens" }
+
+// InSize returns T·D.
+func (m *MeanTokens) InSize() int { return m.T * m.D }
+
+// OutSize returns D.
+func (m *MeanTokens) OutSize() int { return m.D }
+
+// Forward averages tokens.
+func (m *MeanTokens) Forward(x []float64, _ *Trace) []float64 {
+	checkSize("mean_tokens", m.InSize(), len(x))
+	y := make([]float64, m.D)
+	for t := 0; t < m.T; t++ {
+		for d := 0; d < m.D; d++ {
+			y[d] += x[t*m.D+d]
+		}
+	}
+	inv := 1 / float64(m.T)
+	for d := range y {
+		y[d] *= inv
+	}
+	return y
+}
+
+// ForwardBatch averages each row's tokens.
+func (m *MeanTokens) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
+	return forwardBatchViaSingle(m, x)
+}
+
+// TrainForward is ForwardBatch (linear map).
+func (m *MeanTokens) TrainForward(x *tensor.Matrix) *tensor.Matrix { return m.ForwardBatch(x) }
+
+// Backward spreads gradients evenly over tokens.
+func (m *MeanTokens) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	inv := 1 / float64(m.T)
+	dx := tensor.New(dy.Rows, m.InSize())
+	for r := 0; r < dy.Rows; r++ {
+		dyr := dy.Row(r)
+		dxr := dx.Row(r)
+		for t := 0; t < m.T; t++ {
+			for d := 0; d < m.D; d++ {
+				dxr[t*m.D+d] = dyr[d] * inv
+			}
+		}
+	}
+	return dx
+}
+
+// JVP averages tangent rows token-wise.
+func (m *MeanTokens) JVP(x []float64, j *tensor.Matrix, _ *JVPTrace) ([]float64, *tensor.Matrix) {
+	y := m.Forward(x, nil)
+	inv := 1 / float64(m.T)
+	jy := tensor.New(m.D, j.Cols)
+	for t := 0; t < m.T; t++ {
+		for d := 0; d < m.D; d++ {
+			src := j.Row(t*m.D + d)
+			dst := jy.Row(d)
+			for c := range dst {
+				dst[c] += src[c] * inv
+			}
+		}
+	}
+	return y, jy
+}
+
+// Params returns nil.
+func (m *MeanTokens) Params() []*Param { return nil }

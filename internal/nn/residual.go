@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"dnnlock/internal/tensor"
+)
+
+// Residual computes y = shortcut(x) + body(x), the basic block topology of
+// ResNet (He et al. 2016). An empty shortcut is the identity; a non-empty
+// shortcut (e.g. a strided 1×1 convolution) handles shape changes.
+type Residual struct {
+	Body     []Layer
+	Shortcut []Layer // nil/empty means identity
+}
+
+// NewResidual constructs a residual block.
+func NewResidual(body []Layer, shortcut []Layer) *Residual {
+	r := &Residual{Body: body, Shortcut: shortcut}
+	if r.InSize() != 0 && r.OutSize() != 0 && len(shortcut) == 0 && r.InSize() != r.OutSize() {
+		panic("nn: identity-shortcut residual needs matching in/out sizes")
+	}
+	return r
+}
+
+func (r *Residual) Name() string { return "residual" }
+
+// InSize returns the body's input size.
+func (r *Residual) InSize() int { return r.Body[0].InSize() }
+
+// OutSize returns the body's output size.
+func (r *Residual) OutSize() int { return r.Body[len(r.Body)-1].OutSize() }
+
+func (r *Residual) subLayers() []Layer {
+	out := append([]Layer(nil), r.Body...)
+	return append(out, r.Shortcut...)
+}
+
+// Forward runs both paths and sums them.
+func (r *Residual) Forward(x []float64, tr *Trace) []float64 {
+	b := x
+	for _, l := range r.Body {
+		b = l.Forward(b, tr)
+	}
+	s := x
+	for _, l := range r.Shortcut {
+		s = l.Forward(s, tr)
+	}
+	return tensor.VecAdd(b, s)
+}
+
+// ForwardBatch runs both paths and sums them.
+func (r *Residual) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
+	b := x
+	for _, l := range r.Body {
+		b = l.ForwardBatch(b)
+	}
+	s := x
+	for _, l := range r.Shortcut {
+		s = l.ForwardBatch(s)
+	}
+	return tensor.Add(b, s)
+}
+
+// TrainForward runs both paths with caching.
+func (r *Residual) TrainForward(x *tensor.Matrix) *tensor.Matrix {
+	b := x
+	for _, l := range r.Body {
+		b = l.TrainForward(b)
+	}
+	s := x
+	for _, l := range r.Shortcut {
+		s = l.TrainForward(s)
+	}
+	return tensor.Add(b, s)
+}
+
+// Backward propagates through both paths and sums the input gradients.
+func (r *Residual) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	db := dy
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		db = r.Body[i].Backward(db)
+	}
+	ds := dy
+	for i := len(r.Shortcut) - 1; i >= 0; i-- {
+		ds = r.Shortcut[i].Backward(ds)
+	}
+	return tensor.Add(db, ds)
+}
+
+// JVP propagates value and tangent through both paths and sums them.
+func (r *Residual) JVP(x []float64, j *tensor.Matrix, jtr *JVPTrace) ([]float64, *tensor.Matrix) {
+	bv, bj := x, j
+	for _, l := range r.Body {
+		bv, bj = l.JVP(bv, bj, jtr)
+	}
+	sv, sj := x, j
+	for _, l := range r.Shortcut {
+		sv, sj = l.JVP(sv, sj, jtr)
+	}
+	return tensor.VecAdd(bv, sv), tensor.Add(bj, sj)
+}
+
+// Params returns all parameters of both paths.
+func (r *Residual) Params() []*Param {
+	var out []*Param
+	for _, l := range r.subLayers() {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Package oracle implements the attacker-facing query interface of the
+// adversary model (§2.3): the adversary owns a working device and can query
+// it with arbitrary inputs a reasonable number of times, observing the
+// logits. The oracle counts queries so experiments can report the paper's
+// query-complexity metric.
+package oracle
+
+import (
+	"sync/atomic"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/rot"
+	"dnnlock/internal/tensor"
+)
+
+// Oracle wraps a provisioned device and counts queries. Safe for concurrent
+// use. The adversary model (§2.3) lets the end-user observe either the
+// logits or the softmax output vector; softmax mode models the latter.
+type Oracle struct {
+	dev     *rot.Device
+	softmax bool
+	queries atomic.Int64
+}
+
+// New provisions a fresh device with the correct key, binds the locked
+// model, and returns the resulting oracle — the experimental stand-in for
+// "a malicious end-user who bought a licensed accelerator".
+func New(model *hpnn.LockedModel, correctKey hpnn.Key) *Oracle {
+	dev := rot.Provision("oracle-device", correctKey, []byte("attestation-secret"))
+	if err := dev.Bind(model); err != nil {
+		panic("oracle: " + err.Error())
+	}
+	return &Oracle{dev: dev}
+}
+
+// NewSoftmax is New for a device that exposes only softmax probabilities.
+func NewSoftmax(model *hpnn.LockedModel, correctKey hpnn.Key) *Oracle {
+	o := New(model, correctKey)
+	o.softmax = true
+	return o
+}
+
+// FromDevice wraps an already-provisioned, bound device.
+func FromDevice(dev *rot.Device) *Oracle { return &Oracle{dev: dev} }
+
+// Softmax reports whether the oracle returns probabilities rather than
+// logits.
+func (o *Oracle) Softmax() bool { return o.softmax }
+
+// Query runs one inference and returns the logits (or the softmax output
+// vector in softmax mode).
+func (o *Oracle) Query(x []float64) []float64 {
+	o.queries.Add(1)
+	y, err := o.dev.Evaluate(x)
+	if err != nil {
+		panic("oracle: " + err.Error())
+	}
+	if o.softmax {
+		return tensor.Softmax(y)
+	}
+	return y
+}
+
+// QueryBatch runs one inference per row and returns the output matrix.
+func (o *Oracle) QueryBatch(x *tensor.Matrix) *tensor.Matrix {
+	o.queries.Add(int64(x.Rows))
+	var out *tensor.Matrix
+	for i := 0; i < x.Rows; i++ {
+		y, err := o.dev.Evaluate(x.Row(i))
+		if err != nil {
+			panic("oracle: " + err.Error())
+		}
+		if o.softmax {
+			y = tensor.Softmax(y)
+		}
+		if out == nil {
+			out = tensor.New(x.Rows, len(y))
+		}
+		out.SetRow(i, y)
+	}
+	return out
+}
+
+// Queries returns the total number of queries so far.
+func (o *Oracle) Queries() int64 { return o.queries.Load() }
+
+// ResetCounter zeroes the query counter (used between experiment phases).
+func (o *Oracle) ResetCounter() { o.queries.Store(0) }

@@ -1,0 +1,90 @@
+package oracle
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/tensor"
+)
+
+func newTestOracle(seed int64) (*Oracle, *nn.Network) {
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork(
+		nn.NewDense(4, 6).InitHe(rng), nn.NewFlip(6), nn.NewReLU(6),
+		nn.NewDense(6, 3).InitHe(rng),
+	)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 4, Rng: rng})
+	return New(lm, key), net
+}
+
+func TestQueryMatchesKeyedNetwork(t *testing.T) {
+	o, net := newTestOracle(1)
+	x := []float64{0.5, -0.1, 0.9, 0.2}
+	if tensor.NormInf(tensor.VecSub(o.Query(x), net.Forward(x))) > 1e-12 {
+		t.Fatal("oracle output differs from keyed network")
+	}
+}
+
+func TestQueryCounting(t *testing.T) {
+	o, _ := newTestOracle(2)
+	x := []float64{1, 2, 3, 4}
+	o.Query(x)
+	o.Query(x)
+	if o.Queries() != 2 {
+		t.Fatalf("Queries = %d", o.Queries())
+	}
+	xb := tensor.New(5, 4)
+	o.QueryBatch(xb)
+	if o.Queries() != 7 {
+		t.Fatalf("Queries after batch = %d", o.Queries())
+	}
+	o.ResetCounter()
+	if o.Queries() != 0 {
+		t.Fatal("ResetCounter failed")
+	}
+}
+
+func TestQueryBatchMatchesSingles(t *testing.T) {
+	o, _ := newTestOracle(3)
+	rng := rand.New(rand.NewSource(7))
+	xb := tensor.New(4, 4)
+	for i := range xb.Data {
+		xb.Data[i] = rng.NormFloat64()
+	}
+	got := o.QueryBatch(xb)
+	for r := 0; r < 4; r++ {
+		want := o.Query(xb.Row(r))
+		for c := range want {
+			if got.At(r, c) != want[c] {
+				t.Fatal("batch/single mismatch")
+			}
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	o, _ := newTestOracle(4)
+	var wg sync.WaitGroup
+	const workers, each = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			x := make([]float64, 4)
+			for i := 0; i < each; i++ {
+				for j := range x {
+					x[j] = rng.NormFloat64()
+				}
+				o.Query(x)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if o.Queries() != workers*each {
+		t.Fatalf("Queries = %d, want %d", o.Queries(), workers*each)
+	}
+}

@@ -1,0 +1,61 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/rot"
+	"dnnlock/internal/tensor"
+)
+
+func TestSoftmaxModeNormalizesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := nn.NewNetwork(
+		nn.NewDense(3, 5).InitHe(rng), nn.NewFlip(5), nn.NewReLU(5),
+		nn.NewDense(5, 4).InitHe(rng),
+	)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 3, Rng: rng})
+	o := NewSoftmax(lm, key)
+	xb := tensor.New(5, 3)
+	for i := range xb.Data {
+		xb.Data[i] = rng.NormFloat64()
+	}
+	out := o.QueryBatch(xb)
+	for r := 0; r < out.Rows; r++ {
+		sum := 0.0
+		for _, p := range out.Row(r) {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+	// Softmax preserves the argmax of the logits.
+	x := xb.Row(0)
+	logits := lm.Net.Forward(x)
+	probs := o.Query(x)
+	if tensor.ArgMax(logits) != tensor.ArgMax(probs) {
+		t.Fatal("softmax changed the argmax")
+	}
+}
+
+func TestFromDeviceSharesCounter(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := nn.NewNetwork(nn.NewDense(2, 3).InitHe(rng), nn.NewFlip(3), nn.NewReLU(3), nn.NewDense(3, 2).InitHe(rng))
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 2, Rng: rng})
+	dev := rot.Provision("d", key, []byte("s"))
+	if err := dev.Bind(lm); err != nil {
+		t.Fatal(err)
+	}
+	o := FromDevice(dev)
+	if o.Softmax() {
+		t.Fatal("FromDevice should default to logits")
+	}
+	o.Query([]float64{1, 2})
+	if o.Queries() != 1 {
+		t.Fatalf("queries = %d", o.Queries())
+	}
+}

@@ -1,0 +1,95 @@
+// Package rot simulates the hardware root-of-trust substrate the paper
+// assumes (§1, §2.3): a tamper-proof key store (TPM / HSM / tamper-proof
+// memory on the accelerator) that is provisioned once with the secret key
+// and thereafter only evaluates the locked model. The package deliberately
+// exposes no key read-back API — the adversary-visible surface is exactly
+// inputs-in, logits-out, plus an HMAC-based attestation so a licensee can
+// check it is talking to a genuine device.
+package rot
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/nn"
+)
+
+// ErrNotBound is returned when Evaluate is called before Bind.
+var ErrNotBound = errors.New("rot: no model bound to this device")
+
+// Device is a simulated accelerator with a sealed key. The zero value is
+// unusable; create devices with Provision.
+type Device struct {
+	id string
+
+	mu    sync.Mutex
+	key   hpnn.Key    // sealed: never returned by any method
+	mac   []byte      // device secret for attestation
+	model *nn.Network // keyed network, built at Bind time
+}
+
+// Provision manufactures a device: the IP owner burns the secret key and an
+// attestation secret into tamper-proof memory.
+func Provision(deviceID string, key hpnn.Key, attestationSecret []byte) *Device {
+	sealed := key.Clone()
+	mac := make([]byte, len(attestationSecret))
+	copy(mac, attestationSecret)
+	return &Device{id: deviceID, key: sealed, mac: mac}
+}
+
+// ID returns the public device identifier.
+func (d *Device) ID() string { return d.id }
+
+// Bind installs a locked model onto the device. The device combines the
+// public model with its sealed key internally; the keyed network never
+// leaves the device.
+func (d *Device) Bind(model *hpnn.LockedModel) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if model.Spec.NumBits() != len(d.key) {
+		return errors.New("rot: key length does not match lock spec")
+	}
+	d.model = model.Apply(d.key)
+	return nil
+}
+
+// Evaluate runs one inference with the sealed key applied and returns the
+// logits. Safe for concurrent use after Bind.
+func (d *Device) Evaluate(x []float64) ([]float64, error) {
+	d.mu.Lock()
+	m := d.model
+	d.mu.Unlock()
+	if m == nil {
+		return nil, ErrNotBound
+	}
+	return m.Forward(x), nil
+}
+
+// Attest returns HMAC-SHA256(secret, deviceID ‖ nonce ‖ counter), proving
+// possession of the provisioning secret without revealing it. The counter
+// guards against replay of earlier attestations with the same nonce.
+func (d *Device) Attest(nonce []byte, counter uint64) []byte {
+	h := hmac.New(sha256.New, d.mac)
+	h.Write([]byte(d.id))
+	h.Write(nonce)
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], counter)
+	h.Write(c[:])
+	return h.Sum(nil)
+}
+
+// VerifyAttestation checks a quote produced by Attest against the expected
+// provisioning secret (run by the IP owner, who knows the secret).
+func VerifyAttestation(deviceID string, secret, nonce []byte, counter uint64, quote []byte) bool {
+	h := hmac.New(sha256.New, secret)
+	h.Write([]byte(deviceID))
+	h.Write(nonce)
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], counter)
+	h.Write(c[:])
+	return hmac.Equal(h.Sum(nil), quote)
+}

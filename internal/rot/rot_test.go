@@ -1,0 +1,95 @@
+package rot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/tensor"
+)
+
+func lockedMLP(rng *rand.Rand) (*hpnn.LockedModel, hpnn.Key, *nn.Network) {
+	net := nn.NewNetwork(
+		nn.NewDense(4, 6).InitHe(rng), nn.NewFlip(6), nn.NewReLU(6),
+		nn.NewDense(6, 3).InitHe(rng),
+	)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 4, Rng: rng})
+	return lm, key, net
+}
+
+func TestProvisionSealsKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lm, key, _ := lockedMLP(rng)
+	dev := Provision("dev-1", key, []byte("s"))
+	// Mutating the caller's key after provisioning must not affect the device.
+	key[0] = !key[0]
+	if err := dev.Bind(lm); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.2, 0.7, 0.1}
+	got, err := dev.Evaluate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lm.Net.Forward(x) // lm.Net carries the original correct key
+	if tensor.NormInf(tensor.VecSub(got, want)) > 1e-12 {
+		t.Fatal("device does not compute the keyed function")
+	}
+	// No exported field or method may return the key.
+	typ := reflect.TypeOf(dev)
+	for i := 0; i < typ.NumMethod(); i++ {
+		m := typ.Method(i)
+		for j := 0; j < m.Type.NumOut(); j++ {
+			if m.Type.Out(j) == reflect.TypeOf(hpnn.Key{}) {
+				t.Fatalf("method %s leaks the key type", m.Name)
+			}
+		}
+	}
+}
+
+func TestEvaluateBeforeBind(t *testing.T) {
+	dev := Provision("dev-2", hpnn.Key{true}, []byte("s"))
+	if _, err := dev.Evaluate([]float64{1}); err != ErrNotBound {
+		t.Fatalf("err = %v, want ErrNotBound", err)
+	}
+}
+
+func TestBindKeyLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lm, _, _ := lockedMLP(rng)
+	dev := Provision("dev-3", hpnn.Key{true, false}, []byte("s"))
+	if err := dev.Bind(lm); err == nil {
+		t.Fatal("expected key-length error")
+	}
+}
+
+func TestAttestation(t *testing.T) {
+	secret := []byte("super-secret")
+	dev := Provision("dev-4", hpnn.Key{true}, secret)
+	nonce := []byte{1, 2, 3}
+	quote := dev.Attest(nonce, 7)
+	if !VerifyAttestation("dev-4", secret, nonce, 7, quote) {
+		t.Fatal("genuine attestation rejected")
+	}
+	if VerifyAttestation("dev-4", secret, nonce, 8, quote) {
+		t.Fatal("replayed counter accepted")
+	}
+	if VerifyAttestation("dev-4", []byte("wrong"), nonce, 7, quote) {
+		t.Fatal("wrong secret accepted")
+	}
+	if VerifyAttestation("dev-5", secret, nonce, 7, quote) {
+		t.Fatal("wrong device accepted")
+	}
+	if VerifyAttestation("dev-4", secret, []byte{9}, 7, quote) {
+		t.Fatal("wrong nonce accepted")
+	}
+}
+
+func TestDeviceID(t *testing.T) {
+	dev := Provision("my-device", hpnn.Key{}, nil)
+	if dev.ID() != "my-device" {
+		t.Fatal("ID mismatch")
+	}
+}

@@ -1,0 +1,37 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"dnnlock/internal/tensor"
+)
+
+// ExampleLeastSquares shows the pre-image computation at the heart of
+// Algorithm 1: solving Â·v = e_j with a minimum-norm solution on a wide
+// (contractive) system.
+func ExampleLeastSquares() {
+	aHat := tensor.FromSlice(2, 3, []float64{
+		1, 0, 1,
+		0, 2, 0,
+	})
+	res := tensor.LeastSquares(aHat, tensor.Basis(2, 1))
+	fmt.Println("pre-image exists:", res.RelRes < 1e-9)
+	fmt.Printf("v: [%.2f %.2f %.2f]\n", res.X[0], res.X[1], res.X[2])
+	// Output:
+	// pre-image exists: true
+	// v: [0.00 0.50 0.00]
+}
+
+// ExampleMatrix_MaskRows applies the activation-pattern masking of the
+// paper's Formula 3.
+func ExampleMatrix_MaskRows() {
+	w := tensor.FromSlice(3, 2, []float64{
+		1, 2,
+		3, 4,
+		5, 6,
+	})
+	w.MaskRows([]bool{true, false, true})
+	fmt.Println(w.Row(0), w.Row(1), w.Row(2))
+	// Output:
+	// [1 2] [0 0] [5 6]
+}

@@ -1,0 +1,122 @@
+package tensor
+
+import "math"
+
+// LstSqResult is the outcome of a least-squares solve.
+type LstSqResult struct {
+	X        []float64 // solution (minimum-norm when underdetermined)
+	Residual float64   // ‖A·x − b‖₂
+	RelRes   float64   // Residual / max(‖b‖₂, 1e-300)
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ for a general m×n matrix A.
+//
+// This is the pre-image computation of Algorithm 1 line 7: A is the product
+// weight matrix Â^(i) (d_i × P) and b is a standard basis vector e_{i,j}.
+// When the network is contractive (P >= d_i, full row rank) the system is
+// underdetermined and an exact minimum-norm pre-image exists; when the
+// network is expansive at this location, the residual is large and the
+// caller treats the bit as ⊥ (§3.4).
+func LeastSquares(a *Matrix, b []float64) LstSqResult {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		panic("tensor: LeastSquares length mismatch")
+	}
+	var x []float64
+	if m <= n {
+		x = minNormSolve(a, b)
+	} else {
+		var err error
+		x, err = QRDecompose(a).Solve(b)
+		if err != nil {
+			// Rank-deficient tall system. The Jacobi SVD is accurate but
+			// O(n²·m) per sweep, so above a size cutoff fall back to
+			// ridge-regularized normal equations instead: the attack only
+			// needs a small-residual solution or a confidently large
+			// residual, and the tiny ridge perturbs neither.
+			if m*n > 100_000 {
+				x = ridgeSolve(a, b)
+			} else {
+				x = SVDecompose(a).PinvSolve(b, 1e-12)
+			}
+		}
+	}
+	r := VecSub(MatVec(a, x), b)
+	res := Norm2(r)
+	nb := Norm2(b)
+	if nb < 1e-300 {
+		nb = 1e-300
+	}
+	return LstSqResult{X: x, Residual: res, RelRes: res / nb}
+}
+
+// minNormSolve returns the minimum-norm x with A·x = b for a wide matrix
+// (m <= n): x = Aᵀ·(A·Aᵀ)⁻¹·b via Cholesky, falling back to the SVD
+// pseudo-inverse when A·Aᵀ is not positive definite (rank-deficient A).
+func minNormSolve(a *Matrix, b []float64) []float64 {
+	m := a.Rows
+	// Gram matrix G = A·Aᵀ (m×m, small: m = d_i).
+	g := New(m, m)
+	for i := 0; i < m; i++ {
+		ri := a.Row(i)
+		for j := i; j < m; j++ {
+			s := Dot(ri, a.Row(j))
+			g.Set(i, j, s)
+			g.Set(j, i, s)
+		}
+	}
+	// Tiny Tikhonov jitter keeps well-posed systems stable without
+	// disturbing the solution materially.
+	jitter := 1e-12 * (1 + g.MaxAbs())
+	for i := 0; i < m; i++ {
+		g.Set(i, i, g.At(i, i)+jitter)
+	}
+	if ch, err := CholeskyDecompose(g); err == nil {
+		w := ch.Solve(b)
+		if allFinite(w) {
+			return MatTVec(a, w)
+		}
+	}
+	return SVDecompose(a).PinvSolve(b, 1e-12)
+}
+
+// ridgeSolve solves (AᵀA + λI)x = Aᵀb with a small ridge, for tall
+// rank-deficient systems too large for the Jacobi SVD.
+func ridgeSolve(a *Matrix, b []float64) []float64 {
+	n := a.Cols
+	g := New(n, n)
+	// G = AᵀA accumulated row-by-row (cache friendly).
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for p := 0; p < n; p++ {
+			rp := row[p]
+			if rp == 0 {
+				continue
+			}
+			grow := g.Row(p)
+			for q := 0; q < n; q++ {
+				grow[q] += rp * row[q]
+			}
+		}
+	}
+	lambda := 1e-10 * (1 + g.MaxAbs())
+	for i := 0; i < n; i++ {
+		g.Set(i, i, g.At(i, i)+lambda)
+	}
+	atb := MatTVec(a, b)
+	if ch, err := CholeskyDecompose(g); err == nil {
+		if x := ch.Solve(atb); allFinite(x) {
+			return x
+		}
+	}
+	return make([]float64, n) // degenerate: zero solution, caller sees residual ‖b‖
+}
+
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

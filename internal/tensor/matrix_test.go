@@ -1,0 +1,219 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At after Set = %v", m.At(1, 2))
+	}
+	m.SetRow(0, []float64{1, 2, 3})
+	if got := m.Row(0); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Row = %v", got)
+	}
+	m.SetCol(1, []float64{8, 9})
+	if m.At(0, 1) != 8 || m.At(1, 1) != 9 {
+		t.Fatalf("SetCol failed: %v", m)
+	}
+	if got := m.Col(1); got[0] != 8 || got[1] != 9 {
+		t.Fatalf("Col = %v", got)
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity(3)
+	d := Diag([]float64{1, 1, 1})
+	if !Equal(id, d, 0) {
+		t.Fatalf("Identity != Diag(ones): %v vs %v", id, d)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		m := randMat(rng, n, n)
+		return Equal(MatMul(m, Identity(n)), m, 1e-12) &&
+			Equal(MatMul(Identity(n), m), m, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, s, u := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, b, c := randMat(r, p, q), randMat(r, q, s), randMat(r, s, u)
+		return Equal(MatMul(MatMul(a, b), c), MatMul(a, MatMul(b, c)), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randMat(r, 1+r.Intn(7), 1+r.Intn(7))
+		return Equal(m.T().T(), m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeProductRule(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, s := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, b := randMat(r, p, q), randMat(r, q, s)
+		return Equal(MatMul(a, b).T(), MatMul(b.T(), a.T()), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatVecAgainstMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 5, 4)
+	x := randVec(rng, 4)
+	got := MatVec(a, x)
+	want := MatMul(a, FromSlice(4, 1, x))
+	for i, v := range got {
+		if math.Abs(v-want.At(i, 0)) > 1e-12 {
+			t.Fatalf("MatVec[%d] = %v, want %v", i, v, want.At(i, 0))
+		}
+	}
+}
+
+func TestMatTVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMat(rng, 5, 4)
+	x := randVec(rng, 5)
+	got := MatTVec(a, x)
+	want := MatVec(a.T(), x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MatTVec mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddSubScaleHadamard(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	if got := Add(a, b); !Equal(got, FromSlice(2, 2, []float64{6, 8, 10, 12}), 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); !Equal(got, FromSlice(2, 2, []float64{4, 4, 4, 4}), 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); !Equal(got, FromSlice(2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := Hadamard(a, b); !Equal(got, FromSlice(2, 2, []float64{5, 12, 21, 32}), 0) {
+		t.Fatalf("Hadamard = %v", got)
+	}
+	c := a.Clone()
+	c.AddInPlace(b)
+	if !Equal(c, Add(a, b), 0) {
+		t.Fatal("AddInPlace mismatch")
+	}
+	c = a.Clone()
+	c.ScaleInPlace(3)
+	if !Equal(c, a.Scale(3), 0) {
+		t.Fatal("ScaleInPlace mismatch")
+	}
+}
+
+func TestMaskRows(t *testing.T) {
+	m := FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	m.MaskRows([]bool{true, false, true})
+	want := FromSlice(3, 2, []float64{1, 2, 0, 0, 5, 6})
+	if !Equal(m, want, 0) {
+		t.Fatalf("MaskRows = %v", m)
+	}
+}
+
+func TestNormsAndEqual(t *testing.T) {
+	m := FromSlice(1, 3, []float64{3, -4, 0})
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	if math.Abs(m.FrobNorm()-5) > 1e-12 {
+		t.Fatalf("FrobNorm = %v", m.FrobNorm())
+	}
+	if Equal(m, New(2, 2), 1) {
+		t.Fatal("Equal should reject shape mismatch")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original")
+	}
+	c := New(1, 2)
+	c.CopyFrom(a)
+	if !Equal(a, c, 0) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	m.Zero()
+	if m.At(0, 0) != 0 || m.At(0, 1) != 0 {
+		t.Fatal("Zero failed")
+	}
+}

@@ -1,0 +1,136 @@
+package tensor
+
+import "math"
+
+// QR holds a Householder QR factorization A = Q·R for an m×n matrix with
+// m >= n. Q is m×m orthogonal (stored implicitly as reflectors), R is m×n
+// upper triangular.
+type QR struct {
+	qr    *Matrix   // reflectors below diagonal, R on/above
+	rdiag []float64 // diagonal of R
+	m, n  int
+}
+
+// QRDecompose computes the Householder QR factorization of a (m >= n required).
+func QRDecompose(a *Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("tensor: QRDecompose requires rows >= cols; factor the transpose instead")
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below row k.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rdiag[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{qr: qr, rdiag: rdiag, m: m, n: n}
+}
+
+// FullRank reports whether R has no zero (tiny) diagonal entries.
+func (f *QR) FullRank() bool {
+	for _, d := range f.rdiag {
+		if math.Abs(d) < 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the least-squares solution x minimizing ‖A·x − b‖₂ for the
+// overdetermined (or square) system. It returns ErrSingular if A is rank
+// deficient.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		panic("tensor: QR.Solve length mismatch")
+	}
+	if !f.FullRank() {
+		return nil, ErrSingular
+	}
+	y := VecClone(b)
+	// y = Qᵀ·b via the stored reflectors.
+	for k := 0; k < f.n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < f.m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, f.n)
+	for i := f.n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// Q materializes the thin m×n orthonormal factor.
+func (f *QR) Q() *Matrix {
+	q := New(f.m, f.n)
+	for j := 0; j < f.n; j++ {
+		col := Basis(f.m, j)
+		// col = Q·e_j: apply reflectors in reverse order.
+		for k := f.n - 1; k >= 0; k-- {
+			if f.qr.At(k, k) == 0 {
+				continue
+			}
+			s := 0.0
+			for i := k; i < f.m; i++ {
+				s += f.qr.At(i, k) * col[i]
+			}
+			s = -s / f.qr.At(k, k)
+			for i := k; i < f.m; i++ {
+				col[i] += s * f.qr.At(i, k)
+			}
+		}
+		q.SetCol(j, col)
+	}
+	return q
+}
+
+// R materializes the thin n×n upper-triangular factor.
+func (f *QR) R() *Matrix {
+	r := New(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		r.Set(i, i, f.rdiag[i])
+		for j := i + 1; j < f.n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}

@@ -1,0 +1,135 @@
+package tensor
+
+import "math"
+
+// SVD holds a thin singular value decomposition A = U·diag(S)·Vᵀ with
+// U m×r, S length r, V n×r, where r = min(m, n).
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVDecompose computes a thin SVD by one-sided Jacobi rotations on the
+// columns of A (on Aᵀ when m < n). Accurate for the moderate sizes used by
+// the attack; singular values are returned in descending order.
+func SVDecompose(a *Matrix) *SVD {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		s := SVDecompose(a.T())
+		return &SVD{U: s.V, S: s.S, V: s.U}
+	}
+	u := a.Clone() // m×n, columns orthogonalized in place
+	v := Identity(n)
+	const (
+		maxSweeps = 60
+		eps       = 1e-13
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Gram entries for columns p and q.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					app += up * up
+					aqq += uq * uq
+					apq += up * uq
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq) {
+					continue
+				}
+				off += math.Abs(apq)
+				// Jacobi rotation zeroing the (p,q) Gram entry.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					u.Set(i, p, c*up-s*uq)
+					u.Set(i, q, s*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	// Column norms are the singular values.
+	sv := make([]float64, n)
+	for j := 0; j < n; j++ {
+		nrm := 0.0
+		for i := 0; i < m; i++ {
+			nrm = math.Hypot(nrm, u.At(i, j))
+		}
+		sv[j] = nrm
+		if nrm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j)/nrm)
+			}
+		}
+	}
+	// Sort descending by singular value (simple selection sort, n is small).
+	for i := 0; i < n-1; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if sv[j] > sv[best] {
+				best = j
+			}
+		}
+		if best != i {
+			sv[i], sv[best] = sv[best], sv[i]
+			for r := 0; r < m; r++ {
+				ui, ub := u.At(r, i), u.At(r, best)
+				u.Set(r, i, ub)
+				u.Set(r, best, ui)
+			}
+			for r := 0; r < n; r++ {
+				vi, vb := v.At(r, i), v.At(r, best)
+				v.Set(r, i, vb)
+				v.Set(r, best, vi)
+			}
+		}
+	}
+	return &SVD{U: u, S: sv, V: v}
+}
+
+// Rank returns the numerical rank at relative tolerance tol (e.g. 1e-10).
+func (s *SVD) Rank(tol float64) int {
+	if len(s.S) == 0 || s.S[0] == 0 {
+		return 0
+	}
+	r := 0
+	for _, sv := range s.S {
+		if sv > tol*s.S[0] {
+			r++
+		}
+	}
+	return r
+}
+
+// PinvSolve returns the pseudo-inverse solution x = V·diag(1/S)·Uᵀ·b,
+// truncating singular values below tol relative to the largest.
+func (s *SVD) PinvSolve(b []float64, tol float64) []float64 {
+	ub := MatTVec(s.U, b)
+	for i := range ub {
+		if s.S[i] > tol*s.S[0] && s.S[0] > 0 {
+			ub[i] /= s.S[i]
+		} else {
+			ub[i] = 0
+		}
+	}
+	return MatVec(s.V, ub)
+}

@@ -1,0 +1,63 @@
+// Package train provides the optimization substrate used to (1) train
+// HPNN-locked models as functions of their keys and (2) drive the paper's
+// learning-based attack: losses, SGD/Adam optimizers, and a mini-batch
+// trainer.
+package train
+
+import (
+	"math"
+
+	"dnnlock/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy between softmax(logits)
+// and the integer labels, and the gradient w.r.t. the logits.
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (loss float64, grad *tensor.Matrix) {
+	if logits.Rows != len(labels) {
+		panic("train: label count mismatch")
+	}
+	n := logits.Rows
+	grad = tensor.New(logits.Rows, logits.Cols)
+	for r := 0; r < n; r++ {
+		p := tensor.Softmax(logits.Row(r))
+		y := labels[r]
+		loss += -math.Log(math.Max(p[y], 1e-300))
+		gr := grad.Row(r)
+		for c, pc := range p {
+			gr[c] = pc / float64(n)
+		}
+		gr[y] -= 1 / float64(n)
+	}
+	return loss / float64(n), grad
+}
+
+// MSE computes the mean squared error between pred and target matrices and
+// the gradient w.r.t. pred. This is the loss of the learning-based attack
+// (§4.1): MSE between the white-box logits and the oracle logits.
+func MSE(pred, target *tensor.Matrix) (loss float64, grad *tensor.Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("train: MSE shape mismatch")
+	}
+	n := float64(len(pred.Data))
+	grad = tensor.New(pred.Rows, pred.Cols)
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Matrix, labels []int) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	for r := 0; r < logits.Rows; r++ {
+		if tensor.ArgMax(logits.Row(r)) == labels[r] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(logits.Rows)
+}

@@ -1,0 +1,89 @@
+package train
+
+import (
+	"math"
+
+	"dnnlock/internal/nn"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*nn.Param)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*nn.Param][]float64
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*nn.Param][]float64)}
+}
+
+// Step applies one update to every unfrozen parameter and clears gradients.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		if p.Frozen {
+			p.ZeroGrad()
+			continue
+		}
+		v := s.vel[p]
+		if v == nil {
+			v = make([]float64, len(p.W.Data))
+			s.vel[p] = v
+		}
+		for i := range p.W.Data {
+			v[i] = s.Momentum*v[i] - s.LR*p.G.Data[i]
+			p.W.Data[i] += v[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*nn.Param][]float64
+}
+
+// NewAdam constructs Adam with standard moment decay rates.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*nn.Param][]float64),
+		v: make(map[*nn.Param][]float64),
+	}
+}
+
+// Step applies one bias-corrected Adam update to every unfrozen parameter
+// and clears gradients.
+func (a *Adam) Step(params []*nn.Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.Frozen {
+			p.ZeroGrad()
+			continue
+		}
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = make([]float64, len(p.W.Data))
+			v = make([]float64, len(p.W.Data))
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i := range p.W.Data {
+			g := p.G.Data[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			p.W.Data[i] -= a.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
