@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race bench vet check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+## race: static checks + race-detector pass over the concurrent internals
+race:
+	sh scripts/check.sh
+
+## bench: Table 1 / Figure 3 + kernel micro-benches, emits BENCH_<date>.json
+bench:
+	sh scripts/bench.sh
+
+clean:
+	$(GO) clean -testcache
+	rm -f *.prof *.test cpu.out mem.out

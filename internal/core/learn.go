@@ -77,6 +77,10 @@ func fitSoft(net *nn.Network, sites []softSite, x, y *tensor.Matrix, cfg Config,
 	perm := rng.Perm(n)
 	bestLoss := math.Inf(1)
 	stall := 0
+	// Reusable minibatch workspaces; partial batches reslice them.
+	bxBuf := tensor.GetMatrix(cfg.LearnBatch, x.Cols)
+	byBuf := tensor.GetMatrix(cfg.LearnBatch, y.Cols)
+	defer tensor.PutMatrix(bxBuf, byBuf)
 	for epoch := 0; epoch < cfg.LearnEpochs; epoch++ {
 		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		epochLoss := 0.0
@@ -86,8 +90,8 @@ func fitSoft(net *nn.Network, sites []softSite, x, y *tensor.Matrix, cfg Config,
 			if end > n {
 				end = n
 			}
-			bx := tensor.New(end-start, x.Cols)
-			by := tensor.New(end-start, y.Cols)
+			bx := tensor.FromSlice(end-start, x.Cols, bxBuf.Data[:(end-start)*x.Cols])
+			by := tensor.FromSlice(end-start, y.Cols, byBuf.Data[:(end-start)*y.Cols])
 			for i := start; i < end; i++ {
 				bx.SetRow(i-start, x.Row(perm[i]))
 				by.SetRow(i-start, y.Row(perm[i]))
@@ -95,7 +99,8 @@ func fitSoft(net *nn.Network, sites []softSite, x, y *tensor.Matrix, cfg Config,
 			pred := net.TrainForward(bx)
 			if softmax {
 				for r := 0; r < pred.Rows; r++ {
-					pred.SetRow(r, tensor.Softmax(pred.Row(r)))
+					row := pred.Row(r)
+					tensor.SoftmaxInto(row, row)
 				}
 			}
 			loss, grad := train.MSE(pred, by)

@@ -12,11 +12,17 @@ import (
 // scores are S = φ(Q·Kᵀ/√Dh)/T, keeping the whole block piecewise
 // polynomial and ReLU-gated so the attack's critical-point machinery
 // applies. Input/output are T·D flat token stacks.
+//
+// All matrix products run through the transpose-free blocked kernels
+// (MatMulABTInto/MatMulATBInto), so no Kᵀ/Vᵀ/Xᵀ copies are ever built, and
+// intermediates live in the tensor workspace pool rather than being
+// reallocated per example.
 type AttentionReLU struct {
 	T, D, Dh       int
 	Wq, Wk, Wv, Wo *Param
 
-	// Training caches (single-goroutine).
+	// Training caches (single-goroutine). The matrices are pool-backed;
+	// they are released on the next TrainForward.
 	cX, cQ, cK, cV, cS, cO []*tensor.Matrix
 	cMask                  [][]bool
 }
@@ -56,33 +62,45 @@ func (a *AttentionReLU) OutSize() int { return a.T * a.D }
 func (a *AttentionReLU) scaleA() float64 { return 1 / math.Sqrt(float64(a.Dh)) }
 func (a *AttentionReLU) scaleB() float64 { return 1 / float64(a.T) }
 
-// forwardOne computes the block for one example and returns all
-// intermediates for reuse by Backward and JVP.
-func (a *AttentionReLU) forwardOne(x []float64) (xm, q, k, v, s, o *tensor.Matrix, mask []bool, y []float64) {
-	xm = tensor.FromSlice(a.T, a.D, x)
-	q = tensor.MatMul(xm, a.Wq.W)
-	k = tensor.MatMul(xm, a.Wk.W)
-	v = tensor.MatMul(xm, a.Wv.W)
-	u := tensor.MatMul(q, k.T())
+// forwardOne computes the block for one example (xm is the T×D token view
+// of the input) and returns all intermediates for reuse by Backward and
+// JVP. The returned matrices come from the workspace pool — the caller
+// either releases them with tensor.PutMatrix or caches them; y is freshly
+// allocated and owned by the caller.
+func (a *AttentionReLU) forwardOne(xm *tensor.Matrix) (q, k, v, s, o *tensor.Matrix, mask []bool, y []float64) {
+	q = tensor.GetMatrix(a.T, a.Dh)
+	k = tensor.GetMatrix(a.T, a.Dh)
+	v = tensor.GetMatrix(a.T, a.Dh)
+	tensor.MatMulInto(q, xm, a.Wq.W)
+	tensor.MatMulInto(k, xm, a.Wk.W)
+	tensor.MatMulInto(v, xm, a.Wv.W)
+	u := tensor.GetMatrix(a.T, a.T)
+	tensor.MatMulABTInto(u, q, k) // U = Q·Kᵀ
 	u.ScaleInPlace(a.scaleA())
 	mask = make([]bool, a.T*a.T)
-	s = tensor.New(a.T, a.T)
+	s = tensor.GetMatrix(a.T, a.T)
 	b := a.scaleB()
 	for i, uv := range u.Data {
 		if uv > 0 {
 			mask[i] = true
 			s.Data[i] = uv * b
+		} else {
+			s.Data[i] = 0
 		}
 	}
-	o = tensor.MatMul(s, v)
-	ym := tensor.MatMul(o, a.Wo.W)
-	return xm, q, k, v, s, o, mask, ym.Data
+	tensor.PutMatrix(u)
+	o = tensor.GetMatrix(a.T, a.Dh)
+	tensor.MatMulInto(o, s, v)
+	ym := tensor.New(a.T, a.D)
+	tensor.MatMulInto(ym, o, a.Wo.W)
+	return q, k, v, s, o, mask, ym.Data
 }
 
 // Forward computes attention for one flat example.
 func (a *AttentionReLU) Forward(x []float64, _ *Trace) []float64 {
 	checkSize("attention_relu", a.InSize(), len(x))
-	_, _, _, _, _, _, _, y := a.forwardOne(x)
+	q, k, v, s, o, _, y := a.forwardOne(tensor.FromSlice(a.T, a.D, x))
+	tensor.PutMatrix(q, k, v, s, o)
 	return y
 }
 
@@ -91,8 +109,18 @@ func (a *AttentionReLU) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
 	return forwardBatchViaSingle(a, x)
 }
 
+// releaseCaches returns the previous training intermediates to the
+// workspace pool.
+func (a *AttentionReLU) releaseCaches() {
+	for _, set := range [][]*tensor.Matrix{a.cX, a.cQ, a.cK, a.cV, a.cS, a.cO} {
+		tensor.PutMatrix(set...)
+	}
+	a.cX, a.cQ, a.cK, a.cV, a.cS, a.cO, a.cMask = nil, nil, nil, nil, nil, nil, nil
+}
+
 // TrainForward runs the batch while caching all per-example intermediates.
 func (a *AttentionReLU) TrainForward(x *tensor.Matrix) *tensor.Matrix {
+	a.releaseCaches()
 	n := x.Rows
 	a.cX = make([]*tensor.Matrix, n)
 	a.cQ = make([]*tensor.Matrix, n)
@@ -103,7 +131,9 @@ func (a *AttentionReLU) TrainForward(x *tensor.Matrix) *tensor.Matrix {
 	a.cMask = make([][]bool, n)
 	out := tensor.New(n, a.OutSize())
 	for r := 0; r < n; r++ {
-		xm, q, k, v, s, o, mask, y := a.forwardOne(tensor.VecClone(x.Row(r)))
+		xm := tensor.GetMatrix(a.T, a.D)
+		copy(xm.Data, x.Row(r))
+		q, k, v, s, o, mask, y := a.forwardOne(xm)
 		a.cX[r], a.cQ[r], a.cK[r], a.cV[r], a.cS[r], a.cO[r], a.cMask[r] = xm, q, k, v, s, o, mask
 		out.SetRow(r, y)
 	}
@@ -119,70 +149,87 @@ func (a *AttentionReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	}
 	sa, sb := a.scaleA(), a.scaleB()
 	dx := tensor.New(dy.Rows, a.InSize())
+	do := tensor.GetMatrix(a.T, a.Dh)
+	ds := tensor.GetMatrix(a.T, a.T)
+	du := tensor.GetMatrix(a.T, a.T)
+	dv := tensor.GetMatrix(a.T, a.Dh)
+	dq := tensor.GetMatrix(a.T, a.Dh)
+	dk := tensor.GetMatrix(a.T, a.Dh)
+	defer tensor.PutMatrix(do, ds, du, dv, dq, dk)
 	for r := 0; r < dy.Rows; r++ {
-		dym := tensor.FromSlice(a.T, a.D, tensor.VecClone(dy.Row(r)))
+		dym := tensor.FromSlice(a.T, a.D, dy.Row(r))
 		x, q, k, v, s, o, mask := a.cX[r], a.cQ[r], a.cK[r], a.cV[r], a.cS[r], a.cO[r], a.cMask[r]
 
-		do := tensor.MatMul(dym, a.Wo.W.T())
-		a.Wo.G.AddInPlace(tensor.MatMul(o.T(), dym))
+		tensor.MatMulABTInto(do, dym, a.Wo.W) // dO = dY·Woᵀ
+		tensor.MatMulATBAddInto(a.Wo.G, o, dym)
 
-		ds := tensor.MatMul(do, v.T())
-		dv := tensor.MatMul(s.T(), do)
+		tensor.MatMulABTInto(ds, do, v) // dS = dO·Vᵀ
+		tensor.MatMulATBInto(dv, s, do) // dV = Sᵀ·dO
 
-		du := tensor.New(a.T, a.T)
 		for i := range ds.Data {
 			if mask[i] {
 				du.Data[i] = ds.Data[i] * sb
+			} else {
+				du.Data[i] = 0
 			}
 		}
-		dq := tensor.MatMul(du, k)
+		tensor.MatMulInto(dq, du, k)
 		dq.ScaleInPlace(sa)
-		dk := tensor.MatMul(du.T(), q)
+		tensor.MatMulATBInto(dk, du, q) // dK = dUᵀ·Q
 		dk.ScaleInPlace(sa)
 
-		a.Wq.G.AddInPlace(tensor.MatMul(x.T(), dq))
-		a.Wk.G.AddInPlace(tensor.MatMul(x.T(), dk))
-		a.Wv.G.AddInPlace(tensor.MatMul(x.T(), dv))
+		tensor.MatMulATBAddInto(a.Wq.G, x, dq) // Wq.G += Xᵀ·dQ
+		tensor.MatMulATBAddInto(a.Wk.G, x, dk)
+		tensor.MatMulATBAddInto(a.Wv.G, x, dv)
 
-		dxm := tensor.MatMul(dq, a.Wq.W.T())
-		dxm.AddInPlace(tensor.MatMul(dk, a.Wk.W.T()))
-		dxm.AddInPlace(tensor.MatMul(dv, a.Wv.W.T()))
-		dx.SetRow(r, dxm.Data)
+		dxm := tensor.FromSlice(a.T, a.D, dx.Row(r))
+		tensor.MatMulABTInto(dxm, dq, a.Wq.W) // dX = dQ·Wqᵀ + dK·Wkᵀ + dV·Wvᵀ
+		tensor.MatMulABTAddInto(dxm, dk, a.Wk.W)
+		tensor.MatMulABTAddInto(dxm, dv, a.Wv.W)
 	}
 	return dx
 }
 
 // JVP propagates each tangent column through the bilinear attention map by
 // the product rule: dU = (dQ·Kᵀ + Q·dKᵀ)·a, dS = 1[U>0]∘dU·b,
-// dO = dS·V + S·dV, dY = dO·Wo.
+// dO = dS·V + S·dV, dY = dO·Wo. Tangents are staged through a pooled
+// transpose so every inner product streams contiguous rows.
 func (a *AttentionReLU) JVP(x []float64, j *tensor.Matrix, _ *JVPTrace) ([]float64, *tensor.Matrix) {
-	_, q, k, v, s, _, mask, y := a.forwardOne(x)
+	q, k, v, s, o, mask, y := a.forwardOne(tensor.FromSlice(a.T, a.D, x))
 	sa, sb := a.scaleA(), a.scaleB()
 	p := j.Cols
-	jy := tensor.New(a.OutSize(), p)
-	col := make([]float64, a.InSize())
+	jT := tensor.GetMatrix(p, a.InSize())
+	j.TransposeInto(jT)
+	jyT := tensor.GetMatrix(p, a.OutSize())
+	dq := tensor.GetMatrix(a.T, a.Dh)
+	dk := tensor.GetMatrix(a.T, a.Dh)
+	dv := tensor.GetMatrix(a.T, a.Dh)
+	du := tensor.GetMatrix(a.T, a.T)
+	dsm := tensor.GetMatrix(a.T, a.T)
+	do := tensor.GetMatrix(a.T, a.Dh)
 	for t := 0; t < p; t++ {
-		for i := range col {
-			col[i] = j.At(i, t)
-		}
-		dxm := tensor.FromSlice(a.T, a.D, col)
-		dq := tensor.MatMul(dxm, a.Wq.W)
-		dk := tensor.MatMul(dxm, a.Wk.W)
-		dv := tensor.MatMul(dxm, a.Wv.W)
-		du := tensor.MatMul(dq, k.T())
-		du.AddInPlace(tensor.MatMul(q, dk.T()))
+		dxm := tensor.FromSlice(a.T, a.D, jT.Row(t))
+		tensor.MatMulInto(dq, dxm, a.Wq.W)
+		tensor.MatMulInto(dk, dxm, a.Wk.W)
+		tensor.MatMulInto(dv, dxm, a.Wv.W)
+		tensor.MatMulABTInto(du, dq, k)    // dQ·Kᵀ
+		tensor.MatMulABTAddInto(du, q, dk) // + Q·dKᵀ
 		du.ScaleInPlace(sa)
-		dsm := tensor.New(a.T, a.T)
 		for i := range du.Data {
 			if mask[i] {
 				dsm.Data[i] = du.Data[i] * sb
+			} else {
+				dsm.Data[i] = 0
 			}
 		}
-		do := tensor.MatMul(dsm, v)
-		do.AddInPlace(tensor.MatMul(s, dv))
-		dym := tensor.MatMul(do, a.Wo.W)
-		jy.SetCol(t, dym.Data)
+		tensor.MatMulInto(do, dsm, v)
+		tensor.MatMulAddInto(do, s, dv)
+		dym := tensor.FromSlice(a.T, a.D, jyT.Row(t))
+		tensor.MatMulInto(dym, do, a.Wo.W)
 	}
+	jy := tensor.New(a.OutSize(), p)
+	jyT.TransposeInto(jy)
+	tensor.PutMatrix(q, k, v, s, o, jT, jyT, dq, dk, dv, du, dsm, do)
 	return y, jy
 }
 

@@ -78,11 +78,13 @@ func (c *Conv2D) patch(x []float64, oy, ox int, dst []float64) {
 	}
 }
 
-// forwardOne convolves a single flat example; bias is optional so the JVP
-// path can reuse this as a pure linear map.
-func (c *Conv2D) forwardOne(x []float64, withBias bool) []float64 {
-	out := make([]float64, c.OutSize())
-	buf := make([]float64, c.InC*c.KH*c.KW)
+// forwardInto convolves a single flat example into out (length OutSize);
+// bias is optional so the JVP path can reuse this as a pure linear map.
+// The im2col patch buffer comes from the workspace pool, so repeated calls
+// (batches, Jacobian columns) do not allocate.
+func (c *Conv2D) forwardInto(x, out []float64, withBias bool) {
+	buf := tensor.GetVec(c.InC * c.KH * c.KW)
+	defer tensor.PutVec(buf)
 	brow := c.B.W.Row(0)
 	for oy := 0; oy < c.OutH; oy++ {
 		for ox := 0; ox < c.OutW; ox++ {
@@ -96,6 +98,11 @@ func (c *Conv2D) forwardOne(x []float64, withBias bool) []float64 {
 			}
 		}
 	}
+}
+
+func (c *Conv2D) forwardOne(x []float64, withBias bool) []float64 {
+	out := make([]float64, c.OutSize())
+	c.forwardInto(x, out, withBias)
 	return out
 }
 
@@ -123,7 +130,8 @@ func (c *Conv2D) Backward(dy *tensor.Matrix) *tensor.Matrix {
 		panic("nn: Conv2D.Backward before TrainForward")
 	}
 	dx := tensor.New(dy.Rows, c.InSize())
-	buf := make([]float64, c.InC*c.KH*c.KW)
+	buf := tensor.GetVec(c.InC * c.KH * c.KW)
+	defer tensor.PutVec(buf)
 	plane := c.OutH * c.OutW
 	for r := 0; r < dy.Rows; r++ {
 		xr := x.Row(r)
@@ -164,18 +172,20 @@ func (c *Conv2D) Backward(dy *tensor.Matrix) *tensor.Matrix {
 }
 
 // JVP convolves the value with bias and every tangent column without bias
-// (the convolution is linear, so tangents transform exactly).
+// (the convolution is linear, so tangents transform exactly). Tangents are
+// staged through pooled transposes so each column convolves contiguously.
 func (c *Conv2D) JVP(x []float64, j *tensor.Matrix, _ *JVPTrace) ([]float64, *tensor.Matrix) {
 	y := c.forwardOne(x, true)
 	p := j.Cols
-	jy := tensor.New(c.OutSize(), p)
-	col := make([]float64, c.InSize())
+	jT := tensor.GetMatrix(p, c.InSize())
+	j.TransposeInto(jT)
+	jyT := tensor.GetMatrix(p, c.OutSize())
 	for t := 0; t < p; t++ {
-		for i := 0; i < c.InSize(); i++ {
-			col[i] = j.At(i, t)
-		}
-		jy.SetCol(t, c.forwardOne(col, false))
+		c.forwardInto(jT.Row(t), jyT.Row(t), false)
 	}
+	jy := tensor.New(c.OutSize(), p)
+	jyT.TransposeInto(jy)
+	tensor.PutMatrix(jT, jyT)
 	return y, jy
 }
 

@@ -63,16 +63,17 @@ func (d *Dense) Forward(x []float64, _ *Trace) []float64 {
 	return y
 }
 
-// ForwardBatch computes X·Wᵀ + b for a batch.
+// ForwardBatch computes X·Wᵀ + b for a batch via the transpose-free
+// blocked kernel (W is stored out×in, so no copy of Wᵀ is ever built).
 func (d *Dense) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
 	checkSize("dense", d.In, x.Cols)
 	out := tensor.New(x.Rows, d.Out)
+	tensor.MatMulABTInto(out, x, d.W.W)
 	brow := d.B.W.Row(0)
-	for i := 0; i < x.Rows; i++ {
-		xr := x.Row(i)
+	for i := 0; i < out.Rows; i++ {
 		or := out.Row(i)
-		for o := 0; o < d.Out; o++ {
-			or[o] = tensor.Dot(d.W.W.Row(o), xr) + brow[o]
+		for o, bv := range brow {
+			or[o] += bv
 		}
 	}
 	return out
@@ -85,40 +86,26 @@ func (d *Dense) TrainForward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward accumulates dW, dB and returns dX.
+// dW += dYᵀ·X ; dB += Σ_rows dY ; dX = dY·W — all through the transpose-free
+// parallel kernels, which keep the batch-ascending accumulation order of the
+// original serial loops.
 func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	x := d.lastX
 	if x == nil {
 		panic("nn: Dense.Backward before TrainForward")
 	}
-	// dW += dYᵀ·X ; dB += Σ_rows dY ; dX = dY·W.
-	for i := 0; i < x.Rows; i++ {
-		dyr := dy.Row(i)
-		xr := x.Row(i)
-		for o, g := range dyr {
+	tensor.MatMulATBAddInto(d.W.G, dy, x)
+	bg := d.B.G.Row(0)
+	for i := 0; i < dy.Rows; i++ {
+		for o, g := range dy.Row(i) {
 			if g == 0 {
 				continue
 			}
-			wrow := d.W.G.Row(o)
-			for k, xv := range xr {
-				wrow[k] += g * xv
-			}
-			d.B.G.Data[o] += g
+			bg[o] += g
 		}
 	}
 	dx := tensor.New(dy.Rows, d.In)
-	for i := 0; i < dy.Rows; i++ {
-		dyr := dy.Row(i)
-		dxr := dx.Row(i)
-		for o, g := range dyr {
-			if g == 0 {
-				continue
-			}
-			wrow := d.W.W.Row(o)
-			for k, wv := range wrow {
-				dxr[k] += g * wv
-			}
-		}
-	}
+	tensor.MatMulInto(dx, dy, d.W.W)
 	return dx
 }
 

@@ -153,9 +153,10 @@ func (f *Flip) SetOffset(j int, v float64) {
 	f.Offsets[j] = v
 }
 
-// forwardRow applies the flip to one example in place-free fashion.
-func (f *Flip) forwardRow(x []float64) []float64 {
-	y := make([]float64, f.N)
+// forwardRowInto applies the flip to one example, writing into y (same
+// length as x; must not alias x when soft indices are active, since those
+// re-read the pre-flip value).
+func (f *Flip) forwardRowInto(y, x []float64) {
 	for i, v := range x {
 		y[i] = f.Signs[i] * v
 	}
@@ -167,6 +168,12 @@ func (f *Flip) forwardRow(x []float64) []float64 {
 	for i, j := range f.softIdx {
 		y[j] = f.softForwardValue(i, x[j])
 	}
+}
+
+// forwardRow applies the flip to one example in place-free fashion.
+func (f *Flip) forwardRow(x []float64) []float64 {
+	y := make([]float64, f.N)
+	f.forwardRowInto(y, x)
 	return y
 }
 
@@ -186,7 +193,7 @@ func (f *Flip) Forward(x []float64, tr *Trace) []float64 {
 func (f *Flip) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
 	out := tensor.New(x.Rows, f.N)
 	for i := 0; i < x.Rows; i++ {
-		out.SetRow(i, f.forwardRow(x.Row(i)))
+		f.forwardRowInto(out.Row(i), x.Row(i))
 	}
 	return out
 }

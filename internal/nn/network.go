@@ -161,8 +161,10 @@ func (n *Network) Params() []*Param {
 
 // ZeroGrad clears all parameter gradients.
 func (n *Network) ZeroGrad() {
-	for _, p := range n.Params() {
-		p.ZeroGrad()
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			p.ZeroGrad()
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 package oracle
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"dnnlock/internal/hpnn"
@@ -62,23 +63,82 @@ func (o *Oracle) Query(x []float64) []float64 {
 }
 
 // QueryBatch runs one inference per row and returns the output matrix.
+// Rows are evaluated concurrently (the device is safe for concurrent
+// inference), sharded over tensor.Parallelism() goroutines. Each row lands
+// in its own output slot, so the result is identical to the serial loop.
 func (o *Oracle) QueryBatch(x *tensor.Matrix) *tensor.Matrix {
 	o.queries.Add(int64(x.Rows))
-	var out *tensor.Matrix
-	for i := 0; i < x.Rows; i++ {
-		y, err := o.dev.Evaluate(x.Row(i))
+	if x.Rows == 0 {
+		return nil
+	}
+	// First row sizes the output matrix.
+	y0 := o.evalRow(x.Row(0))
+	out := tensor.New(x.Rows, len(y0))
+	out.SetRow(0, y0)
+	rest := x.Rows - 1
+	workers := tensor.Parallelism()
+	if workers > rest {
+		workers = rest
+	}
+	if workers <= 1 {
+		for i := 1; i < x.Rows; i++ {
+			y, err := o.dev.Evaluate(x.Row(i))
+			if err != nil {
+				panic("oracle: " + err.Error())
+			}
+			if o.softmax {
+				tensor.SoftmaxInto(out.Row(i), y)
+			} else {
+				out.SetRow(i, y)
+			}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (rest + workers - 1) / workers
+	for w, lo := 0, 1; lo < x.Rows; w, lo = w+1, lo+chunk {
+		hi := lo + chunk
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				y, err := o.dev.Evaluate(x.Row(i))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if o.softmax {
+					tensor.SoftmaxInto(out.Row(i), y)
+				} else {
+					out.SetRow(i, y)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
+			// Surface on the caller's goroutine, like the serial path.
 			panic("oracle: " + err.Error())
 		}
-		if o.softmax {
-			y = tensor.Softmax(y)
-		}
-		if out == nil {
-			out = tensor.New(x.Rows, len(y))
-		}
-		out.SetRow(i, y)
 	}
 	return out
+}
+
+// evalRow runs one uncounted device inference (QueryBatch bulk-counts).
+func (o *Oracle) evalRow(x []float64) []float64 {
+	y, err := o.dev.Evaluate(x)
+	if err != nil {
+		panic("oracle: " + err.Error())
+	}
+	if o.softmax {
+		return tensor.Softmax(y)
+	}
+	return y
 }
 
 // Queries returns the total number of queries so far.

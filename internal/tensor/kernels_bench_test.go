@@ -1,0 +1,96 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchMats(n int) (a, b, dst *Matrix) {
+	rng := rand.New(rand.NewSource(42))
+	a = randMat(rng, n, n)
+	b = randMat(rng, n, n)
+	return a, b, New(n, n)
+}
+
+func BenchmarkMatMulInto(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			am, bm, dst := benchMats(n)
+			b.SetBytes(int64(8 * n * n * 3))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, am, bm)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulIntoSerial(b *testing.B) {
+	old := Parallelism()
+	SetParallelism(1)
+	defer SetParallelism(old)
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			am, bm, dst := benchMats(n)
+			b.SetBytes(int64(8 * n * n * 3))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, am, bm)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulABTInto(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			am, bm, dst := benchMats(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulABTInto(dst, am, bm)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulViaTranspose is the pre-kernel baseline for ABT: a
+// materialized b.T() followed by a plain product.
+func BenchmarkMatMulViaTranspose(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			am, bm, dst := benchMats(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, am, bm.T())
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulATBInto(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			am, bm, dst := benchMats(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulATBInto(dst, am, bm)
+			}
+		})
+	}
+}
+
+func BenchmarkMatVecInto(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(42))
+			am := randMat(rng, n, n)
+			x := randVec(rng, n)
+			dst := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatVecInto(dst, am, x)
+			}
+		})
+	}
+}

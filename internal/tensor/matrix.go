@@ -69,11 +69,21 @@ func (m *Matrix) SetRow(i int, v []float64) {
 
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
-	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = m.Data[i*m.Cols+j]
+	return m.ColInto(make([]float64, m.Rows), j)
+}
+
+// ColInto copies column j into dst (length m.Rows) and returns dst. Hot
+// loops that walk columns repeatedly (the decompositions) use this with a
+// reused buffer instead of Col to avoid per-call allocation and to turn
+// the strided column reads into contiguous ones.
+func (m *Matrix) ColInto(dst []float64, j int) []float64 {
+	if len(dst) != m.Rows {
+		panic("tensor: ColInto length mismatch")
 	}
-	return out
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
+	return dst
 }
 
 // SetCol copies v into column j.
@@ -111,13 +121,23 @@ func (m *Matrix) Zero() {
 // T returns the transpose as a new matrix.
 func (m *Matrix) T() *Matrix {
 	t := New(m.Cols, m.Rows)
+	m.TransposeInto(t)
+	return t
+}
+
+// TransposeInto writes mᵀ into dst (shape Cols×Rows), reusing dst's
+// storage — used with pooled workspaces where a transpose is genuinely
+// needed for access-pattern reasons (e.g. staging Jacobian columns).
+func (m *Matrix) TransposeInto(dst *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic("tensor: TransposeInto shape mismatch")
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			t.Data[j*t.Cols+i] = v
+			dst.Data[j*dst.Cols+i] = v
 		}
 	}
-	return t
 }
 
 // MatMul returns a*b.
@@ -130,25 +150,30 @@ func MatMul(a, b *Matrix) *Matrix {
 	return out
 }
 
-// MatMulInto computes dst = a*b, reusing dst's storage.
+// MatMulInto computes dst = a*b, reusing dst's storage. Rows of dst are
+// computed by the cache-blocked kernel of kernels.go, sharded over the
+// worker pool of parallel.go; results are bit-for-bit identical at every
+// parallelism level because each row's accumulation order is fixed.
 func MatMulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MatMulInto shape mismatch")
 	}
-	dst.Zero()
-	// ikj loop order: stream through b's rows for cache friendliness.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
+	if w := shardWidth(a.Rows, a.Rows*a.Cols*b.Cols); w <= 1 {
+		matMulRows(dst, a, b, 0, a.Rows, false)
+	} else {
+		parallelRows(w, a.Rows, func(lo, hi int) { matMulRows(dst, a, b, lo, hi, false) })
+	}
+}
+
+// MatMulAddInto computes dst += a*b.
+func MatMulAddInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulAddInto shape mismatch")
+	}
+	if w := shardWidth(a.Rows, a.Rows*a.Cols*b.Cols); w <= 1 {
+		matMulRows(dst, a, b, 0, a.Rows, true)
+	} else {
+		parallelRows(w, a.Rows, func(lo, hi int) { matMulRows(dst, a, b, lo, hi, true) })
 	}
 }
 
@@ -159,12 +184,23 @@ func MatVec(a *Matrix, x []float64) []float64 {
 	return out
 }
 
-// MatVecInto computes dst = a·x.
+// MatVecInto computes dst = a·x, sharding rows over the worker pool for
+// large systems (each dst element is one dot product, so any sharding is
+// bit-identical to the serial pass).
 func MatVecInto(dst []float64, a *Matrix, x []float64) {
 	if a.Cols != len(x) || a.Rows != len(dst) {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch %dx%d · %d -> %d", a.Rows, a.Cols, len(x), len(dst)))
 	}
-	for i := 0; i < a.Rows; i++ {
+	if w := shardWidth(a.Rows, a.Rows*a.Cols); w <= 1 {
+		matVecRows(dst, a, x, 0, a.Rows)
+	} else {
+		parallelRows(w, a.Rows, func(lo, hi int) { matVecRows(dst, a, x, lo, hi) })
+	}
+}
+
+// matVecRows computes dst[lo:hi] = a[lo:hi]·x, one dot product per row.
+func matVecRows(dst []float64, a *Matrix, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		row := a.Row(i)
 		s := 0.0
 		for j, v := range row {

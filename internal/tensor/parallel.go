@@ -1,0 +1,129 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel compute runtime behind the package's kernels.
+//
+// Kernels fan row shards out over a persistent pool of worker goroutines.
+// Determinism is a hard guarantee: every fan-out width — including 1, which
+// takes the pure serial path — produces bit-for-bit identical results,
+// because output rows are partitioned across workers (never split) and each
+// kernel fixes the per-element accumulation order (see kernels.go). The
+// width defaults to runtime.NumCPU, can be pinned with the DNNLOCK_PROCS
+// environment variable, and is adjustable at runtime with SetParallelism.
+//
+// Pool tasks must be leaf kernels: a task must never submit to the pool and
+// wait, or a full pool could deadlock on itself. Code that wants to fan out
+// work which itself calls tensor kernels (e.g. oracle.QueryBatch) should
+// spawn its own goroutines, sized by Parallelism.
+
+var (
+	parWidth   atomic.Int32 // target fan-out width for kernel shards
+	parMu      sync.Mutex   // guards pool growth
+	parWorkers int          // worker goroutines spawned so far
+	parQueue   chan func()  // submission queue feeding the workers
+)
+
+func init() {
+	parWidth.Store(int32(defaultParallelism(os.Getenv("DNNLOCK_PROCS"))))
+}
+
+// defaultParallelism resolves the DNNLOCK_PROCS override, falling back to
+// runtime.NumCPU for an unset, malformed, or non-positive value.
+func defaultParallelism(env string) int {
+	if v, err := strconv.Atoi(env); err == nil && v >= 1 {
+		return v
+	}
+	return runtime.NumCPU()
+}
+
+// Parallelism reports the fan-out width currently targeted by the kernels.
+func Parallelism() int { return int(parWidth.Load()) }
+
+// SetParallelism sets the kernel fan-out width. n = 1 forces the serial
+// path; n <= 0 resets to runtime.NumCPU(). The choice never changes
+// results: parallel output is bit-for-bit identical to serial. Safe to call
+// concurrently with running kernels — in-flight operations keep the width
+// they started with.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	parWidth.Store(int32(n))
+}
+
+// grabPool returns the submission queue, growing the worker pool on demand
+// to serve the given width. Workers are spawned lazily on the first parallel
+// kernel and persist for the life of the process (an idle worker costs only
+// its stack).
+func grabPool(width int) chan func() {
+	parMu.Lock()
+	defer parMu.Unlock()
+	if parQueue == nil {
+		parQueue = make(chan func(), 128)
+	}
+	for ; parWorkers < width-1; parWorkers++ {
+		go func() {
+			for task := range parQueue {
+				task()
+			}
+		}()
+	}
+	return parQueue
+}
+
+// minShardFlops is the approximate multiply-add count below which the
+// handoff to a worker costs more than the work itself; jobs smaller than
+// two shards' worth run inline on the caller. Variable so the property
+// tests can force tiny matrices through the parallel path.
+var minShardFlops = 1 << 15
+
+// shardWidth returns the fan-out width for a kernel over n output rows and
+// ~flops multiply-adds. Small enough to inline at every kernel call site, so
+// the common serial case (width 1) costs one atomic load and no allocation —
+// callers run their row kernel directly when it returns 1 and only build the
+// parallelRows closure on the parallel path.
+func shardWidth(n, flops int) int {
+	if n <= 1 || flops < 2*minShardFlops {
+		return 1
+	}
+	width := int(parWidth.Load())
+	if width > n {
+		width = n
+	}
+	if most := flops / minShardFlops; width > most {
+		width = most
+	}
+	return width
+}
+
+// parallelRows splits the row range [0, n) into width contiguous shards and
+// runs fn(lo, hi) for each, using up to width-1 pool workers plus the
+// calling goroutine. width comes from shardWidth and must be > 1. fn must be
+// a leaf kernel (it must not call back into parallelRows) and must touch
+// only rows [lo, hi) of its output.
+func parallelRows(width, n int, fn func(lo, hi int)) {
+	queue := grabPool(width)
+	chunk := (n + width - 1) / width
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		lo, hi := lo, hi
+		queue <- func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+	}
+	fn(0, chunk)
+	wg.Wait()
+}

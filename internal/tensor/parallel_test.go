@@ -1,0 +1,363 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// forceParallel drops the shard-size floor so even tiny fuzzed matrices take
+// the pool path, and restores the previous floor and width on cleanup.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldFlops := minShardFlops
+	oldWidth := Parallelism()
+	minShardFlops = 1
+	t.Cleanup(func() {
+		minShardFlops = oldFlops
+		SetParallelism(oldWidth)
+	})
+}
+
+// sprinkledMat fills a matrix with normals, exact zeros (probability ~1/3),
+// and the occasional negative zero, so the kernels' zero-skip branches are
+// exercised and signed-zero reproducibility is observable.
+func sprinkledMat(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		switch rng.Intn(6) {
+		case 0, 1:
+			m.Data[i] = 0
+		case 2:
+			m.Data[i] = math.Copysign(0, -1)
+		default:
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// bitsEqual compares element-wise at the bit level, so +0 vs -0 and NaN
+// payloads count as differences.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// fuzzShapes covers the degenerate corners (empty, single row/column, inner
+// dimension zero) plus random non-square shapes.
+func fuzzShapes(rng *rand.Rand) [][3]int {
+	shapes := [][3]int{
+		{0, 3, 4}, {3, 0, 4}, {3, 4, 0},
+		{1, 7, 5}, {7, 1, 5}, {7, 5, 1},
+		{4, 4, 4}, {5, 9, 3},
+	}
+	for i := 0; i < 24; i++ {
+		shapes = append(shapes, [3]int{1 + rng.Intn(23), 1 + rng.Intn(23), 1 + rng.Intn(23)})
+	}
+	return shapes
+}
+
+// widthsUnderTest returns the fan-out widths the determinism property is
+// checked at; NumCPU is included even when it collides with 2 or 4.
+func widthsUnderTest() []int {
+	return []int{2, 4, runtime.NumCPU()}
+}
+
+// TestParallelMatMulBitIdentical is the central determinism property: for
+// fuzzed shapes, every parallel width reproduces the serial result
+// bit-for-bit, for both the overwrite and the accumulate kernels.
+func TestParallelMatMulBitIdentical(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, sh := range fuzzShapes(rng) {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := sprinkledMat(rng, m, k)
+		b := sprinkledMat(rng, k, n)
+		acc := sprinkledMat(rng, m, n)
+
+		SetParallelism(1)
+		serial := New(m, n)
+		MatMulInto(serial, a, b)
+		serialAcc := acc.Clone()
+		MatMulAddInto(serialAcc, a, b)
+
+		for _, p := range widthsUnderTest() {
+			SetParallelism(p)
+			got := New(m, n)
+			MatMulInto(got, a, b)
+			if !bitsEqual(got.Data, serial.Data) {
+				t.Fatalf("MatMulInto %dx%d·%dx%d: P=%d differs from serial", m, k, k, n, p)
+			}
+			gotAcc := acc.Clone()
+			MatMulAddInto(gotAcc, a, b)
+			if !bitsEqual(gotAcc.Data, serialAcc.Data) {
+				t.Fatalf("MatMulAddInto %dx%d·%dx%d: P=%d differs from serial", m, k, k, n, p)
+			}
+		}
+	}
+}
+
+// TestParallelABTATBBitIdentical checks the same property for the
+// transpose-free kernels.
+func TestParallelABTATBBitIdentical(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(2))
+	for _, sh := range fuzzShapes(rng) {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := sprinkledMat(rng, m, k)  // ABT: (m×k)·(n×k)ᵀ
+		bt := sprinkledMat(rng, n, k) // ATB uses aT (k×m) below
+		at := sprinkledMat(rng, k, m)
+		b := sprinkledMat(rng, k, n)
+
+		SetParallelism(1)
+		serialABT := New(m, n)
+		MatMulABTInto(serialABT, a, bt)
+		serialATB := New(m, n)
+		MatMulATBInto(serialATB, at, b)
+
+		for _, p := range widthsUnderTest() {
+			SetParallelism(p)
+			gotABT := New(m, n)
+			MatMulABTInto(gotABT, a, bt)
+			if !bitsEqual(gotABT.Data, serialABT.Data) {
+				t.Fatalf("MatMulABTInto %dx%d·(%dx%d)ᵀ: P=%d differs from serial", m, k, n, k, p)
+			}
+			gotATB := New(m, n)
+			MatMulATBInto(gotATB, at, b)
+			if !bitsEqual(gotATB.Data, serialATB.Data) {
+				t.Fatalf("MatMulATBInto (%dx%d)ᵀ·%dx%d: P=%d differs from serial", k, m, k, n, p)
+			}
+		}
+	}
+}
+
+// TestABTMatchesMatMulOfTranspose pins the transpose-free kernels to the
+// reference product with a materialized transpose, bitwise: both fix the same
+// per-element accumulation order and the same left-operand zero skip.
+func TestABTMatchesMatMulOfTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sh := range fuzzShapes(rng) {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := sprinkledMat(rng, m, k)
+		b := sprinkledMat(rng, n, k)
+		want := MatMul(a, b.T())
+		got := MatMulABT(a, b)
+		if !bitsEqual(got.Data, want.Data) {
+			t.Fatalf("MatMulABT(%dx%d, %dx%d) != MatMul(a, b.T())", m, k, n, k)
+		}
+
+		at := sprinkledMat(rng, k, m)
+		bb := sprinkledMat(rng, k, n)
+		want = MatMul(at.T(), bb)
+		got = MatMulATB(at, bb)
+		if !bitsEqual(got.Data, want.Data) {
+			t.Fatalf("MatMulATB(%dx%d, %dx%d) != MatMul(a.T(), b)", k, m, k, n)
+		}
+	}
+}
+
+// TestAddIntoAccumulates verifies the accumulate kernels add the product on
+// top of the existing destination in the same per-term order as a guarded
+// axpy over the prefilled buffer.
+func TestAddIntoAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, k, n := 6, 11, 9
+	a := sprinkledMat(rng, m, k)
+	b := sprinkledMat(rng, k, n)
+	dst := sprinkledMat(rng, m, n)
+
+	want := dst.Clone()
+	for i := 0; i < m; i++ {
+		wr := want.Row(i)
+		ar := a.Row(i)
+		for kk, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Row(kk)
+			for j := range wr {
+				wr[j] += av * br[j]
+			}
+		}
+	}
+	got := dst.Clone()
+	MatMulAddInto(got, a, b)
+	if !bitsEqual(got.Data, want.Data) {
+		t.Fatal("MatMulAddInto differs from reference accumulation")
+	}
+
+	wantABT := dst.Clone()
+	bt := sprinkledMat(rng, n, k)
+	for i := 0; i < m; i++ {
+		ar := a.Row(i)
+		wr := wantABT.Row(i)
+		for j := 0; j < n; j++ {
+			br := bt.Row(j)
+			s := 0.0
+			for kk, av := range ar {
+				if av == 0 {
+					continue
+				}
+				s += av * br[kk]
+			}
+			wr[j] += s
+		}
+	}
+	gotABT := dst.Clone()
+	MatMulABTAddInto(gotABT, a, bt)
+	if !bitsEqual(gotABT.Data, wantABT.Data) {
+		t.Fatal("MatMulABTAddInto differs from reference accumulation")
+	}
+
+	at := sprinkledMat(rng, k, m)
+	bb := sprinkledMat(rng, k, n)
+	dst2 := sprinkledMat(rng, m, n)
+	wantATB := dst2.Clone()
+	for kk := 0; kk < k; kk++ {
+		ar := at.Row(kk)
+		br := bb.Row(kk)
+		for i := 0; i < m; i++ {
+			if av := ar[i]; av != 0 {
+				wr := wantATB.Row(i)
+				for j := range br {
+					wr[j] += av * br[j]
+				}
+			}
+		}
+	}
+	gotATB := dst2.Clone()
+	MatMulATBAddInto(gotATB, at, bb)
+	if !bitsEqual(gotATB.Data, wantATB.Data) {
+		t.Fatal("MatMulATBAddInto differs from reference accumulation")
+	}
+}
+
+// TestParallelMatVecBitIdentical checks the sharded matrix-vector product.
+func TestParallelMatVecBitIdentical(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(5))
+	for _, rc := range [][2]int{{0, 4}, {1, 9}, {9, 1}, {17, 13}, {64, 33}} {
+		a := sprinkledMat(rng, rc[0], rc[1])
+		x := make([]float64, rc[1])
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		SetParallelism(1)
+		serial := MatVec(a, x)
+		for _, p := range widthsUnderTest() {
+			SetParallelism(p)
+			got := MatVec(a, x)
+			if !bitsEqual(got, serial) {
+				t.Fatalf("MatVec %dx%d: P=%d differs from serial", rc[0], rc[1], p)
+			}
+		}
+	}
+}
+
+// TestKernelShapePanics pins the shape checks of the transpose-free kernels.
+func TestKernelShapePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected shape panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("ABT inner", func() { MatMulABT(New(2, 3), New(4, 5)) })
+	expectPanic("ABT dst", func() { MatMulABTInto(New(9, 9), New(2, 3), New(4, 3)) })
+	expectPanic("ATB inner", func() { MatMulATB(New(2, 3), New(4, 5)) })
+	expectPanic("ATB dst", func() { MatMulATBInto(New(9, 9), New(2, 3), New(2, 5)) })
+}
+
+// TestColInto pins the allocation-free column gather.
+func TestColInto(t *testing.T) {
+	m := New(3, 2)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 3)
+	got := m.ColInto(dst, 1)
+	if &got[0] != &dst[0] {
+		t.Fatal("ColInto must fill and return dst")
+	}
+	if got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Fatalf("ColInto = %v", got)
+	}
+	if col := m.Col(0); col[0] != 1 || col[1] != 3 || col[2] != 5 {
+		t.Fatalf("Col = %v", col)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ColInto with short dst must panic")
+		}
+	}()
+	m.ColInto(make([]float64, 2), 0)
+}
+
+// TestDefaultParallelism pins the DNNLOCK_PROCS resolution rules.
+func TestDefaultParallelism(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	cases := []struct {
+		env  string
+		want int
+	}{
+		{"", ncpu}, {"garbage", ncpu}, {"0", ncpu}, {"-3", ncpu},
+		{"1", 1}, {"7", 7},
+	}
+	for _, c := range cases {
+		if got := defaultParallelism(c.env); got != c.want {
+			t.Errorf("defaultParallelism(%q) = %d, want %d", c.env, got, c.want)
+		}
+	}
+}
+
+// TestSetParallelismReset verifies n <= 0 resets to NumCPU and the getter
+// round-trips.
+func TestSetParallelismReset(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got != runtime.NumCPU() {
+		t.Fatalf("Parallelism() = %d after reset, want NumCPU", got)
+	}
+}
+
+// TestWorkspacePoolRoundTrip checks the pooled buffers resize correctly and
+// tolerate nil/empty puts.
+func TestWorkspacePoolRoundTrip(t *testing.T) {
+	m := GetMatrix(4, 5)
+	if m.Rows != 4 || m.Cols != 5 || len(m.Data) != 20 {
+		t.Fatalf("GetMatrix shape: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	PutMatrix(m, nil)
+	z := GetMatrixZero(2, 3)
+	for _, v := range z.Data {
+		if v != 0 {
+			t.Fatal("GetMatrixZero returned dirty buffer")
+		}
+	}
+	PutMatrix(z)
+	v := GetVec(7)
+	if len(v) != 7 {
+		t.Fatalf("GetVec len = %d", len(v))
+	}
+	PutVec(v)
+	big := GetVec(1024)
+	if len(big) != 1024 {
+		t.Fatalf("GetVec regrow len = %d", len(big))
+	}
+	PutVec(big)
+}

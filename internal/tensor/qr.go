@@ -12,6 +12,11 @@ type QR struct {
 }
 
 // QRDecompose computes the Householder QR factorization of a (m >= n required).
+//
+// The reflector column of each step is staged into a contiguous buffer with
+// ColInto and the trailing update runs as two row sweeps, so the inner loops
+// stream cache lines instead of striding down columns. The floating-point
+// operation sequence per element is unchanged from the textbook column form.
 func QRDecompose(a *Matrix) *QR {
 	m, n := a.Rows, a.Cols
 	if m < n {
@@ -19,32 +24,51 @@ func QRDecompose(a *Matrix) *QR {
 	}
 	qr := a.Clone()
 	rdiag := make([]float64, n)
+	ck := GetVec(m) // current reflector column, contiguous
+	s := GetVec(n)  // per-column reflector products
+	defer PutVec(ck)
+	defer PutVec(s)
 	for k := 0; k < n; k++ {
+		qr.ColInto(ck, k)
 		// Norm of column k below row k.
 		nrm := 0.0
 		for i := k; i < m; i++ {
-			nrm = math.Hypot(nrm, qr.At(i, k))
+			nrm = math.Hypot(nrm, ck[i])
 		}
 		if nrm == 0 {
 			rdiag[k] = 0
 			continue
 		}
-		if qr.At(k, k) < 0 {
+		if ck[k] < 0 {
 			nrm = -nrm
 		}
 		for i := k; i < m; i++ {
-			qr.Set(i, k, qr.At(i, k)/nrm)
+			ck[i] /= nrm
+			qr.Set(i, k, ck[i])
 		}
-		qr.Set(k, k, qr.At(k, k)+1)
-		// Apply the reflector to the remaining columns.
+		ck[k]++
+		qr.Set(k, k, ck[k])
+		// Apply the reflector to the remaining columns: first row sweep
+		// gathers s_j = Σ_i v_i·qr[i][j], second scatters the update
+		// qr[i][j] += (-s_j/v_k)·v_i.
 		for j := k + 1; j < n; j++ {
-			s := 0.0
-			for i := k; i < m; i++ {
-				s += qr.At(i, k) * qr.At(i, j)
+			s[j] = 0
+		}
+		for i := k; i < m; i++ {
+			vi := ck[i]
+			row := qr.Row(i)
+			for j := k + 1; j < n; j++ {
+				s[j] += vi * row[j]
 			}
-			s = -s / qr.At(k, k)
-			for i := k; i < m; i++ {
-				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+		}
+		for j := k + 1; j < n; j++ {
+			s[j] = -s[j] / ck[k]
+		}
+		for i := k; i < m; i++ {
+			vi := ck[i]
+			row := qr.Row(i)
+			for j := k + 1; j < n; j++ {
+				row[j] += s[j] * vi
 			}
 		}
 		rdiag[k] = -nrm
@@ -73,26 +97,30 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 		return nil, ErrSingular
 	}
 	y := VecClone(b)
+	ck := GetVec(f.m)
+	defer PutVec(ck)
 	// y = Qᵀ·b via the stored reflectors.
 	for k := 0; k < f.n; k++ {
 		if f.qr.At(k, k) == 0 {
 			continue
 		}
+		f.qr.ColInto(ck, k)
 		s := 0.0
 		for i := k; i < f.m; i++ {
-			s += f.qr.At(i, k) * y[i]
+			s += ck[i] * y[i]
 		}
-		s = -s / f.qr.At(k, k)
+		s = -s / ck[k]
 		for i := k; i < f.m; i++ {
-			y[i] += s * f.qr.At(i, k)
+			y[i] += s * ck[i]
 		}
 	}
 	// Back-substitute R·x = y[:n].
 	x := make([]float64, f.n)
 	for i := f.n - 1; i >= 0; i-- {
 		s := y[i]
+		row := f.qr.Row(i)
 		for j := i + 1; j < f.n; j++ {
-			s -= f.qr.At(i, j) * x[j]
+			s -= row[j] * x[j]
 		}
 		x[i] = s / f.rdiag[i]
 	}
@@ -101,21 +129,29 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 
 // Q materializes the thin m×n orthonormal factor.
 func (f *QR) Q() *Matrix {
+	// Stage every reflector column contiguously once; the j-loop below
+	// replays all of them per basis vector.
+	refl := GetMatrix(f.n, f.m)
+	defer PutMatrix(refl)
+	for k := 0; k < f.n; k++ {
+		f.qr.ColInto(refl.Row(k), k)
+	}
 	q := New(f.m, f.n)
 	for j := 0; j < f.n; j++ {
 		col := Basis(f.m, j)
 		// col = Q·e_j: apply reflectors in reverse order.
 		for k := f.n - 1; k >= 0; k-- {
-			if f.qr.At(k, k) == 0 {
+			ck := refl.Row(k)
+			if ck[k] == 0 {
 				continue
 			}
 			s := 0.0
 			for i := k; i < f.m; i++ {
-				s += f.qr.At(i, k) * col[i]
+				s += ck[i] * col[i]
 			}
-			s = -s / f.qr.At(k, k)
+			s = -s / ck[k]
 			for i := k; i < f.m; i++ {
-				col[i] += s * f.qr.At(i, k)
+				col[i] += s * ck[i]
 			}
 		}
 		q.SetCol(j, col)

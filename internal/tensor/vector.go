@@ -107,7 +107,16 @@ func ArgMax(v []float64) int {
 
 // Softmax returns the softmax of v, computed stably.
 func Softmax(v []float64) []float64 {
-	out := make([]float64, len(v))
+	return SoftmaxInto(make([]float64, len(v)), v)
+}
+
+// SoftmaxInto computes the softmax of v into dst (which must have the same
+// length) and returns dst. dst may alias v, so SoftmaxInto(v, v) is the
+// allocation-free in-place form.
+func SoftmaxInto(dst, v []float64) []float64 {
+	if len(dst) != len(v) {
+		panic("tensor: SoftmaxInto length mismatch")
+	}
 	mx := math.Inf(-1)
 	for _, x := range v {
 		if x > mx {
@@ -117,11 +126,11 @@ func Softmax(v []float64) []float64 {
 	sum := 0.0
 	for i, x := range v {
 		e := math.Exp(x - mx)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,66 @@
+package tensor
+
+import "sync"
+
+// Workspace recycling for per-step scratch storage. The training and attack
+// hot loops need short-lived matrices (attention intermediates, convolution
+// patch buffers, gradient scratch); allocating them fresh every step makes
+// the garbage collector a first-order cost (it was ~half the decryption
+// attack's profile before pooling). GetMatrix/PutMatrix hand the same
+// buffers back and forth through a sync.Pool instead.
+//
+// Contract: Get* contents are arbitrary — callers must fully overwrite
+// (every Into kernel does). After Put* the caller must not retain the value
+// or its backing storage.
+
+var matrixPool sync.Pool
+
+// GetMatrix returns a rows×cols workspace matrix with arbitrary contents.
+func GetMatrix(rows, cols int) *Matrix {
+	need := rows * cols
+	if v := matrixPool.Get(); v != nil {
+		m := v.(*Matrix)
+		if cap(m.Data) >= need {
+			m.Rows, m.Cols = rows, cols
+			m.Data = m.Data[:need]
+			return m
+		}
+		// Too small for this request: drop it and allocate fresh.
+	}
+	return New(rows, cols)
+}
+
+// GetMatrixZero is GetMatrix with the contents cleared.
+func GetMatrixZero(rows, cols int) *Matrix {
+	m := GetMatrix(rows, cols)
+	zeroVec(m.Data)
+	return m
+}
+
+// PutMatrix returns workspace matrices to the pool. nil entries are
+// ignored so deferred releases stay unconditional.
+func PutMatrix(ms ...*Matrix) {
+	for _, m := range ms {
+		if m != nil && cap(m.Data) > 0 {
+			matrixPool.Put(m)
+		}
+	}
+}
+
+var vecPool sync.Pool
+
+// GetVec returns a length-n workspace slice with arbitrary contents.
+func GetVec(n int) []float64 {
+	if p, _ := vecPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+// PutVec returns a workspace slice to the pool.
+func PutVec(v []float64) {
+	if cap(v) == 0 {
+		return
+	}
+	vecPool.Put(&v)
+}

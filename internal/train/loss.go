@@ -19,12 +19,12 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (loss float64, gra
 	n := logits.Rows
 	grad = tensor.New(logits.Rows, logits.Cols)
 	for r := 0; r < n; r++ {
-		p := tensor.Softmax(logits.Row(r))
+		// Softmax straight into the gradient row, then rescale in place.
+		gr := tensor.SoftmaxInto(grad.Row(r), logits.Row(r))
 		y := labels[r]
-		loss += -math.Log(math.Max(p[y], 1e-300))
-		gr := grad.Row(r)
-		for c, pc := range p {
-			gr[c] = pc / float64(n)
+		loss += -math.Log(math.Max(gr[y], 1e-300))
+		for c := range gr {
+			gr[c] /= float64(n)
 		}
 		gr[y] -= 1 / float64(n)
 	}

@@ -42,6 +42,13 @@ func Fit(net *nn.Network, x *tensor.Matrix, y []int, xTest *tensor.Matrix, yTest
 		perm[i] = i
 	}
 	var res Result
+	// One reusable minibatch workspace for the whole run; partial batches
+	// reslice it. (The network caches only forward activations per step, so
+	// refilling the buffer between steps is safe.)
+	bxBuf := tensor.GetMatrix(cfg.BatchSize, x.Cols)
+	defer tensor.PutMatrix(bxBuf)
+	byBuf := make([]int, cfg.BatchSize)
+	params := net.Params() // layer set is fixed for the whole run
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		epochLoss := 0.0
@@ -51,8 +58,8 @@ func Fit(net *nn.Network, x *tensor.Matrix, y []int, xTest *tensor.Matrix, yTest
 			if end > n {
 				end = n
 			}
-			bx := tensor.New(end-start, x.Cols)
-			by := make([]int, end-start)
+			bx := tensor.FromSlice(end-start, x.Cols, bxBuf.Data[:(end-start)*x.Cols])
+			by := byBuf[:end-start]
 			for i := start; i < end; i++ {
 				bx.SetRow(i-start, x.Row(perm[i]))
 				by[i-start] = y[perm[i]]
@@ -60,7 +67,7 @@ func Fit(net *nn.Network, x *tensor.Matrix, y []int, xTest *tensor.Matrix, yTest
 			logits := net.TrainForward(bx)
 			loss, grad := SoftmaxCrossEntropy(logits, by)
 			net.TrainBackward(grad)
-			cfg.Optimizer.Step(net.Params())
+			cfg.Optimizer.Step(params)
 			epochLoss += loss
 			batches++
 		}
@@ -91,10 +98,8 @@ func Evaluate(net *nn.Network, x *tensor.Matrix, y []int) float64 {
 		if end > x.Rows {
 			end = x.Rows
 		}
-		bx := tensor.New(end-start, x.Cols)
-		for i := start; i < end; i++ {
-			bx.SetRow(i-start, x.Row(i))
-		}
+		// The chunk is a read-only row window of x: alias it, don't copy.
+		bx := tensor.FromSlice(end-start, x.Cols, x.Data[start*x.Cols:end*x.Cols])
 		logits := net.ForwardBatch(bx)
 		for i := 0; i < logits.Rows; i++ {
 			if tensor.ArgMax(logits.Row(i)) == y[start+i] {

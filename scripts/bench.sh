@@ -1,0 +1,46 @@
+#!/bin/sh
+# bench.sh — run the paper-facing benchmarks (Table 1, Figure 3) plus the
+# tensor kernel micro-benchmarks with -benchmem, and emit the parsed results
+# as BENCH_<date>.json in the repo root so perf changes leave a tracked,
+# diffable record.
+#
+# Usage: scripts/bench.sh [extra go-test args...]
+#   BENCH_PATTERN   override the -bench regexp
+#   BENCH_TIME      override -benchtime (default 1x for the heavy table
+#                   benches; kernels use the go default)
+set -eu
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFigure3}"
+BTIME="${BENCH_TIME:-1x}"
+DATE="$(date +%Y-%m-%d)"
+OUT="BENCH_${DATE}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -bench '$PATTERN' -benchmem -benchtime $BTIME ." >&2
+go test -run 'XXX' -bench "$PATTERN" -benchmem -benchtime "$BTIME" "$@" . | tee "$RAW" >&2
+
+echo "==> go test ./internal/tensor -bench . -benchmem" >&2
+go test -run 'XXX' -bench . -benchmem ./internal/tensor | tee -a "$RAW" >&2
+
+awk -v date="$DATE" -v gover="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        metrics = metrics sprintf("%s\"%s\": %s", (metrics == "" ? "" : ", "), unit, $i)
+    }
+    lines[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, %s}", name, iters, metrics)
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n  \"results\": [\n", date, gover, cpu
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2

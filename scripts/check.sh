@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh — static checks plus the race-detector test pass.
+#
+# The tensor worker pool, the oracle's batched queries, and the attack's
+# parallelFor all share memory across goroutines; this script is the wiring
+# that keeps them honest. Run before sending any change to the kernels or
+# their callers (also available as `make race`).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./internal/..."
+go test -race ./internal/...
+
+echo "OK"
