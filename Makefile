@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet check clean
+.PHONY: build test race bench bench-compare vet check clean
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,10 @@ race:
 ## bench: Table 1 / Figure 3 + kernel micro-benches, emits BENCH_<date>.json
 bench:
 	sh scripts/bench.sh
+
+## bench-compare: diff the newest BENCH_*.json against the committed baseline
+bench-compare:
+	sh scripts/bench_compare.sh
 
 clean:
 	$(GO) clean -testcache

@@ -122,6 +122,12 @@ func BenchmarkAblationJVPOnly(b *testing.B) {
 func BenchmarkAblationSerial(b *testing.B) {
 	benchDecrypt(b, "mlp", 8, func(c *core.Config) { c.Workers = 1 })
 }
+func BenchmarkAblationUnsliced(b *testing.B) {
+	// Re-runs the frozen prefix on every learning minibatch instead of
+	// training against the one-shot activation cache; the gap to
+	// BenchmarkAblationDefault is the cache's contribution.
+	benchDecrypt(b, "mlp", 8, func(c *core.Config) { c.DisableSlicing = true })
+}
 
 // §3.9 variant attacks.
 func benchVariant(b *testing.B, scheme hpnn.Scheme, alpha float64) {

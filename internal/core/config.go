@@ -81,6 +81,11 @@ type Config struct {
 	UseProductMatrix bool
 	// DisableAlgebraic turns key_bit_inference off entirely (ablation).
 	DisableAlgebraic bool
+	// DisableSlicing makes the learning attack re-run the frozen prefix on
+	// every minibatch instead of training the suffix against a one-shot
+	// activation cache (nn.Slice). Results are identical either way — this
+	// exists for the ablation benchmark and the equivalence property tests.
+	DisableSlicing bool
 	// Debug, when non-nil, receives progress lines from the attack.
 	Debug io.Writer
 }

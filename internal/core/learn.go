@@ -61,26 +61,53 @@ func gatedFlipSites(net *nn.Network) map[int]bool {
 // labels. It stops when every coefficient clears the confidence threshold
 // or when the loss plateaus. epochCb, when non-nil, is called once per
 // epoch and may stop the fit by returning false.
-// fitSoftmax mirrors an oracle that exposes softmax probabilities: the
-// white box's logits are mapped through softmax before the MSE, and the
-// gradient is pulled back through the softmax Jacobian,
-// dL/dz_i = p_i·(dL/dp_i − Σ_j p_j·dL/dp_j).
+//
+// Only the soft flip coefficients train, so the network is split at the
+// earliest softened flip site (nn.Slice): the frozen prefix is evaluated
+// exactly once for the whole query set, and every minibatch of every epoch
+// shuffles and gathers rows of that activation cache instead of re-running
+// the prefix forward and backward. Backpropagation stops at the slice
+// boundary. The sliced fit is numerically identical to the unsliced one
+// (cfg.DisableSlicing, kept for the ablation and the equivalence property
+// tests): prefix activations are batch-independent per row, no trainable
+// parameter lives in the prefix, and the prefix gradients the full path
+// computed were discarded by ZeroGrad anyway.
+//
+// softmax mirrors an oracle that exposes softmax probabilities: the white
+// box's logits are mapped through softmax before the MSE, and the gradient
+// is pulled back through the softmax Jacobian (train.MSESoftmax).
 func fitSoft(net *nn.Network, sites []softSite, x, y *tensor.Matrix, cfg Config,
 	rng *rand.Rand, softmax bool, epochCb func(epoch int, loss float64) bool) {
 
+	if len(sites) == 0 {
+		return
+	}
 	var softParams []*nn.Param
+	firstSite := sites[0].flip.SiteID
 	for _, s := range sites {
 		softParams = append(softParams, s.param)
+		if s.flip.SiteID < firstSite {
+			firstSite = s.flip.SiteID
+		}
+	}
+	sl := net.FullSlice()
+	if !cfg.DisableSlicing {
+		sl = net.Split(firstSite)
 	}
 	opt := train.NewAdam(cfg.LearnRate)
 	n := x.Rows
 	perm := rng.Perm(n)
+	// Frozen-prefix activation cache, evaluated once per query set.
+	h := sl.PrefixForward(x)
+	if h != x {
+		defer tensor.PutMatrix(h)
+	}
 	bestLoss := math.Inf(1)
 	stall := 0
 	// Reusable minibatch workspaces; partial batches reslice them.
-	bxBuf := tensor.GetMatrix(cfg.LearnBatch, x.Cols)
+	bhBuf := tensor.GetMatrix(cfg.LearnBatch, h.Cols)
 	byBuf := tensor.GetMatrix(cfg.LearnBatch, y.Cols)
-	defer tensor.PutMatrix(bxBuf, byBuf)
+	defer tensor.PutMatrix(bhBuf, byBuf)
 	for epoch := 0; epoch < cfg.LearnEpochs; epoch++ {
 		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		epochLoss := 0.0
@@ -90,33 +117,23 @@ func fitSoft(net *nn.Network, sites []softSite, x, y *tensor.Matrix, cfg Config,
 			if end > n {
 				end = n
 			}
-			bx := tensor.FromSlice(end-start, x.Cols, bxBuf.Data[:(end-start)*x.Cols])
+			bh := tensor.FromSlice(end-start, h.Cols, bhBuf.Data[:(end-start)*h.Cols])
 			by := tensor.FromSlice(end-start, y.Cols, byBuf.Data[:(end-start)*y.Cols])
-			for i := start; i < end; i++ {
-				bx.SetRow(i-start, x.Row(perm[i]))
-				by.SetRow(i-start, y.Row(perm[i]))
-			}
-			pred := net.TrainForward(bx)
+			tensor.GatherRowsInto(bh, h, perm[start:end])
+			tensor.GatherRowsInto(by, y, perm[start:end])
+			pred := sl.TrainForward(bh)
+			var loss float64
+			var grad *tensor.Matrix
 			if softmax {
-				for r := 0; r < pred.Rows; r++ {
-					row := pred.Row(r)
-					tensor.SoftmaxInto(row, row)
-				}
+				loss, grad = train.MSESoftmax(pred, by)
+			} else {
+				grad = tensor.GetMatrix(pred.Rows, pred.Cols)
+				loss = train.MSEInto(grad, pred, by)
 			}
-			loss, grad := train.MSE(pred, by)
-			if softmax {
-				for r := 0; r < grad.Rows; r++ {
-					p := pred.Row(r)
-					g := grad.Row(r)
-					dot := tensor.Dot(p, g)
-					for i := range g {
-						g[i] = p[i] * (g[i] - dot)
-					}
-				}
-			}
-			net.TrainBackward(grad)
+			sl.Backward(grad)
+			tensor.PutMatrix(grad)
 			opt.Step(softParams)
-			net.ZeroGrad() // drop gradients accumulated on frozen weights
+			sl.ZeroGrad() // drop gradients accumulated on frozen suffix weights
 			epochLoss += loss
 			batches++
 		}
@@ -174,6 +191,9 @@ func (a *Attack) learningAttack(site int, unresolved []int, rng *rand.Rand) map[
 	x := dataset.UniformInputs(a.cfg.LearnQueries, trainNet.InSize(), a.cfg.InputLim, rng)
 	y := a.orc.QueryBatch(x)
 	fitSoft(trainNet, sites, x, y, a.cfg, rng, a.orc.Softmax(), nil)
+	// The query set and its labels are per-invocation scratch: recycle them
+	// instead of leaking a fresh pair every site visit.
+	tensor.PutMatrix(x, y)
 
 	conf := make(map[int]float64, len(unresolved))
 	for _, s := range sites {
@@ -238,6 +258,7 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg C
 		}
 		return true
 	})
+	tensor.PutMatrix(x, y)
 
 	key := make(hpnn.Key, spec.NumBits())
 	origins := make([]BitOrigin, spec.NumBits())

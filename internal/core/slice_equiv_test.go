@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dnnlock/internal/dataset"
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/oracle"
+)
+
+// fuzzedEquivNets returns locked-model builders across the evaluation's
+// architecture families, with rng-fuzzed widths for the MLPs.
+func fuzzedEquivNets(rng *rand.Rand) []func(*rand.Rand) *nn.Network {
+	builders := []func(*rand.Rand) *nn.Network{
+		models.TinyLeNet,
+		models.TinyResNet,
+		models.TinyVTransformer,
+	}
+	for i := 0; i < 3; i++ {
+		h1, h2 := 8+rng.Intn(8), 5+rng.Intn(4)
+		in, out := 5+rng.Intn(6), 3+rng.Intn(2)
+		builders = append(builders, func(r *rand.Rand) *nn.Network {
+			return models.MLP(models.MLPConfig{In: in, Hidden: []int{h1, h2}, Out: out}, r)
+		})
+	}
+	return builders
+}
+
+// fitOutcome captures everything fitSoft decides: per-epoch losses, final
+// soft coefficients, and the hardened key bits.
+type fitOutcome struct {
+	losses []float64
+	coeffs [][]float64
+	key    hpnn.Key
+}
+
+// runFit mimics one learningAttack invocation at `site` (softening that
+// site's bits plus all later bits as nuisance coefficients) with slicing on
+// or off, and returns the complete outcome.
+func runFit(white *nn.Network, spec *hpnn.LockSpec, orc *oracle.Oracle, site int,
+	cfg Config, disableSlicing bool) fitOutcome {
+
+	cfg.DisableSlicing = disableSlicing
+	trainNet := white.CloneForKeys()
+	bySite := map[int][]int{}
+	for i, pn := range spec.Neurons {
+		if pn.Site >= site {
+			bySite[pn.Site] = append(bySite[pn.Site], i)
+		}
+	}
+	sites := soften(trainNet, spec, bySite)
+	rng := rand.New(rand.NewSource(77))
+	x := dataset.UniformInputs(cfg.LearnQueries, trainNet.InSize(), cfg.InputLim, rng)
+	y := orc.QueryBatch(x)
+	var out fitOutcome
+	fitSoft(trainNet, sites, x, y, cfg, rng, orc.Softmax(), func(epoch int, loss float64) bool {
+		out.losses = append(out.losses, loss)
+		return true
+	})
+	// soften iterates a map, so sites arrive in nondeterministic order;
+	// record coefficients in site-ID order to make runs comparable.
+	sort.Slice(sites, func(i, j int) bool { return sites[i].flip.SiteID < sites[j].flip.SiteID })
+	key := make(hpnn.Key, spec.NumBits())
+	for _, s := range sites {
+		out.coeffs = append(out.coeffs, s.flip.SoftCoeffs())
+		s.flip.Harden()
+		for _, si := range s.specIdxs {
+			key[si] = s.flip.Bit(spec.Neurons[si].Index)
+		}
+	}
+	out.key = key
+	return out
+}
+
+// TestFitSoftSliceEquivalence is the acceptance property of the
+// frozen-prefix cache: for fuzzed architectures of every family, for every
+// slice point the attack can reach (each flip site as the earliest softened
+// site), and for both logit and softmax oracles, the sliced fit must
+// reproduce the unsliced fit exactly — same per-epoch losses, same final
+// coefficients, same recovered key bits. Exact float comparison, no
+// tolerance.
+func TestFitSoftSliceEquivalence(t *testing.T) {
+	seedRng := rand.New(rand.NewSource(701))
+	cfg := DefaultConfig()
+	cfg.LearnQueries = 48
+	cfg.LearnEpochs = 6
+	cfg.LearnBatch = 16
+	cfg.PlateauEpochs = 3
+	for bi, build := range fuzzedEquivNets(seedRng) {
+		for _, softmaxOracle := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(int64(800 + bi)))
+			net := build(rng)
+			lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 6, Rng: rng})
+			var orc *oracle.Oracle
+			if softmaxOracle {
+				orc = oracle.NewSoftmax(lm, key)
+			} else {
+				orc = oracle.New(lm, key)
+			}
+			white := lm.WhiteBox()
+			numSites := white.NumFlipSites()
+			for site := 0; site < numSites; site++ {
+				has := false
+				for _, pn := range lm.Spec.Neurons {
+					if pn.Site >= site {
+						has = true
+						break
+					}
+				}
+				if !has {
+					continue
+				}
+				sliced := runFit(white, &lm.Spec, orc, site, cfg, false)
+				full := runFit(white, &lm.Spec, orc, site, cfg, true)
+				if len(sliced.losses) != len(full.losses) {
+					t.Fatalf("net %d softmax=%v site %d: epoch count %d vs %d",
+						bi, softmaxOracle, site, len(sliced.losses), len(full.losses))
+				}
+				for e := range sliced.losses {
+					if sliced.losses[e] != full.losses[e] {
+						t.Fatalf("net %d softmax=%v site %d: epoch %d loss %v vs %v",
+							bi, softmaxOracle, site, e, sliced.losses[e], full.losses[e])
+					}
+				}
+				if len(sliced.coeffs) != len(full.coeffs) {
+					t.Fatalf("net %d site %d: site count mismatch", bi, site)
+				}
+				for si := range sliced.coeffs {
+					for ci := range sliced.coeffs[si] {
+						if sliced.coeffs[si][ci] != full.coeffs[si][ci] {
+							t.Fatalf("net %d softmax=%v site %d: coeff %d/%d %v vs %v",
+								bi, softmaxOracle, site, si, ci,
+								sliced.coeffs[si][ci], full.coeffs[si][ci])
+						}
+					}
+				}
+				for i := range sliced.key {
+					if sliced.key[i] != full.key[i] {
+						t.Fatalf("net %d softmax=%v site %d: key bit %d differs",
+							bi, softmaxOracle, site, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecryptionUnchangedBySlicing runs the whole Algorithm 2 attack with
+// and without the activation cache and demands identical recovered keys and
+// query counts — slicing is a pure runtime optimization, invisible in every
+// attacker-observable output.
+func TestDecryptionUnchangedBySlicing(t *testing.T) {
+	rng := rand.New(rand.NewSource(702))
+	net := models.TinyLeNet(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 6, Rng: rng})
+
+	run := func(disable bool) *Result {
+		cfg := DefaultConfig()
+		cfg.Seed = 9
+		cfg.DisableSlicing = disable
+		res, err := Run(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sliced := run(false)
+	full := run(true)
+	if sliced.Key.Fidelity(key) != 1 {
+		t.Fatalf("sliced attack fidelity %.3f", sliced.Key.Fidelity(key))
+	}
+	for i := range sliced.Key {
+		if sliced.Key[i] != full.Key[i] {
+			t.Fatalf("key bit %d differs between sliced and full attack", i)
+		}
+	}
+	if sliced.Queries != full.Queries {
+		t.Fatalf("query counts differ: %d vs %d", sliced.Queries, full.Queries)
+	}
+}

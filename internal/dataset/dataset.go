@@ -179,9 +179,12 @@ func min(a, b int) int {
 }
 
 // UniformInputs draws n inputs uniformly from [-lim, lim]^dim; this is the
-// unlabeled query distribution the learning-based attack uses (§3.6).
+// unlabeled query distribution the learning-based attack uses (§3.6). The
+// matrix comes from the workspace pool (every element is overwritten);
+// hot-loop callers such as the learning attack hand it back with
+// tensor.PutMatrix when the query set is consumed.
 func UniformInputs(n, dim int, lim float64, rng *rand.Rand) *tensor.Matrix {
-	x := tensor.New(n, dim)
+	x := tensor.GetMatrix(n, dim)
 	for i := range x.Data {
 		x.Data[i] = (rng.Float64()*2 - 1) * lim
 	}

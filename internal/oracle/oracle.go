@@ -71,9 +71,11 @@ func (o *Oracle) QueryBatch(x *tensor.Matrix) *tensor.Matrix {
 	if x.Rows == 0 {
 		return nil
 	}
-	// First row sizes the output matrix.
+	// First row sizes the output matrix. It comes from the workspace pool
+	// (every row is overwritten below); per-invocation callers like the
+	// learning attack recycle it with tensor.PutMatrix.
 	y0 := o.evalRow(x.Row(0))
-	out := tensor.New(x.Rows, len(y0))
+	out := tensor.GetMatrix(x.Rows, len(y0))
 	out.SetRow(0, y0)
 	rest := x.Rows - 1
 	workers := tensor.Parallelism()

@@ -67,6 +67,20 @@ func (m *Matrix) SetRow(i int, v []float64) {
 	copy(m.Row(i), v)
 }
 
+// GatherRowsInto copies src rows rows[0], rows[1], ... into dst rows
+// 0, 1, ... — the minibatch-assembly primitive of the learning attack,
+// which shuffles a permutation and gathers the selected examples (or their
+// cached prefix activations) into a reused workspace.
+func GatherRowsInto(dst, src *Matrix, rows []int) {
+	if dst.Cols != src.Cols || dst.Rows != len(rows) {
+		panic(fmt.Sprintf("tensor: GatherRowsInto shape mismatch %dx%d <- %d of %dx%d",
+			dst.Rows, dst.Cols, len(rows), src.Rows, src.Cols))
+	}
+	for i, r := range rows {
+		copy(dst.Row(i), src.Row(r))
+	}
+}
+
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
 	return m.ColInto(make([]float64, m.Rows), j)

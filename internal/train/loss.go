@@ -35,15 +35,63 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (loss float64, gra
 // the gradient w.r.t. pred. This is the loss of the learning-based attack
 // (§4.1): MSE between the white-box logits and the oracle logits.
 func MSE(pred, target *tensor.Matrix) (loss float64, grad *tensor.Matrix) {
+	grad = tensor.New(pred.Rows, pred.Cols)
+	return MSEInto(grad, pred, target), grad
+}
+
+// MSEInto is MSE writing the gradient into a caller-provided matrix
+// (typically a pooled workspace), so per-minibatch hot loops allocate
+// nothing.
+func MSEInto(grad, pred, target *tensor.Matrix) (loss float64) {
 	if pred.Rows != target.Rows || pred.Cols != target.Cols {
 		panic("train: MSE shape mismatch")
 	}
+	if grad.Rows != pred.Rows || grad.Cols != pred.Cols {
+		panic("train: MSE gradient shape mismatch")
+	}
 	n := float64(len(pred.Data))
-	grad = tensor.New(pred.Rows, pred.Cols)
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
 		loss += d * d
 		grad.Data[i] = 2 * d / n
+	}
+	return loss / n
+}
+
+// MSESoftmax computes the MSE between softmax(pred) rows and target, and
+// the gradient w.r.t. the logits pred — the loss the learning attack uses
+// against an oracle that exposes softmax probabilities (§2.3). The softmax
+// map, the squared error, and the Jacobian pullback
+// dL/dz_i = p_i·(dL/dp_i − Σ_j p_j·dL/dp_j) are fused into one pass per
+// row; pred itself is left untouched. The gradient comes from the workspace
+// pool and must be released with tensor.PutMatrix.
+//
+// The arithmetic reproduces the unfused reference (SoftmaxInto, MSE, then
+// the per-row pullback) term for term in the same order, so results are
+// identical, not merely close.
+func MSESoftmax(pred, target *tensor.Matrix) (loss float64, grad *tensor.Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("train: MSESoftmax shape mismatch")
+	}
+	n := float64(len(pred.Data))
+	grad = tensor.GetMatrix(pred.Rows, pred.Cols)
+	p := tensor.GetVec(pred.Cols)
+	defer tensor.PutVec(p)
+	for r := 0; r < pred.Rows; r++ {
+		tensor.SoftmaxInto(p, pred.Row(r))
+		gr := grad.Row(r)
+		tr := target.Row(r)
+		dot := 0.0
+		for c, pv := range p {
+			d := pv - tr[c]
+			loss += d * d
+			g := 2 * d / n
+			gr[c] = g
+			dot += pv * g
+		}
+		for c := range gr {
+			gr[c] = p[c] * (gr[c] - dot)
+		}
 	}
 	return loss / n, grad
 }

@@ -44,3 +44,8 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
+
+# Diff against the most recent committed baseline (BENCH_COMPARE=0 skips).
+if [ "${BENCH_COMPARE:-1}" != "0" ]; then
+    sh scripts/bench_compare.sh "$OUT" >&2 || echo "bench_compare failed" >&2
+fi

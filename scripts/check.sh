@@ -1,10 +1,15 @@
 #!/bin/sh
 # check.sh — static checks plus the race-detector test pass.
 #
-# The tensor worker pool, the oracle's batched queries, and the attack's
-# parallelFor all share memory across goroutines; this script is the wiring
-# that keeps them honest. Run before sending any change to the kernels or
-# their callers (also available as `make race`).
+# The tensor worker pool, the oracle's batched queries, the attack's
+# parallelFor, and the sliced learning attack's one-shot prefix evaluation
+# (nn.Slice.PrefixForward) all share memory across goroutines; this script
+# is the wiring that keeps them honest. The -race pass below includes the
+# slice-equivalence property tests (internal/nn/slice_test.go and
+# internal/core/slice_equiv_test.go), so the activation cache is checked for
+# both data races and bit-exact agreement with the unsliced path in one go.
+# Run before sending any change to the kernels or their callers (also
+# available as `make race`).
 set -eu
 cd "$(dirname "$0")/.."
 
