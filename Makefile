@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare vet check clean
+.PHONY: build test race bench bench-compare vet lint check clean
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+## lint: repo-specific analyzers (pool discipline, determinism, float
+## equality, goroutine sites) — see DESIGN.md §10
+lint:
+	$(GO) run ./cmd/dnnlint ./...
 
 ## race: static checks + race-detector pass over the concurrent internals
 race:

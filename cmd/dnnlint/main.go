@@ -1,0 +1,115 @@
+// Command dnnlint runs the repository's custom static-analysis suite: the
+// pool-ownership, determinism, float-comparison, and naked-goroutine
+// analyzers of internal/lint, which machine-enforce the invariants the
+// parallel runtime and the frozen-prefix cache rely on (DESIGN.md §10).
+//
+// Usage:
+//
+//	dnnlint [-analyzers=poolpair,determinism,floatcmp,nakedgo] [pattern ...]
+//
+// Patterns are package directories relative to the working directory; a
+// trailing /... lints the subtree. With no pattern, ./... is assumed. The
+// whole module containing the first pattern is loaded (so cross-package
+// types resolve); patterns select which packages' findings are reported.
+//
+// Exit status: 0 clean, 1 findings reported, 2 load or type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dnnlock/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dnnlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analyzerList := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All
+	if *analyzerList != "" {
+		var err error
+		if analyzers, err = lint.ByName(*analyzerList); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := lint.Load(strings.TrimSuffix(patterns[0], "..."))
+	if err != nil {
+		fmt.Fprintln(stderr, "dnnlint:", err)
+		return 2
+	}
+	if len(prog.TypeErrors) > 0 {
+		for _, te := range prog.TypeErrors {
+			fmt.Fprintln(stderr, "dnnlint: type error:", te)
+		}
+		return 2
+	}
+
+	diags := prog.Run(analyzers)
+	selected := diags[:0]
+	for _, d := range diags {
+		if matchesAny(d.Pos.Filename, patterns) {
+			selected = append(selected, d)
+		}
+	}
+	for _, d := range selected {
+		fmt.Fprintln(stdout, rel(d))
+	}
+	if len(selected) > 0 {
+		fmt.Fprintf(stderr, "dnnlint: %d finding(s)\n", len(selected))
+		return 1
+	}
+	return 0
+}
+
+// matchesAny reports whether the diagnostic file falls under one of the
+// requested patterns.
+func matchesAny(file string, patterns []string) bool {
+	for _, pat := range patterns {
+		recursive := strings.HasSuffix(pat, "/...") || pat == "..."
+		dir := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		if dir == "" || dir == "." {
+			return true
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			continue
+		}
+		fdir := filepath.Dir(file)
+		if fdir == abs {
+			return true
+		}
+		if recursive && strings.HasPrefix(fdir+string(filepath.Separator), abs+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return false
+}
+
+// rel renders a diagnostic with a working-directory-relative path when
+// possible, keeping CI logs and editor jump-to-error short.
+func rel(d lint.Diagnostic) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			d.Pos.Filename = r
+		}
+	}
+	return d.String()
+}

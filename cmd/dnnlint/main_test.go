@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The CLI contract scripts/check.sh relies on: seeded violations exit 1
+// with positioned diagnostics, clean trees exit 0, nonsense exits 2.
+
+func TestRunFlagsSeededViolations(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"../../internal/lint/testdata/nakedgo/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[nakedgo]") || !strings.Contains(out, "fixture.go:") {
+		t.Errorf("diagnostics lack analyzer tag or position:\n%s", out)
+	}
+}
+
+func TestRunAnalyzerSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// Only poolpair is requested, so the nakedgo fixture module is clean.
+	code := run([]string{"-analyzers=poolpair", "../../internal/lint/testdata/nakedgo/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers=nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"../../..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}

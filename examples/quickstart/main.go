@@ -47,6 +47,7 @@ func main() {
 		fmt.Printf("  layer site %d: %d bits (%d algebraic, %d learned, %d corrected)\n",
 			site.Site, site.Bits, site.Algebraic, site.Learned, site.Corrected)
 	}
+	//lint:ignore floatcmp Fidelity of 1.0 is exactly representable and means every bit matched
 	if result.Key.Fidelity(secret) == 1 {
 		fmt.Println("HPNN key fully extracted: the locked model can be pirated.")
 	}

@@ -44,6 +44,7 @@ func (s scalingApplier) apply(net *nn.Network, pn hpnn.ProtectedNeuron, _ int, b
 }
 
 func (s scalingApplier) read(net *nn.Network, pn hpnn.ProtectedNeuron, _ int) bool {
+	//lint:ignore floatcmp Signs hold the exact sentinel values the locker wrote (1 or alpha)
 	return net.Flips()[pn.Site].Signs[pn.Index] != 1
 }
 
@@ -63,6 +64,7 @@ func (b biasShiftApplier) apply(net *nn.Network, pn hpnn.ProtectedNeuron, _ int,
 
 func (b biasShiftApplier) read(net *nn.Network, pn hpnn.ProtectedNeuron, _ int) bool {
 	f := net.Flips()[pn.Site]
+	//lint:ignore floatcmp Offsets hold the exact sentinel the locker wrote (0 or alpha)
 	return f.Offsets != nil && f.Offsets[pn.Index] != 0
 }
 
@@ -102,6 +104,7 @@ func (w *weightPerturbApplier) apply(net *nn.Network, pn hpnn.ProtectedNeuron, s
 
 func (w *weightPerturbApplier) read(net *nn.Network, pn hpnn.ProtectedNeuron, specIdx int) bool {
 	d, _ := hpnn.ProducerDense(net, pn.Site)
+	//lint:ignore floatcmp reads back the exact stored weight: applied bits differ from base bit for bit
 	return d.W.W.At(pn.Index, pn.Col) != w.base[specIdx]
 }
 

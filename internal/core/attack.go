@@ -113,7 +113,7 @@ func (a *Attack) decidedBits() []int {
 func (a *Attack) orderedSites() []int {
 	bySite := a.spec.SiteBits()
 	sites := make([]int, 0, len(bySite))
-	for s := range bySite {
+	for s := range bySite { //lint:ignore determinism keys are sorted on the next line before use
 		sites = append(sites, s)
 	}
 	sort.Ints(sites)
@@ -137,8 +137,10 @@ func (a *Attack) parallelFor(n int, seedBase int64, fn func(i int, rng *rand.Ran
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:ignore nakedgo deliberate fan-out sized by cfg.Workers; each index writes disjoint state
 		go func() {
 			defer wg.Done()
+			//lint:ignore determinism work-distribution queue: fn(i) is seeded per index and indices write disjoint state, so arrival order cannot affect results
 			for i := range next {
 				fn(i, rand.New(rand.NewSource(seedBase+int64(i))))
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"dnnlock/internal/hpnn"
@@ -30,6 +31,7 @@ func Run(whiteBox *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg Confi
 }
 
 func (a *Attack) run() (*Result, error) {
+	//lint:ignore determinism telemetry timer for Result.Time; the value never feeds the numerics
 	start := time.Now()
 	startQ := a.orc.Queries()
 	rng := rand.New(rand.NewSource(a.cfg.Seed))
@@ -137,9 +139,10 @@ func (a *Attack) run() (*Result, error) {
 	}
 
 	res := &Result{
-		Key:           a.CurrentKey(),
-		Origins:       append([]BitOrigin(nil), a.origins...),
-		Queries:       a.orc.Queries() - startQ,
+		Key:     a.CurrentKey(),
+		Origins: append([]BitOrigin(nil), a.origins...),
+		Queries: a.orc.Queries() - startQ,
+		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:          time.Since(start),
 		Breakdown:     a.bd,
 		QueriesByProc: a.queriesByProc,
@@ -168,11 +171,18 @@ func lowConfidenceBits(a *Attack, bits []int) []int {
 // a time (learningAttack softens a single flip layer per call).
 func (a *Attack) relearnBySite(bits []int, rng *rand.Rand) {
 	bySite := make(map[int][]int)
+	sites := make([]int, 0, len(bySite))
 	for _, b := range bits {
 		s := a.spec.Neurons[b].Site
+		if _, seen := bySite[s]; !seen {
+			sites = append(sites, s)
+		}
 		bySite[s] = append(bySite[s], b)
 	}
-	for site, sb := range bySite {
-		a.learningAttack(site, sb, rng)
+	// Each learning attack advances the shared rng and mutates the network,
+	// so the site order must be reproducible across runs.
+	sort.Ints(sites)
+	for _, site := range sites {
+		a.learningAttack(site, bySite[site], rng)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"dnnlock/internal/dataset"
@@ -27,8 +28,14 @@ type softSite struct {
 // by a ReLU use the branch-interpolating relaxation (see nn.Flip).
 func soften(net *nn.Network, spec *hpnn.LockSpec, bySite map[int][]int) []softSite {
 	gated := gatedFlipSites(net)
+	sites := make([]int, 0, len(bySite))
+	for site := range bySite { //lint:ignore determinism keys are sorted on the next line before use
+		sites = append(sites, site)
+	}
+	sort.Ints(sites)
 	var out []softSite
-	for site, specIdxs := range bySite {
+	for _, site := range sites {
+		specIdxs := bySite[site]
 		flip := net.Flips()[site]
 		neuronIdxs := make([]int, len(specIdxs))
 		for i, si := range specIdxs {
@@ -227,6 +234,7 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg C
 	monitor func(epoch int, key hpnn.Key) bool) *MonolithicReport {
 
 	cfg = cfg.withDefaults()
+	//lint:ignore determinism telemetry timer for Result.Time; the value never feeds the numerics
 	start := time.Now()
 	startQ := orc.Queries()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -270,9 +278,10 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg C
 		}
 	}
 	rep.Result = Result{
-		Key:       key,
-		Origins:   origins,
-		Queries:   orc.Queries() - startQ,
+		Key:     key,
+		Origins: origins,
+		Queries: orc.Queries() - startQ,
+		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:      time.Since(start),
 		Breakdown: metrics.NewBreakdown(),
 	}

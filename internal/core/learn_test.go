@@ -10,6 +10,7 @@ import (
 	"dnnlock/internal/models"
 	"dnnlock/internal/nn"
 	"dnnlock/internal/oracle"
+	"dnnlock/internal/tensor"
 )
 
 func TestGatedFlipSites(t *testing.T) {
@@ -95,6 +96,7 @@ func TestFitSoftConfidenceStop(t *testing.T) {
 	sites := soften(trainNet, &lm.Spec, lm.Spec.SiteBits())
 	x := dataset.UniformInputs(256, 4, 2, rng)
 	y := orc.QueryBatch(x)
+	defer tensor.PutMatrix(x, y)
 	cfg := DefaultConfig()
 	cfg.LearnEpochs = 400
 	epochs := 0
@@ -126,6 +128,7 @@ func TestFitSoftCallbackAbort(t *testing.T) {
 	sites := soften(trainNet, &lm.Spec, lm.Spec.SiteBits())
 	x := dataset.UniformInputs(64, 3, 2, rng)
 	y := orc.QueryBatch(x)
+	defer tensor.PutMatrix(x, y)
 	calls := 0
 	fitSoft(trainNet, sites, x, y, DefaultConfig(), rng, false, func(e int, loss float64) bool {
 		calls++

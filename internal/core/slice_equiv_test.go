@@ -10,6 +10,7 @@ import (
 	"dnnlock/internal/models"
 	"dnnlock/internal/nn"
 	"dnnlock/internal/oracle"
+	"dnnlock/internal/tensor"
 )
 
 // fuzzedEquivNets returns locked-model builders across the evaluation's
@@ -56,13 +57,13 @@ func runFit(white *nn.Network, spec *hpnn.LockSpec, orc *oracle.Oracle, site int
 	rng := rand.New(rand.NewSource(77))
 	x := dataset.UniformInputs(cfg.LearnQueries, trainNet.InSize(), cfg.InputLim, rng)
 	y := orc.QueryBatch(x)
+	defer tensor.PutMatrix(x, y)
 	var out fitOutcome
 	fitSoft(trainNet, sites, x, y, cfg, rng, orc.Softmax(), func(epoch int, loss float64) bool {
 		out.losses = append(out.losses, loss)
 		return true
 	})
-	// soften iterates a map, so sites arrive in nondeterministic order;
-	// record coefficients in site-ID order to make runs comparable.
+	// Record coefficients in site-ID order to make runs comparable.
 	sort.Slice(sites, func(i, j int) bool { return sites[i].flip.SiteID < sites[j].flip.SiteID })
 	key := make(hpnn.Key, spec.NumBits())
 	for _, s := range sites {

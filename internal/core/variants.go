@@ -37,6 +37,7 @@ func RunVariant(whiteBox *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cf
 }
 
 func (a *Attack) runVariant() (*Result, error) {
+	//lint:ignore determinism telemetry timer for Result.Time; the value never feeds the numerics
 	start := time.Now()
 	startQ := a.orc.Queries()
 	rng := rand.New(rand.NewSource(a.cfg.Seed))
@@ -105,9 +106,10 @@ func (a *Attack) runVariant() (*Result, error) {
 	}
 
 	res := &Result{
-		Key:           a.CurrentKey(),
-		Origins:       append([]BitOrigin(nil), a.origins...),
-		Queries:       a.orc.Queries() - startQ,
+		Key:     a.CurrentKey(),
+		Origins: append([]BitOrigin(nil), a.origins...),
+		Queries: a.orc.Queries() - startQ,
+		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:          time.Since(start),
 		Breakdown:     a.bd,
 		QueriesByProc: a.queriesByProc,

@@ -114,6 +114,7 @@ func TestClassSeparability(t *testing.T) {
 func TestUniformInputs(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	x := UniformInputs(40, 7, 2.5, rng)
+	defer tensor.PutMatrix(x)
 	if x.Rows != 40 || x.Cols != 7 {
 		t.Fatal("bad shape")
 	}

@@ -87,6 +87,7 @@ func walkAffine(net *nn.Network, tr *nn.Trace, stopSite, stopReLU int) (AffineMa
 			a := cur.A.Clone()
 			b := tensor.VecClone(cur.B)
 			for i, s := range v.Signs {
+				//lint:ignore floatcmp Signs hold the exact sentinel values the locker wrote
 				if s != 1 {
 					row := a.Row(i)
 					for c := range row {

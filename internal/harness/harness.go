@@ -200,6 +200,7 @@ func (p *pipeline) baselineAccuracy(rng *rand.Rand) float64 {
 	sum := 0.0
 	for i := 0; i < p.sc.BaselineKeys; i++ {
 		wrong := hpnn.RandomKey(len(p.key), rng)
+		//lint:ignore floatcmp Fidelity of 1.0 is exactly representable and means every bit matched
 		if wrong.Fidelity(p.key) == 1 { // force incorrectness
 			wrong[rng.Intn(len(wrong))] = !wrong[rng.Intn(len(wrong))]
 		}

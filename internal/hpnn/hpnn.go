@@ -175,9 +175,11 @@ func NewLockSpec(net *nn.Network, cfg Config) LockSpec {
 		panic("hpnn: no lockable sites")
 	}
 	spec := LockSpec{Scheme: cfg.Scheme, Alpha: cfg.Alpha}
+	//lint:ignore floatcmp zero is the exact unset sentinel for Alpha
 	if cfg.Scheme != Negation && cfg.Alpha == 0 {
 		panic("hpnn: variant schemes need Alpha != 0")
 	}
+	//lint:ignore floatcmp the exact constant 1 makes scaling a no-op
 	if cfg.Scheme == Scaling && cfg.Alpha == 1 {
 		panic("hpnn: scaling with Alpha == 1 is a no-op")
 	}
@@ -310,11 +312,14 @@ func (lm *LockedModel) ExtractKey(target *nn.Network) Key {
 		case Negation:
 			key[i] = f.Signs[pn.Index] < 0
 		case Scaling:
+			//lint:ignore floatcmp Signs hold the exact sentinel values the locker wrote
 			key[i] = f.Signs[pn.Index] != 1
 		case BiasShift:
+			//lint:ignore floatcmp Offsets hold the exact sentinel the locker wrote
 			key[i] = f.Offsets != nil && f.Offsets[pn.Index] != 0
 		case WeightPerturb:
 			d := linearBefore(target, pn.Site).(*nn.Dense)
+			//lint:ignore floatcmp reads back the exact stored weight: applied bits differ from base bit for bit
 			key[i] = d.W.W.At(pn.Index, pn.Col) != lm.wpBase[i]
 		}
 	}

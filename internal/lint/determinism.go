@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism polices the bit-identity guarantee of the kernel packages
+// (internal/tensor, internal/nn, internal/core). The decryption attack
+// matches hyperplanes between the white box and the oracle by exact float
+// reproduction (Algorithm 2, DESIGN.md §8–9), so inside these packages
+// nothing may depend on scheduler or runtime randomness:
+//
+//   - no iteration over a map (order varies per run),
+//   - no time.Now / time.Since feeding values into the computation,
+//   - no global math/rand functions (per-process seeded, shared state) —
+//     deterministic per-call *rand.Rand instances are fine,
+//   - no goroutine fan-in through channels whose received values are used
+//     (arrival order is scheduler-dependent), and no multi-case select.
+//
+// Sites that are order-insensitive by construction (a worker picking tasks
+// off a queue that each write disjoint rows, telemetry timestamps that
+// never touch the numerics) carry //lint:ignore determinism <reason>.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "kernel packages must not depend on map order, wall clocks, global rand, or channel arrival order",
+	Run:  runDeterminism,
+}
+
+// kernelPackages carry the bit-identity guarantee.
+var kernelPackages = map[string]bool{
+	"dnnlock/internal/tensor": true,
+	"dnnlock/internal/nn":     true,
+	"dnnlock/internal/core":   true,
+}
+
+func runDeterminism(p *Pass) {
+	if !kernelPackages[p.Unit.Path] {
+		return
+	}
+	for _, f := range p.Unit.Files {
+		if p.IsTestFile(f) {
+			continue // tests use seeded randomness and order-free assertions
+		}
+		checkDeterminism(p, f)
+	}
+}
+
+func checkDeterminism(p *Pass, f *ast.File) {
+	var visit func(n ast.Node, parent ast.Node)
+	visit = func(n ast.Node, parent ast.Node) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.RangeStmt:
+			t := p.Unit.Info.TypeOf(v.X)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					p.Report(v.X.Pos(), "range over map in a kernel package: iteration order is non-deterministic; iterate sorted keys instead")
+				case *types.Chan:
+					if used(v.Key) || used(v.Value) {
+						p.Report(v.X.Pos(), "goroutine fan-in: values ranged off a channel arrive in scheduler order")
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op.String() == "<-" && recvValueUsed(parent, v) {
+				p.Report(v.Pos(), "goroutine fan-in: value received from a channel arrives in scheduler order")
+			}
+		case *ast.SelectStmt:
+			if v.Body != nil && len(v.Body.List) > 1 {
+				p.Report(v.Pos(), "select over multiple channels resolves in scheduler order")
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(p, v); fn != nil && fn.Pkg() != nil {
+				path, name := fn.Pkg().Path(), fn.Name()
+				sig, _ := fn.Type().(*types.Signature)
+				pkgLevel := sig == nil || sig.Recv() == nil
+				switch {
+				case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
+					p.Report(v.Pos(), "wall-clock time.%s in a kernel package: results must not depend on when they run", name)
+				case path == "math/rand" && pkgLevel && !randConstructor(name):
+					p.Report(v.Pos(), "global math/rand.%s shares per-process state: thread a seeded *rand.Rand instead", name)
+				case path == "math/rand/v2" && pkgLevel && !randConstructor(name):
+					p.Report(v.Pos(), "global math/rand/v2.%s shares per-process state: thread a seeded generator instead", name)
+				}
+			}
+		}
+		walkChildren(n, func(c ast.Node) { visit(c, n) })
+	}
+	visit(f, nil)
+}
+
+// randConstructor reports whether a math/rand package-level function builds
+// a private seeded generator rather than touching the shared global source.
+// rand.New(rand.NewSource(seed)) is exactly the pattern the analyzer steers
+// code toward, so flagging it would be self-defeating.
+func randConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+		return true
+	}
+	return false
+}
+
+// used reports whether a range-clause variable is bound and non-blank.
+func used(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	id, ok := e.(*ast.Ident)
+	return !ok || id.Name != "_"
+}
+
+// recvValueUsed reports whether a <-ch expression's value is consumed: a
+// bare receive statement (pure synchronization) and a receive assigned only
+// to blanks are fine; anything else makes the computation depend on arrival
+// order.
+func recvValueUsed(parent ast.Node, recv *ast.UnaryExpr) bool {
+	switch par := parent.(type) {
+	case *ast.ExprStmt:
+		return false
+	case *ast.AssignStmt:
+		for _, lhs := range par.Lhs {
+			if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+				return true
+			}
+		}
+		return false
+	case *ast.GoStmt, *ast.DeferStmt:
+		return false
+	}
+	return true
+}
+
+// calleeFunc resolves the called function object, if any.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Unit.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// testFileSuffix is shared by analyzers that scope to non-test code.
+func isTestFilename(name string) bool { return strings.HasSuffix(name, "_test.go") }

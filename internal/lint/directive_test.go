@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	pos := token.Position{Filename: "x.go", Line: 1}
+	cases := []struct {
+		text     string
+		kind     int
+		analyzer string
+		errPart  string
+	}{
+		{"ignore poolpair buffer handed to the cache", dirIgnore, "poolpair", ""},
+		{"ignore determinism telemetry only", dirIgnore, "determinism", ""},
+		{"transfer released by releaseCaches", dirTransfer, "", ""},
+		{"transfer", dirTransfer, "", ""},
+		{"ignore floatcmp", dirMalformed, "", "need \"//lint:ignore <analyzer> <reason>\""},
+		{"ignore nosuch reason here", dirMalformed, "", "unknown analyzer"},
+		{"frobnicate whatever", dirMalformed, "", "unknown //lint: directive"},
+		{"", dirMalformed, "", "empty //lint: directive"},
+	}
+	for _, c := range cases {
+		d := parseDirective(c.text, pos)
+		if d.kind != c.kind {
+			t.Errorf("parseDirective(%q): kind = %d, want %d", c.text, d.kind, c.kind)
+		}
+		if d.analyzer != c.analyzer {
+			t.Errorf("parseDirective(%q): analyzer = %q, want %q", c.text, d.analyzer, c.analyzer)
+		}
+		if c.errPart != "" && !strings.Contains(d.reason, c.errPart) {
+			t.Errorf("parseDirective(%q): reason %q does not mention %q", c.text, d.reason, c.errPart)
+		}
+	}
+}
+
+func TestSuppressedCoversLineAndLineAbove(t *testing.T) {
+	prog := &Program{directives: map[string]map[int][]directive{
+		"f.go": {10: {{kind: dirIgnore, analyzer: "floatcmp"}}},
+	}}
+	if !prog.suppressed("floatcmp", token.Position{Filename: "f.go", Line: 10}) {
+		t.Error("same-line suppression not applied")
+	}
+	if !prog.suppressed("floatcmp", token.Position{Filename: "f.go", Line: 11}) {
+		t.Error("line-above suppression not applied")
+	}
+	if prog.suppressed("floatcmp", token.Position{Filename: "f.go", Line: 12}) {
+		t.Error("suppression leaked two lines down")
+	}
+	if prog.suppressed("poolpair", token.Position{Filename: "f.go", Line: 10}) {
+		t.Error("suppression applied to the wrong analyzer")
+	}
+	if prog.suppressed("floatcmp", token.Position{Filename: "g.go", Line: 10}) {
+		t.Error("suppression applied to the wrong file")
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("poolpair,floatcmp")
+	if err != nil || len(as) != 2 || as[0].Name != "poolpair" || as[1].Name != "floatcmp" {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// FloatCmp flags == and != between floating-point (or complex) operands.
+// Almost everywhere in this codebase a float equality is a latent bug: the
+// attack's guarantees are about *bit-identical recomputation* of the same
+// expression, not about algebraically equal values comparing equal, and a
+// tolerance (or math.Signbit / exact integer logic) is what's wanted.
+//
+// Test files are exempt wholesale: the repo's tests assert bit-identical
+// readback and slice/parallel equivalence on purpose (DESIGN.md §8–9), so
+// exact equality there is the specification, not a bug. Production files
+// whose entire point is exact equality are allowlisted below; one-off exact
+// comparisons (zero-value sentinels, skip-work fast paths on exact zero)
+// carry //lint:ignore floatcmp <reason>.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "no == or != on floating-point operands outside exactness-critical files",
+	Run:  runFloatCmp,
+}
+
+// floatCmpAllowlist names non-test files whose job is exact float equality,
+// by module-relative path suffix:
+//
+//   - config.go uses the Go zero value as the "unset, apply default"
+//     sentinel for float fields, which is an exact-representation check;
+//   - kernels.go implements the locked-weight masking kernels, which match
+//     stored sentinel values bit for bit by design — a tolerance there
+//     would unmask the wrong weights.
+var floatCmpAllowlist = []string{
+	"internal/core/config.go",
+	"internal/tensor/kernels.go",
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Unit.Files {
+		name := filepath.ToSlash(p.Fset.Position(f.Pos()).Filename)
+		if isTestFilename(name) || allowlistedFloatFile(name) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !floatOperand(p, be.X) && !floatOperand(p, be.Y) {
+				return true
+			}
+			if constExpr(p, be.X) && constExpr(p, be.Y) {
+				return true // compile-time constant comparison
+			}
+			p.Report(be.OpPos, "floating-point %s comparison: use a tolerance, or //lint:ignore floatcmp with the exactness argument", be.Op)
+			return true
+		})
+	}
+}
+
+func allowlistedFloatFile(name string) bool {
+	for _, suffix := range floatCmpAllowlist {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func floatOperand(p *Pass, e ast.Expr) bool {
+	t := p.Unit.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func constExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Unit.Info.Types[e]
+	return ok && tv.Value != nil
+}

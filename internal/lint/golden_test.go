@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden harness runs one analyzer over a fixture module under
+// testdata/ and checks its diagnostics against // want "regexp" markers:
+// every marker line must produce a matching diagnostic and every diagnostic
+// must be claimed by a marker. Suppressed hits and clean shapes simply have
+// no marker.
+
+func TestPoolPairGolden(t *testing.T)    { runGolden(t, PoolPair, "poolpair") }
+func TestDeterminismGolden(t *testing.T) { runGolden(t, Determinism, "determinism") }
+func TestFloatCmpGolden(t *testing.T)    { runGolden(t, FloatCmp, "floatcmp") }
+func TestNakedGoGolden(t *testing.T)     { runGolden(t, NakedGo, "nakedgo") }
+
+type wantMarker struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func runGolden(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", fixture)
+	prog, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	for _, te := range prog.TypeErrors {
+		t.Errorf("fixture type error: %v", te)
+	}
+	wants := collectWants(t, prog)
+	diags := prog.Run([]*Analyzer{a})
+
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants scans every fixture file's comments for // want "regexp"
+// markers.
+func collectWants(t *testing.T, prog *Program) []*wantMarker {
+	t.Helper()
+	var out []*wantMarker
+	seen := map[*ast.File]bool{}
+	for _, u := range prog.Units {
+		for _, f := range u.Files {
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					rest = strings.TrimSpace(rest)
+					pat, err := unquoteMarker(rest)
+					if err != nil {
+						t.Fatalf("%s: bad want marker %q: %v", prog.Fset.Position(c.Pos()), rest, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", prog.Fset.Position(c.Pos()), pat, err)
+					}
+					pos := prog.Fset.Position(c.Pos())
+					out = append(out, &wantMarker{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// unquoteMarker accepts both "..." and `...` want payloads.
+func unquoteMarker(s string) (string, error) {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '`') {
+		return strconv.Unquote(s)
+	}
+	return "", fmt.Errorf("want payload must be a quoted string")
+}

@@ -1,0 +1,248 @@
+// Package lint machine-enforces the repository's hand-written runtime
+// invariants: pooled workspaces must be released (poolpair), the kernel
+// packages must stay bit-reproducible (determinism, floatcmp), and all
+// parallelism must route through the tensor worker pool so DNNLOCK_PROCS
+// stays authoritative (nakedgo). See DESIGN.md §10 for the invariant each
+// analyzer encodes and why Algorithm 2's hyperplane matching depends on it.
+//
+// The suite is pure standard library (go/ast, go/parser, go/types,
+// go/token) and is driven by a shared module loader (load.go). Diagnostics
+// can be suppressed site-by-site with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above; the reason is
+// mandatory. Pool ownership handoffs (storing a pooled matrix into a
+// longer-lived structure for a later, collective release) are declared with
+// //lint:transfer on the storing line.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked Unit.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All lists every analyzer in the suite, in report order.
+var All = []*Analyzer{PoolPair, Determinism, FloatCmp, NakedGo}
+
+// ByName resolves a comma-separated analyzer list against All.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// Diagnostic is one finding, positioned for editors and CI logs.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass hands one Unit to one analyzer and collects its reports.
+type Pass struct {
+	Unit     *Unit
+	Fset     *token.FileSet
+	analyzer *Analyzer
+	prog     *Program
+	out      *[]Diagnostic
+}
+
+// Report records a diagnostic at pos unless an ignore directive for this
+// analyzer covers the line.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.prog.suppressed(p.analyzer.Name, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TransferAnnotated reports whether a //lint:transfer directive covers the
+// line of pos (same line or the line directly above).
+func (p *Pass) TransferAnnotated(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, d := range p.prog.directives[position.Filename][line] {
+			if d.kind == dirTransfer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Run executes the given analyzers over every unit and returns the
+// surviving diagnostics sorted by position. Malformed //lint: directives
+// are themselves reported (analyzer "directive"): a suppression without a
+// reason, or naming an unknown analyzer, is treated as a finding so typos
+// cannot silently disable a check.
+func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, u := range prog.Units {
+		for _, a := range analyzers {
+			a.Run(&Pass{Unit: u, Fset: prog.Fset, analyzer: a, prog: prog, out: &out})
+		}
+	}
+	for _, file := range sortedKeys(prog.directives) {
+		for _, line := range sortedIntKeys(prog.directives[file]) {
+			for _, d := range prog.directives[file][line] {
+				if d.kind == dirMalformed {
+					out = append(out, Diagnostic{Analyzer: "directive", Pos: d.pos, Message: d.reason})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+const (
+	dirIgnore = iota
+	dirTransfer
+	dirMalformed
+)
+
+type directive struct {
+	kind     int
+	analyzer string // for ignore
+	reason   string
+	pos      token.Position
+}
+
+// scanDirectives extracts //lint: comments from a freshly parsed file.
+func (prog *Program) scanDirectives(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := parseDirective(text, pos)
+			m := prog.directives[pos.Filename]
+			if m == nil {
+				m = map[int][]directive{}
+				prog.directives[pos.Filename] = m
+			}
+			m[pos.Line] = append(m[pos.Line], d)
+		}
+	}
+}
+
+// parseDirective interprets the text after "//lint:".
+func parseDirective(text string, pos token.Position) directive {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return directive{kind: dirMalformed, reason: "empty //lint: directive", pos: pos}
+	}
+	switch fields[0] {
+	case "ignore":
+		if len(fields) < 3 {
+			return directive{kind: dirMalformed, pos: pos,
+				reason: "malformed //lint:ignore: need \"//lint:ignore <analyzer> <reason>\""}
+		}
+		name := fields[1]
+		if !knownAnalyzer(name) {
+			return directive{kind: dirMalformed, pos: pos,
+				reason: fmt.Sprintf("//lint:ignore names unknown analyzer %q", name)}
+		}
+		return directive{kind: dirIgnore, analyzer: name, reason: strings.Join(fields[2:], " "), pos: pos}
+	case "transfer":
+		return directive{kind: dirTransfer, reason: strings.Join(fields[1:], " "), pos: pos}
+	default:
+		return directive{kind: dirMalformed, pos: pos,
+			reason: fmt.Sprintf("unknown //lint: directive %q", fields[0])}
+	}
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range All {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed reports whether an ignore directive for analyzer covers the
+// diagnostic line (same line or the line directly above).
+func (prog *Program) suppressed(analyzer string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range prog.directives[pos.Filename][line] {
+			if d.kind == dirIgnore && d.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

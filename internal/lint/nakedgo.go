@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// NakedGo forbids raw `go` statements outside the sanctioned parallelism
+// sites. All production fan-out must be sized by tensor.Parallelism (the
+// DNNLOCK_PROCS knob) and either run through the tensor worker pool or spawn
+// its own goroutines at one of the two audited locations:
+//
+//   - internal/tensor, which owns the worker pool itself, and
+//   - nn.Slice (slice.go), whose one-shot prefix evaluation must not run as
+//     pool tasks (a pool task that submits to the pool and waits can
+//     deadlock it — see parallel.go's leaf-task rule).
+//
+// Anywhere else, an unreviewed `go` statement is a hole in the determinism
+// and sizing story; deliberate exceptions (oracle.QueryBatch, the attack's
+// parallelFor) carry //lint:ignore nakedgo with the justification. Test
+// files are exempt: tests spawn goroutines to exercise concurrency safety.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc:  "no raw go statements outside the tensor pool and nn.Slice; parallelism routes through tensor.Parallelism",
+	Run:  runNakedGo,
+}
+
+func runNakedGo(p *Pass) {
+	if p.Unit.Path == "dnnlock/internal/tensor" {
+		return // owns the worker pool
+	}
+	for _, f := range p.Unit.Files {
+		name := filepath.ToSlash(p.Fset.Position(f.Pos()).Filename)
+		if isTestFilename(name) {
+			continue
+		}
+		if p.Unit.Path == "dnnlock/internal/nn" && strings.HasSuffix(name, "/slice.go") {
+			continue // nn.Slice.PrefixForward is a sanctioned fan-out site
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Report(g.Pos(), "raw go statement outside the sanctioned worker-pool sites: route parallelism through internal/tensor (pool kernels or goroutines sized by tensor.Parallelism) so DNNLOCK_PROCS stays authoritative")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,523 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolPair enforces the workspace-pool ownership contract (DESIGN.md §8):
+// every matrix or vector obtained from the pool — tensor.GetMatrix /
+// GetMatrixZero / GetVec, and the pool-recycled results of
+// oracle.QueryBatch, dataset.UniformInputs, and nn.Slice.PrefixForward —
+// must be handed back with tensor.PutMatrix / PutVec on every path through
+// the acquiring function, or explicitly leave the function: returned to the
+// caller, or stored into a longer-lived structure on a line annotated
+// //lint:transfer.
+//
+// The analysis is per-function and structural rather than a full CFG: a
+// deferred Put covers every exit; otherwise each return after the
+// acquisition needs a release or transfer that is either lexically on the
+// way (in a block enclosing the acquisition) or inside the same branch as
+// the return. This catches the real bug class — a pooled buffer leaked on
+// an early return or error path — while accepting the repo's conditional
+// ownership idioms.
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "pooled tensor workspaces must be released or explicitly transferred on all paths",
+	Run:  runPoolPair,
+}
+
+// getFuncs maps pool-acquiring functions (package path -> names). Method
+// names are matched by the defining package of the method object, so
+// aliased imports and embedded forwarding resolve correctly.
+var getFuncs = map[string]map[string]bool{
+	"dnnlock/internal/tensor":  {"GetMatrix": true, "GetMatrixZero": true, "GetVec": true},
+	"dnnlock/internal/oracle":  {"QueryBatch": true},
+	"dnnlock/internal/dataset": {"UniformInputs": true},
+	"dnnlock/internal/nn":      {"PrefixForward": true},
+}
+
+var putFuncs = map[string]map[string]bool{
+	"dnnlock/internal/tensor": {"PutMatrix": true, "PutVec": true},
+}
+
+func runPoolPair(p *Pass) {
+	for _, f := range p.Unit.Files {
+		for _, region := range functionRegions(f) {
+			analyzeRegion(p, region)
+		}
+	}
+}
+
+// functionRegions returns every function body in the file: declarations and
+// literals, each analyzed independently.
+func functionRegions(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Body != nil {
+				out = append(out, v.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, v.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// acquisition is one tracked pool Get inside a region.
+type acquisition struct {
+	call *ast.CallExpr
+	name string         // display name, e.g. "tensor.GetMatrix"
+	obj  types.Object   // variable holding the result; nil if discarded
+	objs []types.Object // obj plus aliases
+}
+
+// event is a release or escape of a tracked variable.
+type event struct {
+	pos      token.Pos
+	deferred bool
+	block    *ast.BlockStmt // innermost block holding the event
+}
+
+func analyzeRegion(p *Pass, body *ast.BlockStmt) {
+	acqs := collectAcquisitions(p, body)
+	if len(acqs) == 0 {
+		return
+	}
+	returns := regionReturns(body)
+	for _, acq := range acqs {
+		checkAcquisition(p, body, acq, returns)
+	}
+}
+
+// collectAcquisitions finds pool Gets whose statement lives directly in this
+// region (not in a nested function literal, which forms its own region).
+func collectAcquisitions(p *Pass, body *ast.BlockStmt) []*acquisition {
+	var out []*acquisition
+	walkRegion(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if name, hit := p.getLike(call); hit {
+					p.Report(call.Pos(), "result of %s is discarded: the pooled buffer can never be released", name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				name, hit := p.getLike(call)
+				if !hit {
+					continue
+				}
+				if len(st.Lhs) != len(st.Rhs) {
+					continue // tuple-assign; Gets are single-valued
+				}
+				switch lhs := st.Lhs[i].(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						p.Report(call.Pos(), "result of %s is assigned to _: the pooled buffer can never be released", name)
+						continue
+					}
+					obj := p.Unit.Info.Defs[lhs]
+					if obj == nil {
+						obj = p.Unit.Info.Uses[lhs]
+					}
+					if obj != nil {
+						out = append(out, &acquisition{call: call, name: name, obj: obj, objs: []types.Object{obj}})
+					}
+				default:
+					// Stored straight into a field/element: an ownership
+					// handoff, which must be declared.
+					if !p.TransferAnnotated(st.Pos()) {
+						p.Report(call.Pos(), "result of %s is stored outside the function without //lint:transfer", name)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range st.Values {
+				call, ok := v.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				name, hit := p.getLike(call)
+				if !hit || i >= len(st.Names) {
+					continue
+				}
+				if obj := p.Unit.Info.Defs[st.Names[i]]; obj != nil {
+					out = append(out, &acquisition{call: call, name: name, obj: obj, objs: []types.Object{obj}})
+				}
+			}
+		}
+	})
+	return out
+}
+
+// checkAcquisition gathers the variable's release/escape events across the
+// whole region (nested literals included — deferred closures commonly do
+// the releasing) and verifies every exit after the acquisition is covered.
+func checkAcquisition(p *Pass, body *ast.BlockStmt, acq *acquisition, returns []*ast.ReturnStmt) {
+	aliasClosure(p, body, acq)
+	var releases, escapes []event
+	deferDepth := 0
+	var blocks []*ast.BlockStmt
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.DeferStmt:
+			deferDepth++
+			visit(v.Call)
+			deferDepth--
+			return
+		case *ast.BlockStmt:
+			blocks = append(blocks, v)
+			for _, st := range v.List {
+				visit(st)
+			}
+			blocks = blocks[:len(blocks)-1]
+			return
+		case *ast.CallExpr:
+			if p.putLike(v) && p.mentions(v.Args, acq.objs) {
+				releases = append(releases, event{pos: v.Pos(), deferred: deferDepth > 0, block: innermost(blocks, body)})
+			}
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				if p.escapingExpr(res, acq.objs) {
+					escapes = append(escapes, event{pos: v.Pos(), block: innermost(blocks, body)})
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				id, ok := rhs.(*ast.Ident)
+				if !ok || !p.isTracked(id, acq.objs) || i >= len(v.Lhs) {
+					continue
+				}
+				if !p.localLHS(v.Lhs[i], body) {
+					if p.TransferAnnotated(v.Pos()) {
+						escapes = append(escapes, event{pos: v.Pos(), block: innermost(blocks, body)})
+					} else {
+						p.Report(v.Pos(), "%s obtained from %s is stored outside the function without //lint:transfer",
+							exprString(v.Rhs[i]), acq.name)
+						escapes = append(escapes, event{pos: v.Pos(), block: innermost(blocks, body)})
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if p.escapingExpr(v.Value, acq.objs) {
+				escapes = append(escapes, event{pos: v.Pos(), block: innermost(blocks, body)})
+			}
+		}
+		walkChildren(n, visit)
+	}
+	visit(body)
+
+	for _, r := range releases {
+		if r.deferred {
+			return // a deferred Put covers every exit
+		}
+	}
+	events := append(releases, escapes...)
+	if len(events) == 0 {
+		p.Report(acq.call.Pos(), "result of %s is never released: missing tensor.PutMatrix/PutVec, return, or //lint:transfer", acq.name)
+		return
+	}
+	getEnd := acq.call.End()
+	for _, ret := range returns {
+		if ret.Pos() <= getEnd {
+			continue
+		}
+		if !covered(events, getEnd, ret.Pos(), ret.End()) {
+			p.Report(ret.Pos(), "%s acquired at line %d may leak on this return path: no release or transfer before it",
+				acq.name, p.Fset.Position(acq.call.Pos()).Line)
+		}
+	}
+	if fallsOffEnd(body) && !covered(events, getEnd, body.End(), body.End()) {
+		p.Report(acq.call.Pos(), "result of %s is not released on the fall-through path to the end of the function", acq.name)
+	}
+}
+
+// covered reports whether some event releases/escapes the value on the way
+// to an exit at [exitPos, exitEnd]: the event must be after the
+// acquisition, not after the exit, and either on the unconditional spine
+// (its block encloses the acquisition) or inside the same branch as the
+// exit (its block encloses the exit).
+func covered(events []event, getEnd, exitPos, exitEnd token.Pos) bool {
+	for _, e := range events {
+		if e.pos <= getEnd || e.pos > exitEnd {
+			continue
+		}
+		if e.block == nil || (e.block.Pos() <= getEnd && getEnd <= e.block.End()) ||
+			(e.block.Pos() <= exitPos && exitPos <= e.block.End()) {
+			return true
+		}
+	}
+	return false
+}
+
+// aliasClosure adds plain local aliases (w := v) of the tracked variable so
+// releases through the alias count.
+func aliasClosure(p *Pass, body *ast.BlockStmt, acq *acquisition) {
+	for changed := true; changed; {
+		changed = false
+		walkRegionAll(body, func(n ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return
+			}
+			for i, rhs := range as.Rhs {
+				id, ok := rhs.(*ast.Ident)
+				if !ok || !p.isTracked(id, acq.objs) {
+					continue
+				}
+				lid, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || lid.Name == "_" {
+					continue
+				}
+				obj := p.Unit.Info.Defs[lid]
+				if obj == nil {
+					obj = p.Unit.Info.Uses[lid]
+				}
+				if obj == nil {
+					continue
+				}
+				found := false
+				for _, o := range acq.objs {
+					if o == obj {
+						found = true
+						break
+					}
+				}
+				if !found {
+					acq.objs = append(acq.objs, obj)
+					changed = true
+				}
+			}
+		})
+	}
+}
+
+// getLike reports whether call is a pool acquisition, returning its display
+// name.
+func (p *Pass) getLike(call *ast.CallExpr) (string, bool) {
+	return p.callIn(call, getFuncs)
+}
+
+func (p *Pass) putLike(call *ast.CallExpr) bool {
+	_, ok := p.callIn(call, putFuncs)
+	return ok
+}
+
+func (p *Pass) callIn(call *ast.CallExpr, set map[string]map[string]bool) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	obj, ok := p.Unit.Info.Uses[id]
+	if !ok {
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	names, ok := set[fn.Pkg().Path()]
+	if !ok || !names[fn.Name()] {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// isTracked reports whether the identifier resolves to one of the tracked
+// objects.
+func (p *Pass) isTracked(id *ast.Ident, objs []types.Object) bool {
+	obj := p.Unit.Info.Uses[id]
+	if obj == nil {
+		obj = p.Unit.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	for _, o := range objs {
+		if o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// mentions reports whether any argument expression references a tracked
+// object (including inside nested expressions, e.g. a slice or call).
+func (p *Pass) mentions(args []ast.Expr, objs []types.Object) bool {
+	found := false
+	for _, e := range args {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.isTracked(id, objs) {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// escapingExpr reports whether the expression hands the tracked *buffer*
+// itself onward: the bare identifier, or the identifier wrapped in a
+// composite literal, key-value pair, or address-of. Derived values
+// (m.Rows, v[i], len(v), wrap(m)) do not transfer ownership — a function
+// returning those still owes the pool a Put (or an explicit annotation).
+func (p *Pass) escapingExpr(e ast.Expr, objs []types.Object) bool {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return p.escapingExpr(v.X, objs)
+	case *ast.Ident:
+		return p.isTracked(v, objs)
+	case *ast.CompositeLit:
+		for _, elt := range v.Elts {
+			if p.escapingExpr(elt, objs) {
+				return true
+			}
+		}
+	case *ast.KeyValueExpr:
+		return p.escapingExpr(v.Value, objs)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return p.escapingExpr(v.X, objs)
+		}
+	}
+	return false
+}
+
+// localLHS reports whether the assignment target is a plain local variable
+// of this region. Field selectors, index expressions, dereferences, and
+// identifiers captured from an enclosing function all make the value
+// outlive the region.
+func (p *Pass) localLHS(lhs ast.Expr, body *ast.BlockStmt) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	obj := p.Unit.Info.Defs[id]
+	if obj == nil {
+		obj = p.Unit.Info.Uses[id]
+	}
+	if obj == nil {
+		return true // unresolved: assume local rather than guess an escape
+	}
+	return body.Pos() <= obj.Pos() && obj.Pos() <= body.End()
+}
+
+// regionReturns collects the return statements belonging to this region
+// (returns inside nested function literals exit the literal, not us).
+func regionReturns(body *ast.BlockStmt) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	walkRegion(body, func(n ast.Node) {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			out = append(out, r)
+		}
+	})
+	return out
+}
+
+// fallsOffEnd conservatively reports whether control can reach the closing
+// brace of the body: true unless the final statement is a return or a
+// panic call.
+func fallsOffEnd(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return true
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+	case *ast.ForStmt:
+		if last.Cond == nil {
+			return false // for {} without condition only exits via return/panic
+		}
+	}
+	return true
+}
+
+// walkRegion visits every node in the region, skipping nested function
+// literals.
+func walkRegion(body *ast.BlockStmt, fn func(ast.Node)) {
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return
+		}
+		fn(n)
+		walkChildren(n, visit)
+	}
+	for _, st := range body.List {
+		visit(st)
+	}
+}
+
+// walkRegionAll is walkRegion including nested function literals.
+func walkRegionAll(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// walkChildren invokes visit on each direct child node of n.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false
+	})
+}
+
+// innermost returns the innermost block currently on the walk stack, or the
+// region body when at the top level.
+func innermost(blocks []*ast.BlockStmt, body *ast.BlockStmt) *ast.BlockStmt {
+	if len(blocks) == 0 {
+		return body
+	}
+	return blocks[len(blocks)-1]
+}
+
+func exprString(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "pooled value"
+}

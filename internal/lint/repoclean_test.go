@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestLintRepoIsClean runs the full analyzer suite over the real source
+// tree. This is the machine-enforced version of the invariants DESIGN.md
+// §8–10 state in prose: if a change leaks a pooled workspace, compares
+// floats with ==, ranges a map inside a kernel package, or spawns an
+// unsanctioned goroutine, this test (and `make lint` / scripts/check.sh)
+// fails with the exact position.
+func TestLintRepoIsClean(t *testing.T) {
+	prog, err := Load("../..")
+	if err != nil {
+		t.Fatalf("loading repository module: %v", err)
+	}
+	for _, te := range prog.TypeErrors {
+		t.Errorf("type error: %v", te)
+	}
+	if len(prog.Units) < 15 {
+		t.Fatalf("loader found only %d units; expected the whole module", len(prog.Units))
+	}
+	for _, d := range prog.Run(All) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestRepoLoaderCoversKernelPackages guards the analyzer scoping: if the
+// kernel packages were renamed without updating the analyzers, determinism
+// and nakedgo would silently stop checking anything.
+func TestRepoLoaderCoversKernelPackages(t *testing.T) {
+	prog, err := Load("../..")
+	if err != nil {
+		t.Fatalf("loading repository module: %v", err)
+	}
+	found := map[string]bool{}
+	for _, u := range prog.Units {
+		found[u.Path] = true
+	}
+	for pkg := range kernelPackages {
+		if !found[pkg] {
+			t.Errorf("kernel package %q not found in the loaded module; determinism/nakedgo scoping is stale", pkg)
+		}
+	}
+	for path := range getFuncs {
+		if !found[path] {
+			t.Errorf("pool package %q not found in the loaded module; poolpair scoping is stale", path)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package core hosts determinism golden fixtures: the third kernel package
+// in scope.
+package core
+
+import "sort"
+
+func sortedMapIteration(m map[string]int) []string {
+	var keys []string
+	//lint:ignore determinism canonical pattern: keys collected then sorted
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedMapIteration(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map in a kernel package"
+		total += v
+	}
+	return total
+}

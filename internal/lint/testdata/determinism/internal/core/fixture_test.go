@@ -1,0 +1,12 @@
+package core
+
+// Test files are out of determinism scope: seeded randomness and order-free
+// assertions are fine there. No // want markers in this file.
+
+func mapRangeInTest(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

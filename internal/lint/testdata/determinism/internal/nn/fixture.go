@@ -1,0 +1,40 @@
+// Package nn hosts the determinism golden fixtures for wall-clock and
+// global-rand use inside a kernel package.
+package nn
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want "wall-clock time.Now in a kernel package"
+	return t.Unix()
+}
+
+func wallClockSince(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock time.Since in a kernel package"
+}
+
+func wallClockSuppressed() time.Time {
+	//lint:ignore determinism telemetry only; the value never feeds the numerics
+	return time.Now()
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want "global math/rand.Float64 shares per-process state"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle shares per-process state"
+}
+
+func seededRandClean(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// Constructing a private seeded generator is the sanctioned pattern, not a
+// use of the shared global source.
+func seededConstructorClean(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

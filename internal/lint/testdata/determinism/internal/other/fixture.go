@@ -1,0 +1,17 @@
+// Package other is outside the kernel packages: determinism does not apply
+// here, so none of these lines are flagged.
+package other
+
+import "time"
+
+func mapRangeOutsideKernels(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func wallClockOutsideKernels() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,67 @@
+// Package tensor hosts the determinism golden fixtures for channel fan-in
+// and map iteration inside a kernel package.
+package tensor
+
+func mapRange(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "range over map in a kernel package"
+		sum += v
+	}
+	return sum
+}
+
+func mapRangeSuppressed(m map[int]float64) []int {
+	var keys []int
+	//lint:ignore determinism keys are sorted by the caller before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRangeClean(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+func chanFanIn(ch chan float64) float64 {
+	sum := 0.0
+	for v := range ch { // want "values ranged off a channel arrive in scheduler order"
+		sum += v
+	}
+	return sum
+}
+
+func chanSignalClean(done chan struct{}) {
+	for range done {
+	}
+}
+
+func recvUsed(ch chan int) int {
+	v := <-ch // want "value received from a channel arrives in scheduler order"
+	return v
+}
+
+func recvDrainClean(ch chan int) {
+	<-ch
+}
+
+func recvBlankClean(ch chan int) {
+	_ = <-ch
+}
+
+func selectMulti(a, b chan int) {
+	select { // want "select over multiple channels resolves in scheduler order"
+	case <-a:
+	case <-b:
+	}
+}
+
+func selectSingleClean(a chan int) {
+	select {
+	case <-a:
+	}
+}

@@ -1,0 +1,19 @@
+// Package core mirrors the real internal/core/config.go path: this file is
+// on the floatcmp allowlist (zero-value defaulting is an exact-sentinel
+// check), so nothing here is flagged.
+package core
+
+type Config struct {
+	Epsilon   float64
+	LearnRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.5
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.05
+	}
+	return c
+}

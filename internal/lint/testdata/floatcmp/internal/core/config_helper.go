@@ -1,0 +1,7 @@
+package core
+
+// Valid is outside the allowlisted file, so float equality here is still
+// flagged even though the package matches.
+func (c Config) Valid() bool {
+	return c.Epsilon != 0.5 // want "floating-point != comparison"
+}

@@ -1,0 +1,45 @@
+// Package geom is the floatcmp golden fixture.
+package geom
+
+func equalFloats(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func notEqualFloats(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func zeroCheck(a float64) bool {
+	return a == 0 // want "floating-point == comparison"
+}
+
+func float32Compare(a float32) bool {
+	return 1.5 != a // want "floating-point != comparison"
+}
+
+func complexCompare(a, b complex128) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func suppressedSentinel(a float64) bool {
+	//lint:ignore floatcmp zero value means "unset" and is exactly representable
+	return a == 0
+}
+
+func intCompareClean(a, b int) bool {
+	return a == b
+}
+
+func orderedCompareClean(a, b float64) bool {
+	return a < b || a > b
+}
+
+func constCompareClean() bool {
+	const x = 1.5
+	const y = 3.0
+	return x == y/2
+}
+
+func stringCompareClean(a, b string) bool {
+	return a == b
+}

@@ -1,0 +1,16 @@
+package geom
+
+import "testing"
+
+// Test files are exempt from floatcmp wholesale: the repo's tests assert
+// bit-identical readback on purpose, so exact equality here is the
+// specification. No want markers in this file.
+func TestExactReadbackIsAllowed(t *testing.T) {
+	a, b := 0.1+0.2, 0.3
+	if a == b {
+		t.Log("not bit-equal, as IEEE-754 predicts")
+	}
+	if float32(a) != float32(b) {
+		t.Log("still not bit-equal in single precision")
+	}
+}

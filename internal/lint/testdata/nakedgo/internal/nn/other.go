@@ -1,0 +1,7 @@
+// other.go is in the nn package but is not slice.go: go statements here are
+// flagged.
+package nn
+
+func rogueFanOut(fn func()) {
+	go fn() // want "raw go statement outside the sanctioned worker-pool sites"
+}

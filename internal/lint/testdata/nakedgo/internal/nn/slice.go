@@ -1,0 +1,22 @@
+// slice.go is the sanctioned nn fan-out site (the real nn.Slice spawns its
+// own goroutines because pool tasks must stay leaf kernels); go statements
+// in this file are not flagged.
+package nn
+
+import "sync"
+
+func prefixFanOut(rows int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += 8 {
+		hi := lo + 8
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

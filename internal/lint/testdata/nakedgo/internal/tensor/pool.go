@@ -1,0 +1,13 @@
+// Package tensor owns the worker pool: raw go statements are sanctioned
+// here, so nothing in this file is flagged.
+package tensor
+
+func spawnWorkers(queue chan func()) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			for task := range queue {
+				task()
+			}
+		}()
+	}
+}

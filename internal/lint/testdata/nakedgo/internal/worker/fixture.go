@@ -1,0 +1,30 @@
+// Package worker is the nakedgo golden fixture for unsanctioned packages.
+package worker
+
+import "sync"
+
+func rogue(fn func()) {
+	go fn() // want "raw go statement outside the sanctioned worker-pool sites"
+}
+
+func rogueClosure(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want "raw go statement outside the sanctioned worker-pool sites"
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func sanctionedByAnnotation(fn func()) {
+	done := make(chan struct{})
+	//lint:ignore nakedgo fixture: deliberate fan-out, sized by the caller
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	<-done
+}

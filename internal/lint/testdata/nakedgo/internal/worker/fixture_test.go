@@ -1,0 +1,13 @@
+package worker
+
+// Test files may spawn goroutines freely (concurrency tests need them); no
+// // want markers here.
+
+func fanOutInTest(fn func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	<-done
+}

@@ -1,0 +1,12 @@
+// Package dataset stubs the pooled UniformInputs surface for the poolpair
+// golden tests.
+package dataset
+
+import "dnnlock/internal/tensor"
+
+// UniformInputs mirrors the real dataset helper: pool-recycled result, the
+// caller releases it.
+func UniformInputs(n, dim int, lim float64) *tensor.Matrix {
+	x := tensor.GetMatrix(n, dim)
+	return x
+}

@@ -1,0 +1,14 @@
+// Package oracle stubs the pooled QueryBatch surface for the poolpair
+// golden tests.
+package oracle
+
+import "dnnlock/internal/tensor"
+
+type Oracle struct{}
+
+// QueryBatch mirrors the real oracle: the result comes from the workspace
+// pool and the caller owns its release.
+func (o *Oracle) QueryBatch(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.GetMatrix(x.Rows, x.Cols)
+	return out
+}

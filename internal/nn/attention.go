@@ -134,6 +134,7 @@ func (a *AttentionReLU) TrainForward(x *tensor.Matrix) *tensor.Matrix {
 		xm := tensor.GetMatrix(a.T, a.D)
 		copy(xm.Data, x.Row(r))
 		q, k, v, s, o, mask, y := a.forwardOne(xm)
+		//lint:transfer cached for Backward; releaseCaches returns every buffer to the pool
 		a.cX[r], a.cQ[r], a.cK[r], a.cV[r], a.cS[r], a.cO[r], a.cMask[r] = xm, q, k, v, s, o, mask
 		out.SetRow(r, y)
 	}

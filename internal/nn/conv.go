@@ -142,6 +142,7 @@ func (c *Conv2D) Backward(dy *tensor.Matrix) *tensor.Matrix {
 				c.patch(xr, oy, ox, buf)
 				for f := 0; f < c.OutC; f++ {
 					g := dyr[f*plane+oy*c.OutW+ox]
+					//lint:ignore floatcmp exact-zero skip: adding a zero gradient term is a bit-exact no-op
 					if g == 0 {
 						continue
 					}

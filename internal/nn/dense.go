@@ -98,6 +98,7 @@ func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	bg := d.B.G.Row(0)
 	for i := 0; i < dy.Rows; i++ {
 		for o, g := range dy.Row(i) {
+			//lint:ignore floatcmp exact-zero skip: adding a zero gradient term is a bit-exact no-op
 			if g == 0 {
 				continue
 			}
@@ -220,6 +221,7 @@ func (td *TokenDense) JVP(x []float64, j *tensor.Matrix, _ *JVPTrace) ([]float64
 			wrow := td.D.W.W.Row(o)
 			dst := jy.Row(t*td.D.Out + o)
 			for k, wv := range wrow {
+				//lint:ignore floatcmp exact-zero skip: a zero weight contributes nothing to the Jacobian row
 				if wv == 0 {
 					continue
 				}

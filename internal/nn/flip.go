@@ -279,6 +279,7 @@ func (f *Flip) JVP(x []float64, j *tensor.Matrix, jtr *JVPTrace) ([]float64, *te
 				d = 1 - 2*s
 			}
 		}
+		//lint:ignore floatcmp d is the exact sentinel 1 when the flip is inactive
 		if d != 1 {
 			row := jy.Row(i)
 			for col := range row {

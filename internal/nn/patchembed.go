@@ -142,6 +142,7 @@ func (pe *PatchEmbed) Backward(dy *tensor.Matrix) *tensor.Matrix {
 			}
 			for d := 0; d < pe.D; d++ {
 				g := dyr[t*pe.D+d]
+				//lint:ignore floatcmp exact-zero skip: adding a zero gradient term is a bit-exact no-op
 				if g == 0 {
 					continue
 				}

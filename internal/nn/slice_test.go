@@ -160,6 +160,9 @@ func TestSlicedForwardBackwardEquivalence(t *testing.T) {
 			// Sliced pass over the cached prefix activations.
 			sl := net.Split(s)
 			h := sl.PrefixForward(x)
+			if h != x {
+				defer tensor.PutMatrix(h)
+			}
 			predSliced := sl.TrainForward(h)
 			for i := range predFull.Data {
 				if predFull.Data[i] != predSliced.Data[i] {

@@ -105,6 +105,7 @@ func (o *Oracle) QueryBatch(x *tensor.Matrix) *tensor.Matrix {
 			hi = x.Rows
 		}
 		wg.Add(1)
+		//lint:ignore nakedgo fan-out sized by tensor.Parallelism; each goroutine writes a disjoint row range of out
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {

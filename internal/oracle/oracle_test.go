@@ -37,7 +37,8 @@ func TestQueryCounting(t *testing.T) {
 		t.Fatalf("Queries = %d", o.Queries())
 	}
 	xb := tensor.New(5, 4)
-	o.QueryBatch(xb)
+	yb := o.QueryBatch(xb)
+	tensor.PutMatrix(yb)
 	if o.Queries() != 7 {
 		t.Fatalf("Queries after batch = %d", o.Queries())
 	}
@@ -55,6 +56,7 @@ func TestQueryBatchMatchesSingles(t *testing.T) {
 		xb.Data[i] = rng.NormFloat64()
 	}
 	got := o.QueryBatch(xb)
+	defer tensor.PutMatrix(got)
 	for r := 0; r < 4; r++ {
 		want := o.Query(xb.Row(r))
 		for c := range want {

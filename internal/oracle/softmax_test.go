@@ -24,6 +24,7 @@ func TestSoftmaxModeNormalizesBatch(t *testing.T) {
 		xb.Data[i] = rng.NormFloat64()
 	}
 	out := o.QueryBatch(xb)
+	defer tensor.PutMatrix(out)
 	for r := 0; r < out.Rows; r++ {
 		sum := 0.0
 		for _, p := range out.Row(r) {

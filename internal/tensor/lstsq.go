@@ -90,6 +90,7 @@ func ridgeSolve(a *Matrix, b []float64) []float64 {
 		row := a.Row(i)
 		for p := 0; p < n; p++ {
 			rp := row[p]
+			//lint:ignore floatcmp exact-zero skip: a zero coefficient contributes nothing to the Gram row
 			if rp == 0 {
 				continue
 			}

@@ -35,6 +35,7 @@ func LUDecompose(a *Matrix) (*LU, error) {
 				p, pmax = i, a
 			}
 		}
+		//lint:ignore floatcmp an exactly zero pivot column is the only unfactorable case; conditioning is the caller's concern
 		if pmax == 0 {
 			return nil, ErrSingular
 		}
@@ -50,6 +51,7 @@ func LUDecompose(a *Matrix) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu.At(i, k) / ukk
 			lu.Set(i, k, m)
+			//lint:ignore floatcmp exact-zero skip: a zero multiplier leaves the row untouched
 			if m == 0 {
 				continue
 			}
@@ -89,6 +91,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 			s -= row[j] * x[j]
 		}
 		d := row[i]
+		//lint:ignore floatcmp exactly zero diagonal is the only value the division cannot survive
 		if d == 0 {
 			return nil, ErrSingular
 		}

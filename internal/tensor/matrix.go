@@ -233,6 +233,7 @@ func MatTVec(a *Matrix, x []float64) []float64 {
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		xi := x[i]
+		//lint:ignore floatcmp exact-zero skip: a zero coefficient contributes nothing to the product
 		if xi == 0 {
 			continue
 		}

@@ -70,6 +70,7 @@ func grabPool(width int) chan func() {
 	}
 	for ; parWorkers < width-1; parWorkers++ {
 		go func() {
+			//lint:ignore determinism work-distribution queue: each task writes a disjoint shard and completion is gated on a WaitGroup, so arrival order cannot affect results
 			for task := range parQueue {
 				task()
 			}

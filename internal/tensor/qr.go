@@ -35,6 +35,7 @@ func QRDecompose(a *Matrix) *QR {
 		for i := k; i < m; i++ {
 			nrm = math.Hypot(nrm, ck[i])
 		}
+		//lint:ignore floatcmp an exactly zero column has no Householder reflector
 		if nrm == 0 {
 			rdiag[k] = 0
 			continue
@@ -101,6 +102,7 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 	defer PutVec(ck)
 	// y = Qᵀ·b via the stored reflectors.
 	for k := 0; k < f.n; k++ {
+		//lint:ignore floatcmp a zero diagonal marks a skipped (exactly zero) reflector
 		if f.qr.At(k, k) == 0 {
 			continue
 		}
@@ -142,6 +144,7 @@ func (f *QR) Q() *Matrix {
 		// col = Q·e_j: apply reflectors in reverse order.
 		for k := f.n - 1; k >= 0; k-- {
 			ck := refl.Row(k)
+			//lint:ignore floatcmp a zero diagonal marks a skipped (exactly zero) reflector
 			if ck[k] == 0 {
 				continue
 			}

@@ -63,6 +63,7 @@ func SVDecompose(a *Matrix) *SVD {
 				}
 			}
 		}
+		//lint:ignore floatcmp exact convergence: the off-diagonal mass summed to exactly zero
 		if off == 0 {
 			break
 		}
@@ -108,6 +109,7 @@ func SVDecompose(a *Matrix) *SVD {
 
 // Rank returns the numerical rank at relative tolerance tol (e.g. 1e-10).
 func (s *SVD) Rank(tol float64) int {
+	//lint:ignore floatcmp an exactly zero leading singular value means the zero matrix
 	if len(s.S) == 0 || s.S[0] == 0 {
 		return 0
 	}

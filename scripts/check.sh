@@ -16,6 +16,9 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> dnnlint ./... (pool, determinism, floatcmp, nakedgo invariants)"
+go run ./cmd/dnnlint ./...
+
 echo "==> go build ./..."
 go build ./...
 
