@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare vet lint check clean
+.PHONY: build test race bench bench-compare robust vet lint check clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,11 @@ bench:
 ## bench-compare: diff the newest BENCH_*.json against the committed baseline
 bench-compare:
 	sh scripts/bench_compare.sh
+
+## robust: sweep the decryption attack across noisy/quantized oracles
+## (DESIGN.md §11); tiny scale by default, seconds on one core
+robust:
+	$(GO) run ./cmd/dnnlock robust -model mlp -bits 8 -scale tiny
 
 clean:
 	$(GO) clean -testcache

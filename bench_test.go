@@ -160,7 +160,11 @@ func BenchmarkMonolithicMLP(b *testing.B) {
 		cfg := core.DefaultConfig()
 		cfg.LearnQueries = 256
 		cfg.LearnEpochs = 120
-		rep = core.Monolithic(white, spec, orc, cfg, nil)
+		var err error
+		rep, err = core.Monolithic(white, spec, orc, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(100*rep.Key.Fidelity(key), "fidelity_%")
 	b.ReportMetric(float64(rep.Queries), "queries")
@@ -173,7 +177,9 @@ func BenchmarkOracleQuery(b *testing.B) {
 	x := make([]float64, 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		orc.Query(x)
+		if _, err := orc.Query(x); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

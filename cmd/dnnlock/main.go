@@ -8,6 +8,7 @@
 //	dnnlock lock   -model mlp -bits 32 -out locked.json -keyout key.txt [-epochs 4] [-scheme negation|scaling|bias-shift|weight-perturb -alpha 0.5]
 //	dnnlock attack -in locked.json -keyfile key.txt [-monolithic]
 //	dnnlock bench  -exp table1|figure3|all [-scale tiny|quick|paper] [-models mlp,lenet] [-keysizes 16,32] [-csv rows.csv]
+//	dnnlock robust -model mlp -bits 8 [-scale tiny|quick|paper] [-sigmas 0,1e-4,1e-3] [-qbits 24,16,10] [-csv rows.csv]
 //	dnnlock verify -in locked.json -keyfile key.txt -candidate recovered.txt
 //	dnnlock info   -in locked.json
 package main
@@ -43,6 +44,8 @@ func main() {
 		err = cmdAttack(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "robust":
+		err = cmdRobust(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "verify":
@@ -62,6 +65,7 @@ func usage() {
   lock    build, HPNN-lock, and train a model; save model + key
   attack  run the DNN decryption attack (or -monolithic) on a saved model
   bench   regenerate the paper's Table 1 / Figure 3
+  robust  sweep the decryption attack across noisy/quantized oracles
   info    describe a saved model
   verify  check a candidate key against the device key (fidelity + equivalence)`)
 }
@@ -190,7 +194,10 @@ func cmdAttack(args []string) error {
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	if *mono {
-		rep := core.Monolithic(white, *spec, orc, cfg, nil)
+		rep, err := core.Monolithic(white, *spec, orc, cfg, nil)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("monolithic attack: %d epochs, %d queries, %.2fs\n", rep.Epochs, rep.Queries, rep.Time.Seconds())
 		fmt.Printf("recovered key: %s\n", rep.Key)
 		fmt.Printf("fidelity vs device key: %.4f\n", rep.Key.Fidelity(key))
@@ -218,16 +225,9 @@ func cmdBench(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var sc harness.Scale
-	switch *scaleName {
-	case "tiny":
-		sc = harness.TinyScale()
-	case "quick":
-		sc = harness.QuickScale()
-	case "paper":
-		sc = harness.PaperScale()
-	default:
-		return fmt.Errorf("unknown scale %q", *scaleName)
+	sc, err := parseScale(*scaleName)
+	if err != nil {
+		return err
 	}
 	sc.Seed = *seed
 	if *keysizes != "" {
@@ -262,6 +262,71 @@ func cmdBench(args []string) error {
 	if *exp == "figure3" || *exp == "all" {
 		fmt.Println("\nFigure 3: runtime breakdown of the decryption attack")
 		harness.FormatFigure3(harness.RunFigure3(rows), os.Stdout)
+	}
+	return nil
+}
+
+func parseScale(name string) (harness.Scale, error) {
+	switch name {
+	case "tiny":
+		return harness.TinyScale(), nil
+	case "quick":
+		return harness.QuickScale(), nil
+	case "paper":
+		return harness.PaperScale(), nil
+	default:
+		return harness.Scale{}, fmt.Errorf("unknown scale %q", name)
+	}
+}
+
+func cmdRobust(args []string) error {
+	fs := flag.NewFlagSet("robust", flag.ExitOnError)
+	model := fs.String("model", "mlp", "architecture: mlp, lenet, resnet, vtransformer")
+	bits := fs.Int("bits", 8, "key size in bits")
+	scaleName := fs.String("scale", "tiny", "scale: tiny, quick, paper")
+	sigmaFlag := fs.String("sigmas", "0,1e-5,1e-4,1e-3", "comma-separated oracle noise sigmas (0 = clean)")
+	qbitsFlag := fs.String("qbits", "24,16,10", "comma-separated quantization depths in fractional bits (0 = full precision)")
+	csvPath := fs.String("csv", "", "also write sweep rows to this CSV file")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Seed = *seed
+	var sigmas []float64
+	for _, tok := range strings.Split(*sigmaFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad -sigmas: %v", err)
+		}
+		sigmas = append(sigmas, v)
+	}
+	var qbits []int
+	for _, tok := range strings.Split(*qbitsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("bad -qbits: %v", err)
+		}
+		qbits = append(qbits, v)
+	}
+	fmt.Printf("robustness sweep: scale=%s model=%s bits=%d sigmas=%v qbits=%v\n",
+		sc.Name, *model, *bits, sigmas, qbits)
+	rows, err := harness.RunRobustness(sc, *model, *bits, sigmas, qbits, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		harness.WriteRobustnessCSV(rows, f)
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -28,7 +28,10 @@ func main() {
 	monoCfg.LearnQueries = 24
 	monoCfg.LearnEpochs = 25
 	monoCfg.Seed = 3
-	mono := core.Monolithic(locked.WhiteBox(), locked.Spec, oracle.New(locked, secret), monoCfg, nil)
+	mono, err := core.Monolithic(locked.WhiteBox(), locked.Spec, oracle.New(locked, secret), monoCfg, nil)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("monolithic learning-based attack (§4.3):")
 	fmt.Printf("  key      %s\n  secret   %s\n", mono.Key, secret)
 	fmt.Printf("  fidelity %.0f%%   queries %d   epochs %d   time %s\n\n",

@@ -1,15 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/metrics"
 	"dnnlock/internal/nn"
 	"dnnlock/internal/oracle"
+	"dnnlock/internal/tensor"
 )
 
 // Attack carries the shared state of one decryption run. The white-box
@@ -20,7 +23,7 @@ import (
 type Attack struct {
 	white   *nn.Network
 	spec    hpnn.LockSpec
-	orc     *oracle.Oracle
+	orc     oracle.Interface
 	cfg     Config
 	bd      *metrics.Breakdown
 	applier bitApplier
@@ -30,13 +33,17 @@ type Attack struct {
 	confidence []float64
 	origins    []BitOrigin
 
+	// degraded counts oracle-facing decisions abandoned to ⊥ because of
+	// persistent transient failures or split majority votes.
+	degraded atomic.Int64
+
 	mu            sync.Mutex
 	queriesByProc map[metrics.Procedure]int64
 }
 
 // New prepares an attack against the locked model served by orc. The
 // white-box network is cloned; the caller's copy is never mutated.
-func New(white *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg Config) *Attack {
+func New(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg Config) *Attack {
 	applier := applierFor(white, spec)
 	a := &Attack{
 		white:         applier.clone(white),
@@ -151,4 +158,100 @@ func (a *Attack) parallelFor(n int, seedBase int64, fn func(i int, rng *rand.Ran
 	}
 	close(next)
 	wg.Wait()
+}
+
+// parallelForErr is parallelFor for bodies that can fail. All indices run
+// (workers do not stop early), and the lowest-index error is returned so the
+// reported failure does not depend on goroutine scheduling.
+func (a *Attack) parallelForErr(n int, seedBase int64, fn func(i int, rng *rand.Rand) error) error {
+	errs := make([]error, n)
+	a.parallelFor(n, seedBase, func(i int, rng *rand.Rand) {
+		errs[i] = fn(i, rng)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// query asks the oracle once, retrying transient failures up to
+// cfg.QueryRetries times. A clean oracle never errors, so this path adds
+// nothing to the paper's reproduction; against a degraded one it returns the
+// terminal error (budget exhaustion, device fault) for the caller to
+// propagate out of Run.
+func (a *Attack) query(x []float64) ([]float64, error) {
+	return queryRetry(a.orc, x, a.cfg.QueryRetries)
+}
+
+// queryBatch is query for a batch.
+func (a *Attack) queryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	return queryBatchRetry(a.orc, x, a.cfg.QueryRetries)
+}
+
+// queryRetry implements the bounded-retry policy on a bare Interface.
+func queryRetry(orc oracle.Interface, x []float64, retries int) ([]float64, error) {
+	var err error
+	for t := 0; t <= retries; t++ {
+		var y []float64
+		y, err = orc.Query(x)
+		if err == nil {
+			return y, nil
+		}
+		if !errors.Is(err, oracle.ErrTransient) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// queryBatchRetry is queryRetry for batches.
+func queryBatchRetry(orc oracle.Interface, x *tensor.Matrix, retries int) (*tensor.Matrix, error) {
+	var err error
+	for t := 0; t <= retries; t++ {
+		var y *tensor.Matrix
+		y, err = orc.QueryBatch(x)
+		if err == nil {
+			return y, nil
+		}
+		tensor.PutMatrix(y) // nil on error; nil-safe release keeps the path visibly balanced
+		if !errors.Is(err, oracle.ErrTransient) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// fallthroughBottom converts a still-transient failure (retries exhausted)
+// into a graceful ⊥ — the bit falls through to the learning attack — and
+// passes every other error (budget exhaustion, device faults) up to abort
+// the run. The nil return distinguishes the two.
+func (a *Attack) fallthroughBottom(err error) error {
+	if errors.Is(err, oracle.ErrTransient) {
+		a.degraded.Add(1)
+		a.debugf("transient oracle failure after %d retries: degrading to ⊥\n", a.cfg.QueryRetries)
+		return nil
+	}
+	return err
+}
+
+// absChange is the minimum oracle-output movement treated as real, padded by
+// the declared oracle degradation. Identical to cfg.AbsChange when the
+// oracle is clean.
+func (a *Attack) absChange() float64 {
+	return a.cfg.AbsChange + 2*a.cfg.oracleTol()
+}
+
+// calibrated removes the declared noise floor from a background curvature
+// measurement: away from any kink the second difference is pure noise, and
+// multiplying that noise by the background's 10x safety factor would drown
+// the kink signal. Genuine background curvature (attention blocks) far above
+// the noise floor passes through. Identity for a clean oracle.
+func (a *Attack) calibrated(background float64) float64 {
+	b := background - a.cfg.oracleTol()
+	if b < 0 {
+		return 0
+	}
+	return b
 }

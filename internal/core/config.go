@@ -72,6 +72,24 @@ type Config struct {
 	MaxCorrectionHamming int
 	MaxCorrectionRounds  int
 
+	// NoiseSigma declares the standard deviation of the oracle's response
+	// noise (an oracle.Noisy wrapper, or a physically noisy device). The
+	// attack widens its decision thresholds accordingly and repeats probe
+	// queries ProbeVotes times, majority-voting the outcomes. Zero means a
+	// clean oracle and leaves every threshold bit-identical to the paper's.
+	NoiseSigma float64
+	// QuantStep declares the output grid spacing of a quantized oracle
+	// (oracle.QuantizationStep(bits)); like NoiseSigma it pads decision
+	// thresholds. Zero means full precision.
+	QuantStep float64
+	// ProbeVotes is how many times each oracle-facing decision probe is
+	// repeated for majority voting. The default 1 reproduces the paper's
+	// single-shot probes exactly; use an odd count ≥3 under declared noise.
+	ProbeVotes int
+	// QueryRetries bounds the immediate retries of a query that failed with
+	// oracle.ErrTransient before the attack degrades that decision to ⊥.
+	QueryRetries int
+
 	// Workers is the parallelism degree across neurons / candidates (§4.1).
 	Workers int
 	// Seed drives all attack randomness.
@@ -120,10 +138,36 @@ func DefaultConfig() Config {
 		MaxCorrectionHamming: 2,
 		MaxCorrectionRounds:  3,
 
+		ProbeVotes:   1,
+		QueryRetries: 2,
+
 		Workers:          runtime.GOMAXPROCS(0),
 		Seed:             1,
 		UseProductMatrix: true,
 	}
+}
+
+// oracleTol is the extra decision slack implied by the declared oracle
+// degradation: Gaussian noise rarely strays past a few sigma (8σ covers the
+// worst of three-point probes on both sides), and quantization moves each
+// response by at most half a step — a difference of two responses by a full
+// step. Exactly zero for a clean oracle, so the paper's thresholds are
+// untouched.
+func (c Config) oracleTol() float64 {
+	return 8*c.NoiseSigma + c.QuantStep
+}
+
+// probeStep widens a clean oracle probe step under declared degradation.
+// The probed signal — a kink's second difference, an output movement across
+// a critical point — grows linearly with the step, while the noise floor
+// does not; a step of many oracleTol units restores the signal-to-noise
+// margin the paper's tiny steps enjoy on a clean device. Returns exactly
+// the clean step for a clean oracle.
+func (c Config) probeStep(clean float64) float64 {
+	if w := 100 * c.oracleTol(); w > clean {
+		return w
+	}
+	return clean
 }
 
 // withDefaults fills zero fields from DefaultConfig.
@@ -198,6 +242,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxCorrectionRounds == 0 {
 		c.MaxCorrectionRounds = d.MaxCorrectionRounds
 	}
+	if c.ProbeVotes == 0 {
+		c.ProbeVotes = d.ProbeVotes
+	}
+	if c.QueryRetries == 0 {
+		c.QueryRetries = d.QueryRetries
+	}
 	if c.Workers == 0 {
 		c.Workers = d.Workers
 	}
@@ -256,4 +306,9 @@ type Result struct {
 	// Equivalent reports whether the final direct-comparison check between
 	// the keyed white-box and the oracle passed.
 	Equivalent bool
+	// Degraded counts oracle-facing decisions the attack abandoned to ⊥
+	// because of persistent transient failures or split votes — each one
+	// fell through to the learning attack (§3.6) instead of aborting the
+	// run. Always 0 against a clean oracle.
+	Degraded int
 }

@@ -62,7 +62,10 @@ func TestKeyBitInferenceOnContractiveMLP(t *testing.T) {
 	// should succeed outright on this contractive network).
 	bySite := spec.SiteBits()
 	for _, si := range bySite[0] {
-		got := a.keyBitInference(si, rand.New(rand.NewSource(int64(si)+100)))
+		got, err := a.keyBitInference(si, rand.New(rand.NewSource(int64(si)+100)))
+		if err != nil {
+			t.Fatalf("bit %d: %v", si, err)
+		}
 		if got == bitBottom {
 			t.Fatalf("bit %d: inference returned ⊥ on a contractive MLP", si)
 		}
@@ -90,7 +93,10 @@ func TestKeyBitInferenceSecondLayerNeedsPrefix(t *testing.T) {
 	}
 	bottoms := 0
 	for _, si := range bySite[1] {
-		got := a.keyBitInference(si, rand.New(rand.NewSource(int64(si)+200)))
+		got, err := a.keyBitInference(si, rand.New(rand.NewSource(int64(si)+200)))
+		if err != nil {
+			t.Fatalf("bit %d: %v", si, err)
+		}
 		if got == bitBottom {
 			// ⊥ is a legal outcome (mask-dependent rank loss, §3.4); the
 			// learning attack would pick the bit up. It must stay rare and

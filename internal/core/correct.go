@@ -13,8 +13,10 @@ import (
 // keys at Hamming distance 1, 2, … from the current hypothesis are
 // validated against the oracle in parallel; the first candidate that
 // passes is committed. It returns false when the Hamming budget is
-// exhausted.
-func (a *Attack) errorCorrection(groupSites, groupBits []int, rng *rand.Rand) bool {
+// exhausted. A winner is committed even if other candidates hit terminal
+// oracle errors — a repaired key beats reporting the failure — but with no
+// winner the lowest-index error is surfaced.
+func (a *Attack) errorCorrection(groupSites, groupBits []int, rng *rand.Rand) (bool, error) {
 	// Candidate pool: lowest-confidence bits first.
 	pool := append([]int(nil), groupBits...)
 	sort.SliceStable(pool, func(i, j int) bool {
@@ -28,6 +30,7 @@ func (a *Attack) errorCorrection(groupSites, groupBits []int, rng *rand.Rand) bo
 		var winner atomic.Int64
 		winner.Store(-1)
 		var mu sync.Mutex // serializes winner bookkeeping
+		errs := make([]error, len(combos))
 		a.parallelFor(len(combos), rng.Int63(), func(ci int, wrng *rand.Rand) {
 			if winner.Load() >= 0 {
 				return
@@ -38,7 +41,12 @@ func (a *Attack) errorCorrection(groupSites, groupBits []int, rng *rand.Rand) bo
 				pn := a.spec.Neurons[si]
 				a.applier.apply(cand, pn, si, !a.applier.read(cand, pn, si))
 			}
-			if a.keyVectorValidation(cand, groupSites, wrng) {
+			valid, err := a.keyVectorValidation(cand, groupSites, wrng)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			if valid {
 				mu.Lock()
 				if winner.Load() < 0 {
 					winner.Store(int64(ci))
@@ -52,10 +60,15 @@ func (a *Attack) errorCorrection(groupSites, groupBits []int, rng *rand.Rand) bo
 				bit := !a.applier.read(a.white, a.spec.Neurons[si], si)
 				a.setBit(si, bit, 1, OriginCorrection)
 			}
-			return true
+			return true, nil
+		}
+		for _, err := range errs {
+			if err != nil {
+				return false, err
+			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // combinations enumerates all k-subsets of {0,…,n−1} in lexicographic

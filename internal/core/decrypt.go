@@ -22,7 +22,13 @@ import (
 //
 // The whiteBox argument is the adversary's downloaded model (weights with
 // identity flips); it is cloned, never mutated.
-func Run(whiteBox *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg Config) (*Result, error) {
+//
+// Run never panics on oracle failure: transient device errors are retried
+// (cfg.QueryRetries) and, if persistent, the affected decision degrades to
+// ⊥ and falls through to the learning attack (counted in Result.Degraded);
+// terminal errors — oracle.ErrBudgetExhausted, hard device faults — abort
+// the run with a returned error.
+func Run(whiteBox *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg Config) (*Result, error) {
 	if spec.Scheme != hpnn.Negation {
 		return RunVariant(whiteBox, spec, orc, cfg)
 	}
@@ -52,11 +58,17 @@ func (a *Attack) run() (*Result, error) {
 				inferred[i] = bitBottom
 			}
 		} else {
+			var inferErr error
 			a.trackProc(metrics.ProcKeyBitInference, func() {
-				a.parallelFor(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) {
-					inferred[i] = a.keyBitInference(bits[i], wrng)
+				inferErr = a.parallelForErr(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) error {
+					var err error
+					inferred[i], err = a.keyBitInference(bits[i], wrng)
+					return err
 				})
 			})
+			if inferErr != nil {
+				return nil, fmt.Errorf("core: site %d key_bit_inference: %w", site, inferErr)
+			}
 		}
 		var unresolved []int
 		for i, v := range inferred {
@@ -72,9 +84,13 @@ func (a *Attack) run() (*Result, error) {
 
 		// Phase 2: learning attack on the ⊥ bits (§3.6).
 		if len(unresolved) > 0 {
+			var learnErr error
 			a.trackProc(metrics.ProcLearningAttack, func() {
-				a.learningAttack(site, unresolved, rng)
+				_, learnErr = a.learningAttack(site, unresolved, rng)
 			})
+			if learnErr != nil {
+				return nil, fmt.Errorf("core: site %d learning_attack: %w", site, learnErr)
+			}
 			rep.Learned = len(unresolved)
 		}
 
@@ -92,17 +108,25 @@ func (a *Attack) run() (*Result, error) {
 		learnQueries := a.cfg.LearnQueries
 		valid := false
 		for round := 0; round <= a.cfg.MaxCorrectionRounds; round++ {
+			var valErr error
 			a.trackProc(metrics.ProcKeyVectorValidation, func() {
 				rep.ValidationRuns++
-				valid = a.keyVectorValidation(a.white, pendingSites, rng)
+				valid, valErr = a.keyVectorValidation(a.white, pendingSites, rng)
 			})
+			if valErr != nil {
+				return nil, fmt.Errorf("core: site %d key_vector_validation: %w", site, valErr)
+			}
 			if valid {
 				break
 			}
 			fixed := false
+			var corrErr error
 			a.trackProc(metrics.ProcErrorCorrection, func() {
-				fixed = a.errorCorrection(pendingSites, a.decidedBits(), rng)
+				fixed, corrErr = a.errorCorrection(pendingSites, a.decidedBits(), rng)
 			})
+			if corrErr != nil {
+				return nil, fmt.Errorf("core: site %d error_correction: %w", site, corrErr)
+			}
 			if fixed {
 				// The committed candidate already passed validation inside
 				// errorCorrection.
@@ -122,12 +146,16 @@ func (a *Attack) run() (*Result, error) {
 				relearn = unresolved
 			}
 			if len(relearn) > 0 {
+				var relearnErr error
 				a.trackProc(metrics.ProcLearningAttack, func() {
 					saved := a.cfg.LearnQueries
 					a.cfg.LearnQueries = learnQueries
-					a.relearnBySite(relearn, rng)
+					relearnErr = a.relearnBySite(relearn, rng)
 					a.cfg.LearnQueries = saved
 				})
+				if relearnErr != nil {
+					return nil, fmt.Errorf("core: site %d relearn: %w", site, relearnErr)
+				}
 			}
 		}
 		if !valid {
@@ -138,6 +166,7 @@ func (a *Attack) run() (*Result, error) {
 		reports = append(reports, rep)
 	}
 
+	eq, eqErr := a.directCompare(a.white, rng)
 	res := &Result{
 		Key:     a.CurrentKey(),
 		Origins: append([]BitOrigin(nil), a.origins...),
@@ -147,7 +176,11 @@ func (a *Attack) run() (*Result, error) {
 		Breakdown:     a.bd,
 		QueriesByProc: a.queriesByProc,
 		Sites:         reports,
-		Equivalent:    a.directCompare(a.white, rng),
+		Equivalent:    eq,
+		Degraded:      int(a.degraded.Load()),
+	}
+	if eqErr != nil {
+		return res, fmt.Errorf("core: final equivalence check: %w", eqErr)
 	}
 	if !res.Equivalent {
 		return res, fmt.Errorf("core: recovered key is not functionally equivalent to the oracle")
@@ -169,7 +202,7 @@ func lowConfidenceBits(a *Attack, bits []int) []int {
 
 // relearnBySite reruns the learning attack for the given bits, one site at
 // a time (learningAttack softens a single flip layer per call).
-func (a *Attack) relearnBySite(bits []int, rng *rand.Rand) {
+func (a *Attack) relearnBySite(bits []int, rng *rand.Rand) error {
 	bySite := make(map[int][]int)
 	sites := make([]int, 0, len(bySite))
 	for _, b := range bits {
@@ -183,6 +216,9 @@ func (a *Attack) relearnBySite(bits []int, rng *rand.Rand) {
 	// so the site order must be reproducible across runs.
 	sort.Ints(sites)
 	for _, site := range sites {
-		a.learningAttack(site, bySite[site], rng)
+		if _, err := a.learningAttack(site, bySite[site], rng); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -140,7 +140,10 @@ func TestMonolithicOnTinyMLP(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LearnQueries = 400
 	cfg.LearnEpochs = 300
-	rep := Monolithic(white, spec, orc, cfg, nil)
+	rep, err := Monolithic(white, spec, orc, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rep.Key) != 6 {
 		t.Fatalf("key length %d", len(rep.Key))
 	}
@@ -164,10 +167,13 @@ func TestMonolithicMonitorStops(t *testing.T) {
 		Scheme: hpnn.Negation, KeyBits: 4, Rng: rng,
 	})
 	calls := 0
-	rep := Monolithic(white, spec, orc, DefaultConfig(), func(epoch int, key hpnn.Key) bool {
+	rep, err := Monolithic(white, spec, orc, DefaultConfig(), func(epoch int, key hpnn.Key) bool {
 		calls++
 		return epoch < 2
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Epochs != 3 || calls != 3 {
 		t.Fatalf("monitor stop failed: epochs=%d calls=%d", rep.Epochs, calls)
 	}

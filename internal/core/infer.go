@@ -25,19 +25,22 @@ const (
 // solves Â·v = e_j by minimum-norm least squares, and compares the oracle's
 // reaction to x° ± ε·v (Lemma 2). It returns ⊥ when no pre-image exists
 // (expansive location, §3.4), when the neuron is not sensitized to the
-// output, or when responses stay ambiguous across retries.
-func (a *Attack) keyBitInference(bitIdx int, rng *rand.Rand) bitValue {
+// output, or when responses stay ambiguous across retries. A non-nil error
+// is terminal (budget exhaustion, persistent device fault) and aborts the
+// run; transient failures that outlast the retry budget degrade to ⊥
+// instead.
+func (a *Attack) keyBitInference(bitIdx int, rng *rand.Rand) (bitValue, error) {
 	pn := a.spec.Neurons[bitIdx]
 	// Static expansiveness: a site wider than the input space can never
 	// have full row rank, so Â is not onto and no basis pre-image exists
 	// (§3.4). Skip the Jacobian work outright.
 	if a.white.Flips()[pn.Site].N > a.white.InSize() {
-		return bitBottom
+		return bitBottom, nil
 	}
 	for try := 0; try < a.cfg.MaxCriticalTries; try++ {
 		x0, ok := searchCriticalPoint(a.white, pn.Site, pn.Index, a.cfg, rng)
 		if !ok {
-			return bitBottom
+			return bitBottom, nil
 		}
 		v, ok := a.preimage(x0, pn.Site, pn.Index)
 		if !ok {
@@ -45,11 +48,15 @@ func (a *Attack) keyBitInference(bitIdx int, rng *rand.Rand) bitValue {
 			// region before giving up.
 			continue
 		}
-		if bit, ok := a.probeBit(x0, v, pn.Site, pn.Index); ok {
-			return bit
+		bit, ok, err := a.probeBit(x0, v, pn.Site, pn.Index)
+		if err != nil {
+			return bitBottom, a.fallthroughBottom(err)
+		}
+		if ok {
+			return bit, nil
 		}
 	}
-	return bitBottom
+	return bitBottom, nil
 }
 
 // productMatrixOf adapts geometry.ProductMatrix to return the bare matrix.
@@ -94,8 +101,15 @@ func (a *Attack) preimage(x0 []float64, site, idx int) ([]float64, bool) {
 // probeBit performs the oracle queries of Algorithm 1 lines 9–10 with the
 // robust ratio test, after verifying on the white box that the ε-step does
 // not leave the linear region (the ε-neighborhood guarantee of §3.3).
-func (a *Attack) probeBit(x0, v []float64, site, idx int) (bitValue, bool) {
-	eps := a.cfg.Epsilon
+//
+// Under a declared-noisy oracle the three-point probe is repeated
+// cfg.ProbeVotes times and the per-repeat outcomes are majority-voted; a
+// fresh noise draw attends each repeat (oracle.Noisy is input-addressed with
+// an occurrence counter), so independent votes average the noise out. With
+// the default ProbeVotes=1 the loop degenerates to the paper's single-shot
+// probe, issuing the same three queries in the same order.
+func (a *Attack) probeBit(x0, v []float64, site, idx int) (bitValue, bool, error) {
+	eps := a.cfg.probeStep(a.cfg.Epsilon)
 	for shrink := 0; shrink < 4; shrink++ {
 		xp := tensor.VecClone(x0)
 		tensor.AXPY(eps, v, xp)
@@ -105,25 +119,55 @@ func (a *Attack) probeBit(x0, v []float64, site, idx int) (bitValue, bool) {
 			eps /= 8
 			continue
 		}
-		y0 := a.orc.Query(x0)
-		yp := a.orc.Query(xp)
-		ym := a.orc.Query(xm)
-		dp := tensor.NormInf(tensor.VecSub(yp, y0))
-		dm := tensor.NormInf(tensor.VecSub(ym, y0))
+		votes := a.cfg.ProbeVotes
+		var tally [3]int // bitZero, bitOne, ambiguous
+		for vi := 0; vi < votes; vi++ {
+			y0, err := a.query(x0)
+			if err != nil {
+				return bitBottom, false, err
+			}
+			yp, err := a.query(xp)
+			if err != nil {
+				return bitBottom, false, err
+			}
+			ym, err := a.query(xm)
+			if err != nil {
+				return bitBottom, false, err
+			}
+			dp := tensor.NormInf(tensor.VecSub(yp, y0))
+			dm := tensor.NormInf(tensor.VecSub(ym, y0))
+			switch {
+			case dp > a.absChange() && dp > a.cfg.DecisionRatio*dm:
+				// Output moves on the +v side only: the unsigned positive
+				// side is the active side, so the sign is not flipped.
+				tally[0]++
+			case dm > a.absChange() && dm > a.cfg.DecisionRatio*dp:
+				tally[1]++
+			default:
+				// Both sides quiet (not sensitized) or both move comparably
+				// (bypass paths): ambiguous here.
+				tally[2]++
+			}
+		}
 		switch {
-		case dp > a.cfg.AbsChange && dp > a.cfg.DecisionRatio*dm:
-			// Output moves on the +v side only: the unsigned positive side
-			// is the active side, so the sign is not flipped.
-			return bitZero, true
-		case dm > a.cfg.AbsChange && dm > a.cfg.DecisionRatio*dp:
-			return bitOne, true
+		case 2*tally[0] > votes:
+			return bitZero, true, nil
+		case 2*tally[1] > votes:
+			return bitOne, true, nil
+		case tally[2] == votes:
+			// Unanimously ambiguous: not sensitized at this witness.
+			return bitBottom, false, nil
 		default:
-			// Both sides quiet (not sensitized) or both move comparably
-			// (bypass paths): ambiguous here.
-			return bitBottom, false
+			// The votes split between outcomes — the noise is winning. Count
+			// the degradation and let the learning attack take the bit.
+			if votes > 1 {
+				a.degraded.Add(1)
+				a.debugf("probe votes split %v at site %d idx %d: degrading to ⊥\n", tally, site, idx)
+			}
+			return bitBottom, false, nil
 		}
 	}
-	return bitBottom, false
+	return bitBottom, false, nil
 }
 
 // stepStaysClean checks, on the white box, that moving from x0 to xp/xm

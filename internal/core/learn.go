@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -184,8 +185,11 @@ func fitSoft(net *nn.Network, sites []softSite, x, y *tensor.Matrix, cfg Config,
 // gradient signal. The nuisance values are discarded afterwards.
 //
 // It writes the learned bits into the white box and returns the per-bit
-// confidence |K'| keyed by spec position.
-func (a *Attack) learningAttack(site int, unresolved []int, rng *rand.Rand) map[int]float64 {
+// confidence |K'| keyed by spec position. A non-nil error (budget
+// exhaustion, persistent device fault) leaves the white box unchanged for
+// the undecided bits and must abort the run — the learning attack is the
+// last fallback, so there is nothing left to degrade to.
+func (a *Attack) learningAttack(site int, unresolved []int, rng *rand.Rand) (map[int]float64, error) {
 	trainNet := a.white.CloneForKeys()
 	bySite := map[int][]int{site: unresolved}
 	for i, pn := range a.spec.Neurons {
@@ -196,7 +200,11 @@ func (a *Attack) learningAttack(site int, unresolved []int, rng *rand.Rand) map[
 	sites := soften(trainNet, &a.spec, bySite)
 
 	x := dataset.UniformInputs(a.cfg.LearnQueries, trainNet.InSize(), a.cfg.InputLim, rng)
-	y := a.orc.QueryBatch(x)
+	y, err := a.queryBatch(x)
+	if err != nil {
+		tensor.PutMatrix(x)
+		return nil, err
+	}
 	fitSoft(trainNet, sites, x, y, a.cfg, rng, a.orc.Softmax(), nil)
 	// The query set and its labels are per-invocation scratch: recycle them
 	// instead of leaking a fresh pair every site visit.
@@ -214,7 +222,7 @@ func (a *Attack) learningAttack(site int, unresolved []int, rng *rand.Rand) map[
 			conf[si] = confs[i]
 		}
 	}
-	return conf
+	return conf, nil
 }
 
 // MonolithicReport extends Result with the per-epoch trajectory the
@@ -230,8 +238,8 @@ type MonolithicReport struct {
 // non-nil, observes the current key hypothesis each epoch (the paper's
 // experimenters tracked accuracy and fidelity this way) and may stop the
 // attack by returning false.
-func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg Config,
-	monitor func(epoch int, key hpnn.Key) bool) *MonolithicReport {
+func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg Config,
+	monitor func(epoch int, key hpnn.Key) bool) (*MonolithicReport, error) {
 
 	cfg = cfg.withDefaults()
 	//lint:ignore determinism telemetry timer for Result.Time; the value never feeds the numerics
@@ -245,7 +253,11 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg C
 	sites := soften(net, &spec, bySite)
 
 	x := dataset.UniformInputs(cfg.LearnQueries, net.InSize(), cfg.InputLim, rng)
-	y := orc.QueryBatch(x)
+	y, err := queryBatchRetry(orc, x, cfg.QueryRetries)
+	if err != nil {
+		tensor.PutMatrix(x)
+		return nil, fmt.Errorf("core: monolithic labelling failed: %w", err)
+	}
 
 	rep := &MonolithicReport{}
 	readKey := func() hpnn.Key {
@@ -286,5 +298,5 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg C
 		Breakdown: metrics.NewBreakdown(),
 	}
 	rep.Breakdown.Add(metrics.ProcLearningAttack, rep.Time)
-	return rep
+	return rep, nil
 }

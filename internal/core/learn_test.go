@@ -13,6 +13,17 @@ import (
 	"dnnlock/internal/tensor"
 )
 
+// mustBatch fails the test on a batch-query error; the clean oracle never
+// errors.
+func mustBatch(t *testing.T, orc oracle.Interface, x *tensor.Matrix) *tensor.Matrix {
+	t.Helper()
+	y, err := orc.QueryBatch(x)
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	return y
+}
+
 func TestGatedFlipSites(t *testing.T) {
 	rng := rand.New(rand.NewSource(501))
 	mlp := models.TinyMLP(rng)
@@ -41,7 +52,10 @@ func TestLearningAttackRecoversGatedLayer(t *testing.T) {
 	orc := oracle.New(lm, key)
 	a := New(lm.WhiteBox(), lm.Spec, orc, DefaultConfig())
 	bits := lm.Spec.SiteBits()[0]
-	conf := a.learningAttack(0, bits, rand.New(rand.NewSource(503)))
+	conf, err := a.learningAttack(0, bits, rand.New(rand.NewSource(503)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	got := a.CurrentKey()
 	for _, si := range bits {
 		if got[si] != key[si] {
@@ -68,7 +82,9 @@ func TestLearningAttackUngatedResidualFlip(t *testing.T) {
 	orc := oracle.New(lm, key)
 	a := New(lm.WhiteBox(), lm.Spec, orc, DefaultConfig())
 	bits := lm.Spec.SiteBits()[0]
-	a.learningAttack(0, bits, rand.New(rand.NewSource(505)))
+	if _, err := a.learningAttack(0, bits, rand.New(rand.NewSource(505))); err != nil {
+		t.Fatal(err)
+	}
 	got := a.CurrentKey()
 	wrong := 0
 	for _, si := range bits {
@@ -95,7 +111,7 @@ func TestFitSoftConfidenceStop(t *testing.T) {
 	trainNet := lm.WhiteBox()
 	sites := soften(trainNet, &lm.Spec, lm.Spec.SiteBits())
 	x := dataset.UniformInputs(256, 4, 2, rng)
-	y := orc.QueryBatch(x)
+	y := mustBatch(t, orc, x)
 	defer tensor.PutMatrix(x, y)
 	cfg := DefaultConfig()
 	cfg.LearnEpochs = 400
@@ -127,7 +143,7 @@ func TestFitSoftCallbackAbort(t *testing.T) {
 	trainNet := lm.WhiteBox()
 	sites := soften(trainNet, &lm.Spec, lm.Spec.SiteBits())
 	x := dataset.UniformInputs(64, 3, 2, rng)
-	y := orc.QueryBatch(x)
+	y := mustBatch(t, orc, x)
 	defer tensor.PutMatrix(x, y)
 	calls := 0
 	fitSoft(trainNet, sites, x, y, DefaultConfig(), rng, false, func(e int, loss float64) bool {
@@ -149,7 +165,10 @@ func TestMonolithicNeverBeatsDecryptionOnFidelity(t *testing.T) {
 	monoCfg := DefaultConfig()
 	monoCfg.LearnQueries = 32 // starved
 	monoCfg.LearnEpochs = 30
-	mono := Monolithic(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), monoCfg, nil)
+	mono, err := Monolithic(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), monoCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	res, err := Run(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), DefaultConfig())
 	if err != nil {

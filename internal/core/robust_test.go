@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/oracle"
+)
+
+// TestRunBudgetExhaustedReturnsError pins the contract of the hardened
+// oracle boundary: when the device's query budget runs out mid-attack, Run
+// must surface oracle.ErrBudgetExhausted as a returned error — never panic
+// and never silently report a partial key as a success.
+func TestRunBudgetExhaustedReturnsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	net := models.TinyMLP(rng)
+	white, spec, orc, _ := lockAndOracle(net, hpnn.Config{
+		Scheme: hpnn.Negation, KeyBits: 8, Rng: rng,
+	})
+	cfg := DefaultConfig()
+	cfg.Seed = 401
+	_, err := Run(white, spec, oracle.Budgeted(orc, 10), cfg)
+	if err == nil {
+		t.Fatal("Run succeeded on a 10-query budget")
+	}
+	if !errors.Is(err, oracle.ErrBudgetExhausted) {
+		t.Fatalf("error does not wrap ErrBudgetExhausted: %v", err)
+	}
+}
+
+// TestMonolithicBudgetExhaustedReturnsError covers the same contract for
+// the monolithic learning-based attack, whose labelling batch is the first
+// thing to hit a starved budget.
+func TestMonolithicBudgetExhaustedReturnsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(410))
+	net := models.TinyMLP(rng)
+	white, spec, orc, _ := lockAndOracle(net, hpnn.Config{
+		Scheme: hpnn.Negation, KeyBits: 4, Rng: rng,
+	})
+	cfg := DefaultConfig()
+	cfg.LearnQueries = 64
+	_, err := Monolithic(white, spec, oracle.Budgeted(orc, 8), cfg, nil)
+	if !errors.Is(err, oracle.ErrBudgetExhausted) {
+		t.Fatalf("error does not wrap ErrBudgetExhausted: %v", err)
+	}
+}
+
+// TestRunRetriesAbsorbFlakyOracle checks the bounded-retry path: with a
+// transient failure rate of 5% and four retries, the chance any logical
+// query exhausts its retries is ~3e-7, so the attack must complete with
+// full fidelity exactly as on a clean device.
+func TestRunRetriesAbsorbFlakyOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(420))
+	net := models.TinyMLP(rng)
+	white, spec, orc, key := lockAndOracle(net, hpnn.Config{
+		Scheme: hpnn.Negation, KeyBits: 8, Rng: rng,
+	})
+	cfg := DefaultConfig()
+	cfg.Seed = 421
+	cfg.QueryRetries = 4
+	res, err := Run(white, spec, oracle.Flaky(orc, 0.05, 422), cfg)
+	if err != nil {
+		t.Fatalf("Run failed under a 5%% transient rate: %v", err)
+	}
+	if fid := res.Key.Fidelity(key); fid != 1 {
+		t.Fatalf("fidelity %.3f under retryable faults", fid)
+	}
+}
+
+// TestRunDeclaredNoiseRecoversKey runs the attack against a mildly noisy
+// oracle with the degradation declared (NoiseSigma + majority voting). The
+// widened thresholds and repeat probes must still recover the exact key.
+func TestRunDeclaredNoiseRecoversKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(430))
+	net := models.TinyMLP(rng)
+	white, spec, orc, key := lockAndOracle(net, hpnn.Config{
+		Scheme: hpnn.Negation, KeyBits: 8, Rng: rng,
+	})
+	cfg := DefaultConfig()
+	cfg.Seed = 431
+	cfg.NoiseSigma = 1e-5
+	cfg.ProbeVotes = 3
+	res, err := Run(white, spec, oracle.Noisy(orc, 1e-5, 432), cfg)
+	if err != nil {
+		t.Fatalf("Run failed under declared noise: %v", err)
+	}
+	if fid := res.Key.Fidelity(key); fid != 1 {
+		t.Fatalf("fidelity %.3f under sigma=1e-5", fid)
+	}
+}
+
+// TestRunHeavyNoiseDegradesGracefully cranks the noise past what the
+// algebraic probes tolerate: the attack must finish without panicking,
+// report how many decisions fell through to the learning fallback, and
+// still return a complete (if possibly imperfect) key.
+func TestRunHeavyNoiseDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(440))
+	net := models.TinyMLP(rng)
+	white, spec, orc, _ := lockAndOracle(net, hpnn.Config{
+		Scheme: hpnn.Negation, KeyBits: 6, Rng: rng,
+	})
+	cfg := DefaultConfig()
+	cfg.Seed = 441
+	cfg.NoiseSigma = 0.05
+	cfg.ProbeVotes = 3
+	res, err := Run(white, spec, oracle.Noisy(orc, 0.05, 442), cfg)
+	if err != nil {
+		t.Fatalf("Run errored instead of degrading: %v", err)
+	}
+	if len(res.Key) != 6 {
+		t.Fatalf("incomplete key under heavy noise: %v", res.Key)
+	}
+	if res.Degraded < 0 {
+		t.Fatalf("negative degradation count %d", res.Degraded)
+	}
+}
+
+// TestRunCleanPathIgnoresRetryConfig pins bit-identity of the clean path:
+// on a fault-free oracle, raising QueryRetries must not change the query
+// count or the recovered key, because retries only trigger on errors.
+func TestRunCleanPathIgnoresRetryConfig(t *testing.T) {
+	run := func(retries int) (*Result, hpnn.Key) {
+		rng := rand.New(rand.NewSource(450))
+		net := models.TinyMLP(rng)
+		white, spec, orc, key := lockAndOracle(net, hpnn.Config{
+			Scheme: hpnn.Negation, KeyBits: 8, Rng: rng,
+		})
+		cfg := DefaultConfig()
+		cfg.Seed = 451
+		cfg.QueryRetries = retries
+		res, err := Run(white, spec, orc, cfg)
+		if err != nil {
+			t.Fatalf("clean run failed: %v", err)
+		}
+		return res, key
+	}
+	a, keyA := run(1)
+	b, keyB := run(8)
+	if a.Queries != b.Queries {
+		t.Fatalf("query count changed with retry budget: %d vs %d", a.Queries, b.Queries)
+	}
+	if a.Key.Fidelity(keyA) != 1 || b.Key.Fidelity(keyB) != 1 {
+		t.Fatal("clean runs did not recover the key")
+	}
+	if a.Degraded != 0 || b.Degraded != 0 {
+		t.Fatalf("clean runs reported degradation: %d, %d", a.Degraded, b.Degraded)
+	}
+}

@@ -56,7 +56,10 @@ func runFit(white *nn.Network, spec *hpnn.LockSpec, orc *oracle.Oracle, site int
 	sites := soften(trainNet, spec, bySite)
 	rng := rand.New(rand.NewSource(77))
 	x := dataset.UniformInputs(cfg.LearnQueries, trainNet.InSize(), cfg.InputLim, rng)
-	y := orc.QueryBatch(x)
+	y, err := orc.QueryBatch(x)
+	if err != nil {
+		panic(err) // clean oracle never errors
+	}
 	defer tensor.PutMatrix(x, y)
 	var out fitOutcome
 	fitSoft(trainNet, sites, x, y, cfg, rng, orc.Softmax(), func(epoch int, loss float64) bool {

@@ -60,7 +60,10 @@ func TestSoftmaxOracleQueryIsNormalized(t *testing.T) {
 		t.Fatal("softmax flag not set")
 	}
 	x := make([]float64, net.InSize())
-	y := orc.Query(x)
+	y, err := orc.Query(x)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sum := 0.0
 	for _, p := range y {
 		if p < 0 || p > 1 {

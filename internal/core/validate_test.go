@@ -22,13 +22,34 @@ func attackWithTrueKey(t *testing.T, seed int64, keyBits int) (*Attack, hpnn.Key
 	return a, key, lm.Spec.SiteBits()
 }
 
+// validateOrFail runs keyVectorValidation, failing the test on oracle error
+// (the clean oracle never errors).
+func validateOrFail(t *testing.T, a *Attack, sites []int, rng *rand.Rand) bool {
+	t.Helper()
+	ok, err := a.keyVectorValidation(a.white, sites, rng)
+	if err != nil {
+		t.Fatalf("keyVectorValidation: %v", err)
+	}
+	return ok
+}
+
+// correctOrFail runs errorCorrection, failing the test on oracle error.
+func correctOrFail(t *testing.T, a *Attack, sites, bits []int, rng *rand.Rand) bool {
+	t.Helper()
+	ok, err := a.errorCorrection(sites, bits, rng)
+	if err != nil {
+		t.Fatalf("errorCorrection: %v", err)
+	}
+	return ok
+}
+
 func TestValidationAcceptsCorrectKey(t *testing.T) {
 	a, key, bySite := attackWithTrueKey(t, 301, 8)
 	for _, si := range bySite[0] {
 		a.setBit(si, key[si], 1, OriginAlgebraic)
 	}
 	rng := rand.New(rand.NewSource(302))
-	if !a.keyVectorValidation(a.white, []int{0}, rng) {
+	if !validateOrFail(t, a, []int{0}, rng) {
 		t.Fatal("validation rejected the correct layer-1 key")
 	}
 }
@@ -43,7 +64,7 @@ func TestValidationRejectsCorruptedKey(t *testing.T) {
 		a.setBit(si, bit, 1, OriginAlgebraic)
 	}
 	rng := rand.New(rand.NewSource(304))
-	if a.keyVectorValidation(a.white, []int{0}, rng) {
+	if validateOrFail(t, a, []int{0}, rng) {
 		t.Fatal("validation accepted a corrupted layer-1 key")
 	}
 }
@@ -61,10 +82,10 @@ func TestErrorCorrectionRepairsOneBit(t *testing.T) {
 		a.setBit(si, bit, conf, OriginLearning)
 	}
 	rng := rand.New(rand.NewSource(306))
-	if a.keyVectorValidation(a.white, []int{0}, rng) {
+	if validateOrFail(t, a, []int{0}, rng) {
 		t.Fatal("precondition: corrupted key should fail validation")
 	}
-	if !a.errorCorrection([]int{0}, bits, rng) {
+	if !correctOrFail(t, a, []int{0}, bits, rng) {
 		t.Fatal("error correction failed to repair a 1-bit error")
 	}
 	for _, si := range bits {
@@ -87,7 +108,7 @@ func TestErrorCorrectionRepairsTwoBits(t *testing.T) {
 		a.setBit(si, bit, conf, OriginLearning)
 	}
 	rng := rand.New(rand.NewSource(308))
-	if !a.errorCorrection([]int{0}, bits, rng) {
+	if !correctOrFail(t, a, []int{0}, bits, rng) {
 		t.Fatal("error correction failed to repair a 2-bit error")
 	}
 	for _, si := range bits {
@@ -108,12 +129,12 @@ func TestValidationLastLayerDirectCompare(t *testing.T) {
 	if _, mode := a.validationProbe([]int{1}); mode != modeDirect {
 		t.Fatalf("expected direct-compare mode, got %d", mode)
 	}
-	if !a.keyVectorValidation(a.white, []int{1}, rng) {
+	if !validateOrFail(t, a, []int{1}, rng) {
 		t.Fatal("direct comparison rejected the full correct key")
 	}
 	// Corrupt one final-layer bit: direct comparison must fail.
 	a.setBit(0, !key[0], 1, OriginAlgebraic)
-	if a.keyVectorValidation(a.white, []int{1}, rng) {
+	if validateOrFail(t, a, []int{1}, rng) {
 		t.Fatal("direct comparison accepted a wrong key")
 	}
 }
@@ -145,11 +166,19 @@ func TestDirectCompareTolerance(t *testing.T) {
 		a.setBit(si, key[si], 1, OriginAlgebraic)
 	}
 	rng := rand.New(rand.NewSource(313))
-	if !a.directCompare(a.white, rng) {
+	ok, err := a.directCompare(a.white, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
 		t.Fatal("direct compare rejected the exact network")
 	}
 	a.setBit(0, !key[0], 1, OriginAlgebraic)
-	if a.directCompare(a.white, rng) {
+	ok, err = a.directCompare(a.white, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
 		t.Fatal("direct compare accepted a wrong key")
 	}
 }

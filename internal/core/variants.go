@@ -28,7 +28,7 @@ import (
 //
 // Bits the tests cannot decide are defaulted and repaired by the shared
 // validation / error-correction loop of Algorithm 2.
-func RunVariant(whiteBox *nn.Network, spec hpnn.LockSpec, orc *oracle.Oracle, cfg Config) (*Result, error) {
+func RunVariant(whiteBox *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg Config) (*Result, error) {
 	if spec.Scheme == hpnn.Negation {
 		return Run(whiteBox, spec, orc, cfg)
 	}
@@ -50,11 +50,17 @@ func (a *Attack) runVariant() (*Result, error) {
 		rep := SiteReport{Site: site, Bits: len(bits)}
 
 		inferred := make([]bitValue, len(bits))
+		var inferErr error
 		a.trackProc(metrics.ProcKeyBitInference, func() {
-			a.parallelFor(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) {
-				inferred[i] = a.hypothesisTestBit(bits[i], wrng)
+			inferErr = a.parallelForErr(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) error {
+				var err error
+				inferred[i], err = a.hypothesisTestBit(bits[i], wrng)
+				return err
 			})
 		})
+		if inferErr != nil {
+			return nil, fmt.Errorf("core: variant site %d hypothesis tests: %w", site, inferErr)
+		}
 		for i, v := range inferred {
 			switch v {
 			case bitZero, bitOne:
@@ -75,17 +81,25 @@ func (a *Attack) runVariant() (*Result, error) {
 		}
 		valid := false
 		for round := 0; round <= a.cfg.MaxCorrectionRounds; round++ {
+			var valErr error
 			a.trackProc(metrics.ProcKeyVectorValidation, func() {
 				rep.ValidationRuns++
-				valid = a.keyVectorValidation(a.white, pendingSites, rng)
+				valid, valErr = a.keyVectorValidation(a.white, pendingSites, rng)
 			})
+			if valErr != nil {
+				return nil, fmt.Errorf("core: variant site %d key_vector_validation: %w", site, valErr)
+			}
 			if valid {
 				break
 			}
 			fixed := false
+			var corrErr error
 			a.trackProc(metrics.ProcErrorCorrection, func() {
-				fixed = a.errorCorrection(pendingSites, a.decidedBits(), rng)
+				fixed, corrErr = a.errorCorrection(pendingSites, a.decidedBits(), rng)
 			})
+			if corrErr != nil {
+				return nil, fmt.Errorf("core: variant site %d error_correction: %w", site, corrErr)
+			}
 			if fixed {
 				// The committed candidate already passed validation inside
 				// errorCorrection.
@@ -105,6 +119,7 @@ func (a *Attack) runVariant() (*Result, error) {
 		reports = append(reports, rep)
 	}
 
+	eq, eqErr := a.directCompare(a.white, rng)
 	res := &Result{
 		Key:     a.CurrentKey(),
 		Origins: append([]BitOrigin(nil), a.origins...),
@@ -114,7 +129,11 @@ func (a *Attack) runVariant() (*Result, error) {
 		Breakdown:     a.bd,
 		QueriesByProc: a.queriesByProc,
 		Sites:         reports,
-		Equivalent:    a.directCompare(a.white, rng),
+		Equivalent:    eq,
+		Degraded:      int(a.degraded.Load()),
+	}
+	if eqErr != nil {
+		return res, fmt.Errorf("core: variant equivalence check: %w", eqErr)
 	}
 	if !res.Equivalent {
 		return res, fmt.Errorf("core: recovered variant key is not functionally equivalent to the oracle")
@@ -125,22 +144,30 @@ func (a *Attack) runVariant() (*Result, error) {
 // hypothesisTestBit decides one variant key bit by candidate-hyperplane
 // testing: under each hypothesis b it locates a hyperplane witness the
 // other hypothesis cannot explain, then asks the oracle which witness shows
-// a kink.
-func (a *Attack) hypothesisTestBit(specIdx int, rng *rand.Rand) bitValue {
+// a kink. Persistent transient oracle failures degrade the bit to ⊥ (the
+// validation/correction loop repairs it); terminal errors propagate.
+func (a *Attack) hypothesisTestBit(specIdx int, rng *rand.Rand) (bitValue, error) {
+	var bit bitValue
+	var err error
 	if a.ownHyperplaneMoves() {
-		return a.ownHyperplaneTest(specIdx, rng)
+		bit, err = a.ownHyperplaneTest(specIdx, rng)
+	} else {
+		bit, err = a.fanOutTest(specIdx, rng)
 	}
-	return a.fanOutTest(specIdx, rng)
+	if err != nil {
+		return bitBottom, a.fallthroughBottom(err)
+	}
+	return bit, nil
 }
 
 // ownHyperplaneTest handles bias-shift and weight-perturbation bits: the
 // two hypotheses predict two distinct hyperplanes for the protected neuron
 // itself.
-func (a *Attack) ownHyperplaneTest(specIdx int, rng *rand.Rand) bitValue {
+func (a *Attack) ownHyperplaneTest(specIdx int, rng *rand.Rand) (bitValue, error) {
 	pn := a.spec.Neurons[specIdx]
 	gate := a.gatingReLU(pn.Site)
 	if gate < 0 {
-		return bitBottom // not directly gated: leave to validation/correction
+		return bitBottom, nil // not directly gated: leave to validation/correction
 	}
 	cands := a.hypothesisPair(specIdx)
 	for try := 0; try < a.cfg.MaxCriticalTries; try++ {
@@ -152,27 +179,31 @@ func (a *Attack) ownHyperplaneTest(specIdx int, rng *rand.Rand) bitValue {
 				continue
 			}
 			found[b] = true
-			kink[b] = a.kinkAt(cands[b], x0, gate, pn.Index, rng)
+			var err error
+			kink[b], err = a.kinkAt(cands[b], x0, gate, pn.Index, rng)
+			if err != nil {
+				return bitBottom, err
+			}
 		}
 		switch {
 		case found[0] && found[1] && kink[0] != kink[1]:
 			if kink[1] {
-				return bitOne
+				return bitOne, nil
 			}
-			return bitZero
+			return bitZero, nil
 		case found[0] && !found[1] && kink[0]:
-			return bitZero
+			return bitZero, nil
 		case found[1] && !found[0] && kink[1]:
-			return bitOne
+			return bitOne, nil
 		}
 	}
-	return bitBottom
+	return bitBottom, nil
 }
 
 // fanOutTest handles scaling bits: it probes neurons of the next lockable
 // layer inside the protected neuron's fan-out cone, at witnesses where the
 // protected neuron is active (so the hypotheses actually disagree).
-func (a *Attack) fanOutTest(specIdx int, rng *rand.Rand) bitValue {
+func (a *Attack) fanOutTest(specIdx int, rng *rand.Rand) (bitValue, error) {
 	pn := a.spec.Neurons[specIdx]
 	next := pn.Site + 1
 	if next >= a.white.NumFlipSites() {
@@ -180,7 +211,7 @@ func (a *Attack) fanOutTest(specIdx int, rng *rand.Rand) bitValue {
 	}
 	gate := a.gatingReLU(next)
 	if gate < 0 {
-		return bitBottom
+		return bitBottom, nil
 	}
 	cands := a.hypothesisPair(specIdx)
 	width := a.white.Flips()[next].N
@@ -197,38 +228,60 @@ func (a *Attack) fanOutTest(specIdx int, rng *rand.Rand) bitValue {
 				continue
 			}
 			found[b] = true
-			kinkV[b] = a.kinkAt(cands[b], x0, gate, k, rng)
-		}
-		if found[0] && found[1] && kinkV[0] != kinkV[1] {
-			if kinkV[1] {
-				return bitOne
+			var err error
+			kinkV[b], err = a.kinkAt(cands[b], x0, gate, k, rng)
+			if err != nil {
+				return bitBottom, err
 			}
-			return bitZero
+		}
+		// Two-sided disagreement decides outright; a one-sided witness
+		// decides on positive evidence only (the oracle kinks where just one
+		// hypothesis predicts a kink), mirroring ownHyperplaneTest — absence
+		// of a kink is not trusted, since the witness may be unobservable
+		// through the remaining layers.
+		switch {
+		case found[0] && found[1] && kinkV[0] != kinkV[1]:
+			if kinkV[1] {
+				return bitOne, nil
+			}
+			return bitZero, nil
+		case found[0] && !found[1] && kinkV[0]:
+			return bitZero, nil
+		case found[1] && !found[0] && kinkV[1]:
+			return bitOne, nil
 		}
 	}
-	return bitBottom
+	return bitBottom, nil
 }
 
 // lastLayerSlopeTest decides a scaling bit on the final lockable layer: at
 // a critical point of the neuron, moving along the pre-image direction
 // changes only this neuron, and since no unknown keys remain downstream,
 // each hypothesis predicts the oracle's response exactly.
-func (a *Attack) lastLayerSlopeTest(specIdx int, rng *rand.Rand) bitValue {
+func (a *Attack) lastLayerSlopeTest(specIdx int, rng *rand.Rand) (bitValue, error) {
 	pn := a.spec.Neurons[specIdx]
 	cands := a.hypothesisPair(specIdx)
 	for try := 0; try < a.cfg.MaxCriticalTries; try++ {
 		x0, ok := searchCriticalPoint(a.white, pn.Site, pn.Index, a.cfg, rng)
 		if !ok {
-			return bitBottom
+			return bitBottom, nil
 		}
 		v, ok := a.preimage(x0, pn.Site, pn.Index)
 		if !ok {
 			continue
 		}
-		eps := a.cfg.Epsilon
+		eps := a.cfg.probeStep(a.cfg.Epsilon)
 		xp := tensor.VecClone(x0)
 		tensor.AXPY(eps, v, xp)
-		dOracle := tensor.VecSub(a.orc.Query(xp), a.orc.Query(x0))
+		yp, qerr := a.query(xp)
+		if qerr != nil {
+			return bitBottom, qerr
+		}
+		y0, qerr := a.query(x0)
+		if qerr != nil {
+			return bitBottom, qerr
+		}
+		dOracle := tensor.VecSub(yp, y0)
 		err := [2]float64{}
 		for b := 0; b < 2; b++ {
 			fwd := func(x []float64) []float64 {
@@ -246,14 +299,14 @@ func (a *Attack) lastLayerSlopeTest(specIdx int, rng *rand.Rand) bitValue {
 		if lo > hi {
 			lo, hi = hi, lo
 		}
-		if hi > a.cfg.DecisionRatio*lo && hi > a.cfg.AbsChange {
+		if hi > a.cfg.DecisionRatio*lo && hi > a.absChange() {
 			if err[0] < err[1] {
-				return bitZero
+				return bitZero, nil
 			}
-			return bitOne
+			return bitOne, nil
 		}
 	}
-	return bitBottom
+	return bitBottom, nil
 }
 
 // hypothesisPair clones the white box under both values of one bit.
@@ -284,10 +337,19 @@ func (a *Attack) distinguishableCritical(net, alt *nn.Network, site, idx int, rn
 	return nil, false
 }
 
-// activeDistinguishableCritical is distinguishableCritical with the extra
-// scaling-specific requirement that the protected upstream neuron is
-// active at the witness (otherwise α^K is muted by the ReLU and the
-// hypotheses coincide).
+// activeDistinguishableCritical is distinguishableCritical with two extra
+// scaling-specific requirements on the witness:
+//
+//   - the protected upstream neuron is active (otherwise α^K is muted by
+//     the ReLU and the hypotheses coincide), and
+//   - every OTHER still-undecided protected neuron of the same flip site is
+//     inactive. Both hypothesis clones carry default values for those bits;
+//     if such a neuron were active, its (possibly wrong) scaling would move
+//     the downstream hyperplane on both clones, so even the correct
+//     hypothesis would predict a kink location the oracle does not have.
+//     With the cone restricted to regions where only the bit under test
+//     fans out, the clones agree with the true function up to that single
+//     bit, and the kink test is sound.
 func (a *Attack) activeDistinguishableCritical(net, alt *nn.Network, up hpnn.ProtectedNeuron, site, idx int, rng *rand.Rand) ([]float64, bool) {
 	for try := 0; try < a.cfg.MaxCriticalTries; try++ {
 		x0, ok := searchCriticalPoint(net, site, idx, a.cfg, rng)
@@ -297,6 +359,9 @@ func (a *Attack) activeDistinguishableCritical(net, alt *nn.Network, up hpnn.Pro
 		if postAct(net, x0, up.Site, up.Index) <= 0 {
 			continue
 		}
+		if !a.othersMuted(net, x0, up) {
+			continue
+		}
 		if math.Abs(postAct(alt, x0, site, idx)) > a.variantMargin() {
 			return x0, true
 		}
@@ -304,16 +369,36 @@ func (a *Attack) activeDistinguishableCritical(net, alt *nn.Network, up hpnn.Pro
 	return nil, false
 }
 
+// othersMuted reports whether every undecided protected neuron of up's flip
+// site other than up itself is inactive (ReLU-muted) at x0.
+func (a *Attack) othersMuted(net *nn.Network, x0 []float64, up hpnn.ProtectedNeuron) bool {
+	for si, pn := range a.spec.Neurons {
+		if pn.Site != up.Site || pn.Index == up.Index || a.decided[si] {
+			continue
+		}
+		if postAct(net, x0, pn.Site, pn.Index) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // kinkAt runs the control-calibrated second-difference test of §3.7 at a
 // witness x° of ReLU input (reluSite, idx) on net.
-func (a *Attack) kinkAt(net *nn.Network, x0 []float64, reluSite, idx int, rng *rand.Rand) bool {
+func (a *Attack) kinkAt(net *nn.Network, x0 []float64, reluSite, idx int, rng *rand.Rand) (bool, error) {
 	v := a.voteDirection(net, x0, reluSite, idx, rng)
-	d := a.cfg.ValidationDelta
-	kink := a.secondDifference(x0, v, d)
+	d := a.cfg.probeStep(a.cfg.ValidationDelta)
+	kink, err := a.oracleSecondDifference(x0, v, d)
+	if err != nil {
+		return false, err
+	}
 	ctrl := tensor.VecClone(x0)
 	tensor.AXPY(3*d, v, ctrl)
-	background := a.secondDifference(ctrl, v, d)
-	return kink > 10*background+a.cfg.AbsChange
+	background, err := a.oracleSecondDifference(ctrl, v, d)
+	if err != nil {
+		return false, err
+	}
+	return kink > 10*a.calibrated(background)+a.absChange(), nil
 }
 
 // gatingReLU returns the ReLU site that directly rectifies the given flip

@@ -37,6 +37,41 @@ func TestVariantScalingAmplifying(t *testing.T) {
 	runVariantAttack(t, hpnn.Scaling, 2.0, 4, 202)
 }
 
+// TestVariantScalingCrowdedSite is the regression test for the fan-out-cone
+// witness bug: with 8 key bits on a tiny MLP, several protected neurons
+// share one flip site, and a hypothesis witness chosen where ANOTHER
+// undecided neuron of the site is active misplaces the predicted downstream
+// hyperplane on both clones — the kink test then sees no kink for either
+// hypothesis, most bits degrade to ⊥, and the defaulted site fails
+// validation beyond error correction's Hamming budget (this exact
+// configuration is the examples/variants scaling run, which used to abort
+// with "variant site 0 failed validation"). activeDistinguishableCritical
+// now requires every other undecided same-site neuron to be ReLU-muted at
+// the witness.
+func TestVariantScalingCrowdedSite(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	net := models.TinyMLP(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Scaling, Alpha: 0.5, KeyBits: 8, Rng: rng})
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	res, err := Run(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), cfg)
+	if err != nil {
+		t.Fatalf("scaling attack failed: %v", err)
+	}
+	if fid := res.Key.Fidelity(key); fid != 1 {
+		t.Fatalf("fidelity %.3f: got %v want %v", fid, res.Key, key)
+	}
+}
+
+// TestVariantScalingSeedSweep runs the crowded-site configuration across
+// several lock/attack seeds so the witness restriction is exercised on many
+// activation patterns, not one lucky draw.
+func TestVariantScalingSeedSweep(t *testing.T) {
+	for seed := int64(300); seed < 305; seed++ {
+		runVariantAttack(t, hpnn.Scaling, 0.5, 8, seed)
+	}
+}
+
 func TestVariantBiasShift(t *testing.T) {
 	runVariantAttack(t, hpnn.BiasShift, 0.8, 6, 203)
 }

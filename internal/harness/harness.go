@@ -226,12 +226,18 @@ func (p *pipeline) runCell(w io.Writer) Table1Row {
 	monoCfg.Seed = p.sc.Seed + 1
 	monoOrc := oracle.New(p.lm, p.key)
 	monoStart := time.Now()
-	mono := core.Monolithic(p.lm.WhiteBox(), p.lm.Spec, monoOrc, monoCfg, nil)
-	row.Monolithic = AttackCell{
-		Accuracy: p.accuracyUnderKey(mono.Key),
-		Fidelity: mono.Key.Fidelity(p.key),
-		Seconds:  time.Since(monoStart).Seconds(),
-		Queries:  mono.Queries,
+	mono, monoErr := core.Monolithic(p.lm.WhiteBox(), p.lm.Spec, monoOrc, monoCfg, nil)
+	if monoErr != nil {
+		// The clean oracle never errors; surface the impossible loudly but
+		// keep the row so the decryption half still reports.
+		row.DecryptErr = fmt.Errorf("monolithic attack: %w", monoErr)
+	} else {
+		row.Monolithic = AttackCell{
+			Accuracy: p.accuracyUnderKey(mono.Key),
+			Fidelity: mono.Key.Fidelity(p.key),
+			Seconds:  time.Since(monoStart).Seconds(),
+			Queries:  mono.Queries,
+		}
 	}
 
 	// The DNN decryption attack (Algorithm 2).
@@ -261,15 +267,23 @@ func (p *pipeline) runCell(w io.Writer) Table1Row {
 }
 
 // RunTable1 regenerates Table 1 for the given models at the given scale,
-// streaming rows to w as they complete.
+// streaming rows to w as they complete. Training progress goes to the same
+// writer, so a long prepare phase is visible rather than silent. A model
+// name with no key sizes configured in the scale is an error — previously
+// the row was skipped silently, which made a typo in a model name look like
+// an empty (successful) sweep.
 func RunTable1(sc Scale, modelNames []string, w io.Writer) ([]Table1Row, error) {
 	var rows []Table1Row
 	if w != nil {
 		fmt.Fprintln(w, TableHeader())
 	}
 	for _, m := range modelNames {
-		for _, bits := range sc.KeySizes[m] {
-			p, err := prepare(m, bits, sc, nil)
+		sizes, ok := sc.KeySizes[m]
+		if !ok || len(sizes) == 0 {
+			return rows, fmt.Errorf("harness: no key sizes configured for model %q in scale %q", m, sc.Name)
+		}
+		for _, bits := range sizes {
+			p, err := prepare(m, bits, sc, w)
 			if err != nil {
 				return rows, err
 			}

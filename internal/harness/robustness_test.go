@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dnnlock/internal/core"
+	"dnnlock/internal/oracle"
+)
+
+// TestRobustnessSweepTiny is the robustness smoke: a full sweep across three
+// noise levels and three quantization depths at tiny scale. The clean cell
+// (sigma=0, full precision) anchors the sweep to Table 1 — it must recover
+// the key exactly.
+func TestRobustnessSweepTiny(t *testing.T) {
+	sc := TinyScale()
+	sigmas := []float64{0, 1e-5, 1e-3}
+	quantBits := []int{24, 16, 10}
+	var buf bytes.Buffer
+	rows, err := RunRobustness(sc, "mlp", 6, sigmas, quantBits, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sigmas)+len(quantBits) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(sigmas)+len(quantBits))
+	}
+	clean := rows[0]
+	if clean.Sigma != 0 || clean.QuantBits != 0 {
+		t.Fatalf("first row is not the clean cell: %+v", clean)
+	}
+	if clean.Err != nil {
+		t.Fatalf("clean cell errored: %v", clean.Err)
+	}
+	if clean.Fidelity != 1 {
+		t.Fatalf("clean cell fidelity %.3f != 1", clean.Fidelity)
+	}
+	if clean.Degraded != 0 {
+		t.Fatalf("clean cell reported %d degraded decisions", clean.Degraded)
+	}
+	for _, r := range rows {
+		if r.Queries <= 0 && r.Err == nil {
+			t.Fatalf("cell (sigma=%g qbits=%d) recorded no queries", r.Sigma, r.QuantBits)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sigma") || !strings.Contains(out, "mlp") {
+		t.Fatalf("streamed output missing header or rows: %q", out)
+	}
+}
+
+// TestRobustnessCleanCellMatchesDirectRun pins the bit-identity guarantee
+// end to end: the sigma=0 / full-precision robustness cell must issue
+// exactly the same queries and recover exactly the same key as core.Run on
+// an undecorated oracle with the same seed.
+func TestRobustnessCleanCellMatchesDirectRun(t *testing.T) {
+	sc := TinyScale()
+	p, err := prepare("mlp", 6, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := p.runRobustnessCell(0, 0, nil)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+
+	cfg := sc.AttackCfg
+	cfg.Seed = sc.Seed + 2
+	res, err := core.Run(p.lm.WhiteBox(), p.lm.Spec, oracle.New(p.lm, p.key), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Queries != res.Queries {
+		t.Fatalf("clean cell issued %d queries, direct run %d", row.Queries, res.Queries)
+	}
+	if row.Fidelity != res.Key.Fidelity(p.key) {
+		t.Fatalf("clean cell fidelity %.4f, direct run %.4f", row.Fidelity, res.Key.Fidelity(p.key))
+	}
+}
+
+// TestRobustnessNoisyCellsDeclareDegradation checks that noisy cells set up
+// the attack config the sweep promises: voting on, sigma declared.
+func TestRobustnessNoisyCellsDeclareDegradation(t *testing.T) {
+	sc := TinyScale()
+	p, err := prepare("mlp", 4, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := p.runRobustnessCell(1e-4, 0, nil)
+	if row.Err != nil {
+		t.Fatalf("mild-noise cell errored: %v", row.Err)
+	}
+	if row.Fidelity != 1 {
+		t.Fatalf("mild-noise cell fidelity %.3f", row.Fidelity)
+	}
+}
+
+// TestRobustnessCSV covers the CSV emitter, including the error column.
+func TestRobustnessCSV(t *testing.T) {
+	rows := []RobustnessRow{
+		{Model: "mlp", KeyBits: 8, Sigma: 0.01, Fidelity: 0.9, Accuracy: 0.8, Queries: 42, Seconds: 1.5, Degraded: 3},
+	}
+	var buf bytes.Buffer
+	WriteRobustnessCSV(rows, &buf)
+	got := buf.String()
+	if !strings.HasPrefix(got, "model,key_bits,sigma") {
+		t.Fatalf("missing header: %q", got)
+	}
+	if !strings.Contains(got, "mlp,8,0.01,0,0.8000,0.9000,1.50,42,3") {
+		t.Fatalf("row malformed: %q", got)
+	}
+}
+
+// TestFormatRobustnessRowError renders a failed cell with its error.
+func TestFormatRobustnessRowError(t *testing.T) {
+	r := RobustnessRow{Model: "mlp", KeyBits: 8, Sigma: 0.5}
+	r.Err = errFake{}
+	s := FormatRobustnessRow(r)
+	if !strings.Contains(s, "!!") || !strings.Contains(s, "fake failure") {
+		t.Fatalf("error not rendered: %q", s)
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake failure" }

@@ -107,6 +107,19 @@ func collectAcquisitions(p *Pass, body *ast.BlockStmt) []*acquisition {
 				}
 			}
 		case *ast.AssignStmt:
+			if len(st.Lhs) == 2 && len(st.Rhs) == 1 {
+				// Two-result acquisition: buf, err := oracle.QueryBatch(x).
+				// The pooled buffer is the first value; the error rides
+				// second and is not tracked. On error the buffer is nil, but
+				// the releases are nil-safe, so the ownership contract is the
+				// same on every path.
+				if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+					if name, hit := p.getLike(call); hit {
+						out = p.trackAssigned(out, st, call, name, st.Lhs[0])
+					}
+				}
+				break
+			}
 			for i, rhs := range st.Rhs {
 				call, ok := rhs.(*ast.CallExpr)
 				if !ok {
@@ -117,28 +130,9 @@ func collectAcquisitions(p *Pass, body *ast.BlockStmt) []*acquisition {
 					continue
 				}
 				if len(st.Lhs) != len(st.Rhs) {
-					continue // tuple-assign; Gets are single-valued
+					continue // other tuple shapes hold no pooled buffer
 				}
-				switch lhs := st.Lhs[i].(type) {
-				case *ast.Ident:
-					if lhs.Name == "_" {
-						p.Report(call.Pos(), "result of %s is assigned to _: the pooled buffer can never be released", name)
-						continue
-					}
-					obj := p.Unit.Info.Defs[lhs]
-					if obj == nil {
-						obj = p.Unit.Info.Uses[lhs]
-					}
-					if obj != nil {
-						out = append(out, &acquisition{call: call, name: name, obj: obj, objs: []types.Object{obj}})
-					}
-				default:
-					// Stored straight into a field/element: an ownership
-					// handoff, which must be declared.
-					if !p.TransferAnnotated(st.Pos()) {
-						p.Report(call.Pos(), "result of %s is stored outside the function without //lint:transfer", name)
-					}
-				}
+				out = p.trackAssigned(out, st, call, name, st.Lhs[i])
 			}
 		case *ast.ValueSpec:
 			for i, v := range st.Values {
@@ -156,6 +150,33 @@ func collectAcquisitions(p *Pass, body *ast.BlockStmt) []*acquisition {
 			}
 		}
 	})
+	return out
+}
+
+// trackAssigned records the acquisition held by one assignment target, or
+// reports targets that can never release the buffer (blank identifier,
+// direct store into a longer-lived structure without //lint:transfer).
+func (p *Pass) trackAssigned(out []*acquisition, st *ast.AssignStmt, call *ast.CallExpr, name string, target ast.Expr) []*acquisition {
+	switch lhs := target.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			p.Report(call.Pos(), "result of %s is assigned to _: the pooled buffer can never be released", name)
+			return out
+		}
+		obj := p.Unit.Info.Defs[lhs]
+		if obj == nil {
+			obj = p.Unit.Info.Uses[lhs]
+		}
+		if obj != nil {
+			out = append(out, &acquisition{call: call, name: name, obj: obj, objs: []types.Object{obj}})
+		}
+	default:
+		// Stored straight into a field/element: an ownership handoff, which
+		// must be declared.
+		if !p.TransferAnnotated(st.Pos()) {
+			p.Report(call.Pos(), "result of %s is stored outside the function without //lint:transfer", name)
+		}
+	}
 	return out
 }
 

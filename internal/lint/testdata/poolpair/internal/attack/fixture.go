@@ -31,8 +31,29 @@ func leakVarDecl() int {
 }
 
 func leakQueryBatch(o *oracle.Oracle, x *tensor.Matrix) int {
-	y := o.QueryBatch(x) // want "result of oracle.QueryBatch is never released"
+	y, _ := o.QueryBatch(x) // want "result of oracle.QueryBatch is never released"
 	return y.Rows
+}
+
+func leakQueryBatchOnErrorReturn(o *oracle.Oracle, x *tensor.Matrix) (int, error) {
+	y, err := o.QueryBatch(x)
+	if err != nil {
+		return 0, err // want "oracle.QueryBatch acquired at line .* may leak on this return path"
+	}
+	r := y.Rows
+	tensor.PutMatrix(y)
+	return r, nil
+}
+
+func blankQueryBatch(o *oracle.Oracle, x *tensor.Matrix) error {
+	_, err := o.QueryBatch(x) // want "result of oracle.QueryBatch is assigned to _"
+	return err
+}
+
+func storedQueryBatchWithoutTransfer(c *cache, o *oracle.Oracle, x *tensor.Matrix) {
+	var err error
+	c.buf, err = o.QueryBatch(x) // want "result of oracle.QueryBatch is stored outside the function without //lint:transfer"
+	_ = err
 }
 
 func leakUniformInputs() int {
@@ -155,7 +176,46 @@ func (c *cache) drop() {
 }
 
 func queryReleased(o *oracle.Oracle, x *tensor.Matrix) int {
-	y := o.QueryBatch(x)
+	y, _ := o.QueryBatch(x)
 	defer tensor.PutMatrix(y)
 	return y.Rows
+}
+
+// queryErrPathBalanced is the repo's hardened error-path idiom: the nil-safe
+// release on the error branch keeps every exit visibly balanced.
+func queryErrPathBalanced(o *oracle.Oracle, x *tensor.Matrix) (int, error) {
+	y, err := o.QueryBatch(x)
+	if err != nil {
+		tensor.PutMatrix(y)
+		return 0, err
+	}
+	r := y.Rows
+	tensor.PutMatrix(y)
+	return r, nil
+}
+
+// queryErrPathEscapes returns the buffer to the caller on success and
+// releases it on failure.
+func queryErrPathEscapes(o *oracle.Oracle, x *tensor.Matrix) (*tensor.Matrix, error) {
+	y, err := o.QueryBatch(x)
+	if err != nil {
+		tensor.PutMatrix(y)
+		return nil, err
+	}
+	return y, nil
+}
+
+// queryRetryLoop mirrors core.queryBatchRetry: acquisition inside a loop,
+// escape on success, release before each error continuation.
+func queryRetryLoop(o *oracle.Oracle, x *tensor.Matrix, retries int) (*tensor.Matrix, error) {
+	var err error
+	for t := 0; t <= retries; t++ {
+		var y *tensor.Matrix
+		y, err = o.QueryBatch(x)
+		if err == nil {
+			return y, nil
+		}
+		tensor.PutMatrix(y)
+	}
+	return nil, err
 }

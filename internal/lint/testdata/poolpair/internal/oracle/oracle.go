@@ -7,8 +7,9 @@ import "dnnlock/internal/tensor"
 type Oracle struct{}
 
 // QueryBatch mirrors the real oracle: the result comes from the workspace
-// pool and the caller owns its release.
-func (o *Oracle) QueryBatch(x *tensor.Matrix) *tensor.Matrix {
+// pool and the caller owns its release on every path — the error result
+// rides second, and on error the buffer is nil (releases are nil-safe).
+func (o *Oracle) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
 	out := tensor.GetMatrix(x.Rows, x.Cols)
-	return out
+	return out, nil
 }

@@ -74,49 +74,80 @@ func (b *Breakdown) Total() time.Duration {
 	return t
 }
 
-// Percent returns proc's share of the total in [0, 100].
-func (b *Breakdown) Percent(proc Procedure) float64 {
-	total := b.Total()
+// snapshot copies the accumulated times and their sum under one lock
+// acquisition. Shares derived from a snapshot stay mutually consistent even
+// while other goroutines keep accumulating.
+func (b *Breakdown) snapshot() (map[Procedure]time.Duration, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	times := make(map[Procedure]time.Duration, len(b.times))
+	var total time.Duration
+	for p, d := range b.times {
+		times[p] = d
+		total += d
+	}
+	return times, total
+}
+
+func share(d, total time.Duration) float64 {
 	if total == 0 {
 		return 0
 	}
-	return 100 * float64(b.Get(proc)) / float64(total)
+	return 100 * float64(d) / float64(total)
 }
 
-// Percentages returns the share per procedure for every known procedure.
+// Percent returns proc's share of the total in [0, 100].
+func (b *Breakdown) Percent(proc Procedure) float64 {
+	times, total := b.snapshot()
+	return share(times[proc], total)
+}
+
+// Percentages returns the share per procedure: every Figure 3 procedure
+// (zero if never tracked) plus any nonstandard ones that accumulated time.
+// All shares come from one snapshot, so they sum to 100 (or all zero).
 func (b *Breakdown) Percentages() map[Procedure]float64 {
-	out := make(map[Procedure]float64, len(AllProcedures))
+	times, total := b.snapshot()
+	out := make(map[Procedure]float64, len(AllProcedures)+len(times))
 	for _, p := range AllProcedures {
-		out[p] = b.Percent(p)
+		out[p] = 0
+	}
+	for p, d := range times {
+		out[p] = share(d, total)
 	}
 	return out
 }
 
-// String renders a one-line summary sorted by presentation order.
-func (b *Breakdown) String() string {
-	var parts []string
-	for _, p := range AllProcedures {
-		parts = append(parts, fmt.Sprintf("%s %.1f%% (%s)", p, b.Percent(p), b.Get(p).Round(time.Millisecond)))
-	}
-	// Include any nonstandard procedures deterministically.
-	b.mu.Lock()
-	var extra []string
-	for p := range b.times {
-		known := false
-		for _, q := range AllProcedures {
-			if p == q {
-				known = true
-				break
-			}
+func isStandard(p Procedure) bool {
+	for _, q := range AllProcedures {
+		if p == q {
+			return true
 		}
-		if !known {
+	}
+	return false
+}
+
+// String renders a one-line summary: the Figure 3 procedures in
+// presentation order, then any nonstandard procedures sorted by name, each
+// with its share and accumulated duration.
+func (b *Breakdown) String() string {
+	times, total := b.snapshot()
+	var parts []string
+	render := func(p Procedure) string {
+		d := times[p]
+		return fmt.Sprintf("%s %.1f%% (%s)", p, share(d, total), d.Round(time.Millisecond))
+	}
+	for _, p := range AllProcedures {
+		parts = append(parts, render(p))
+	}
+	var extra []string
+	for p := range times {
+		if !isStandard(p) {
 			extra = append(extra, string(p))
 		}
 	}
-	b.mu.Unlock()
 	sort.Strings(extra)
 	for _, p := range extra {
-		parts = append(parts, fmt.Sprintf("%s %.1f%%", p, b.Percent(Procedure(p))))
+		parts = append(parts, render(Procedure(p)))
 	}
 	return strings.Join(parts, ", ")
 }

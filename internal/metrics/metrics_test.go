@@ -65,4 +65,71 @@ func TestBreakdownString(t *testing.T) {
 	if !strings.Contains(s, "key_bit_inference") || !strings.Contains(s, "custom") {
 		t.Fatalf("String = %q", s)
 	}
+	// Extras render in the same percent-and-duration form as the standard
+	// procedures.
+	if !strings.Contains(s, "custom 50.0% (1s)") {
+		t.Fatalf("extra procedure missing share or duration: %q", s)
+	}
+}
+
+func TestPercentagesIncludeExtras(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(ProcKeyBitInference, 250*time.Millisecond)
+	b.Add(Procedure("custom"), 750*time.Millisecond)
+	p := b.Percentages()
+	if math.Abs(p[Procedure("custom")]-75) > 1e-9 {
+		t.Fatalf("extra procedure share = %v", p[Procedure("custom")])
+	}
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 100", sum)
+	}
+}
+
+// TestPercentConsistentUnderConcurrentAdds pins the single-snapshot fix: a
+// share read while other goroutines accumulate must never exceed 100, and a
+// Percentages map must always sum to 100 (or be all zero). The old
+// implementation read the total and the procedure's time under separate lock
+// acquisitions, so an Add landing between the two reads could push a share
+// past 100.
+func TestPercentConsistentUnderConcurrentAdds(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(ProcKeyBitInference, time.Microsecond)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			proc := AllProcedures[i%len(AllProcedures)]
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					b.Add(proc, time.Microsecond)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 2000; i++ {
+		if pct := b.Percent(ProcKeyBitInference); pct > 100+1e-9 {
+			t.Errorf("Percent = %v > 100", pct)
+			break
+		}
+		p := b.Percentages()
+		var sum float64
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-100) > 1e-6 {
+			t.Errorf("shares sum to %v, want 100", sum)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
 }

@@ -1,0 +1,292 @@
+package oracle
+
+// Fault-injection decorators for the oracle boundary. The paper's adversary
+// model (§2.3) grants the attacker exact full-precision logits from a
+// perfectly reliable device; real deployments are harsher — quantized
+// accelerator outputs, measurement noise, label-only APIs, rate limits,
+// dropped queries. Each decorator wraps an Interface and degrades it along
+// one of those axes, so experiments can sweep the attack's fidelity and
+// query complexity as a function of oracle quality (harness.RunRobustness).
+//
+// All decorators are deterministic under a fixed seed and safe for
+// concurrent use. Noise is derived by hashing the queried input (plus a
+// per-input repetition counter), not from a shared RNG stream, so the
+// noise attached to a query does not depend on goroutine scheduling:
+// repeated queries of the same point draw a fresh deterministic sample
+// each time — which is exactly what the attack's repeat-query majority
+// voting needs — while distinct points are independent regardless of the
+// order they are issued in.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"dnnlock/internal/tensor"
+)
+
+// wrapper provides the pass-through half of a decorator: query accounting,
+// counter reset, and the softmax flag always reflect the wrapped oracle.
+type wrapper struct{ inner Interface }
+
+func (w *wrapper) Queries() int64 { return w.inner.Queries() }
+func (w *wrapper) ResetCounter()  { w.inner.ResetCounter() }
+func (w *wrapper) Softmax() bool  { return w.inner.Softmax() }
+
+// postBatch applies f(outRow, inRow) to each row of inner's batch response.
+// Ownership of the pooled response passes through to the caller on success;
+// on error the (nil) result is released so every exit is visibly balanced.
+func postBatch(inner Interface, x *tensor.Matrix, f func(y, x []float64)) (*tensor.Matrix, error) {
+	out, err := inner.QueryBatch(x)
+	if err != nil {
+		tensor.PutMatrix(out)
+		return nil, err
+	}
+	for i := 0; i < out.Rows; i++ {
+		f(out.Row(i), x.Row(i))
+	}
+	return out, nil
+}
+
+// --- Quantized -------------------------------------------------------------
+
+type quantized struct {
+	wrapper
+	step float64
+}
+
+// Quantized returns a view of inner whose outputs are rounded to a
+// fixed-point grid with `bits` fractional bits (step 2^-bits) — the logits
+// of an integer accelerator or a truncated API response. It models
+// rounding, not saturation: the integer part is unbounded.
+func Quantized(inner Interface, bits int) Interface {
+	return &quantized{wrapper{inner}, math.Ldexp(1, -bits)}
+}
+
+// QuantizationStep returns the grid spacing of a `bits`-fractional-bit
+// fixed-point representation — the worst-case rounding error is half this.
+// Attack configurations declare it (core.Config.QuantStep) to widen their
+// decision thresholds.
+func QuantizationStep(bits int) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	return math.Ldexp(1, -bits)
+}
+
+func (q *quantized) round(y []float64) {
+	for i, v := range y {
+		y[i] = math.Round(v/q.step) * q.step
+	}
+}
+
+func (q *quantized) Query(x []float64) ([]float64, error) {
+	y, err := q.inner.Query(x)
+	if err != nil {
+		return nil, err
+	}
+	q.round(y)
+	return y, nil
+}
+
+func (q *quantized) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	return postBatch(q.inner, x, func(y, _ []float64) { q.round(y) })
+}
+
+// --- Noisy -----------------------------------------------------------------
+
+type noisy struct {
+	wrapper
+	sigma float64
+	seed  uint64
+
+	mu   sync.Mutex
+	seen map[uint64]uint64 // input hash -> times queried so far
+}
+
+// Noisy returns a view of inner whose outputs carry additive Gaussian noise
+// of the given standard deviation. The noise is seeded and input-addressed:
+// the k-th query of a given point always receives the k-th noise draw for
+// that point, independent of what else is queried concurrently, so runs are
+// reproducible and repeat-query voting sees genuinely fresh samples.
+func Noisy(inner Interface, sigma float64, seed int64) Interface {
+	return &noisy{wrapper: wrapper{inner}, sigma: sigma, seed: uint64(seed), seen: make(map[uint64]uint64)}
+}
+
+// occurrence returns how many times this input hash has been queried before
+// now, advancing the counter.
+func (n *noisy) occurrence(h uint64) uint64 {
+	n.mu.Lock()
+	c := n.seen[h]
+	n.seen[h] = c + 1
+	n.mu.Unlock()
+	return c
+}
+
+func (n *noisy) perturb(y []float64, x []float64) {
+	h := hashFloats(n.seed, x)
+	h = splitmix64(h ^ n.occurrence(h)*0x9e3779b97f4a7c15)
+	for j := range y {
+		y[j] += n.sigma * gauss(splitmix64(h^uint64(j+1)))
+	}
+}
+
+func (n *noisy) Query(x []float64) ([]float64, error) {
+	y, err := n.inner.Query(x)
+	if err != nil {
+		return nil, err
+	}
+	n.perturb(y, x)
+	return y, nil
+}
+
+func (n *noisy) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	return postBatch(n.inner, x, n.perturb)
+}
+
+// --- LabelOnly -------------------------------------------------------------
+
+type labelOnly struct {
+	wrapper
+}
+
+// LabelOnly returns a view of inner that reveals only the predicted class:
+// every response is the one-hot indicator of the argmax output. Shapes are
+// preserved so callers need no special casing, but the algebraic attack's
+// magnitude probes carry no signal — the expected outcome is a fallback to
+// the learning attack, fitting against hard labels.
+func LabelOnly(inner Interface) Interface { return &labelOnly{wrapper{inner}} }
+
+func oneHot(y []float64) {
+	j := tensor.ArgMax(y)
+	for i := range y {
+		y[i] = 0
+	}
+	y[j] = 1
+}
+
+func (l *labelOnly) Query(x []float64) ([]float64, error) {
+	y, err := l.inner.Query(x)
+	if err != nil {
+		return nil, err
+	}
+	oneHot(y)
+	return y, nil
+}
+
+func (l *labelOnly) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	return postBatch(l.inner, x, func(y, _ []float64) { oneHot(y) })
+}
+
+// --- Budgeted --------------------------------------------------------------
+
+type budgeted struct {
+	wrapper
+	max  int64
+	used atomic.Int64
+}
+
+// Budgeted returns a view of inner that refuses queries past a hard cap:
+// once max queries have been consumed, every call returns
+// ErrBudgetExhausted without touching the device. The budget is its own
+// cumulative counter — ResetCounter (which zeroes the experiment's
+// accounting) does not refill it. A batch either fits entirely within the
+// remaining budget or is rejected whole.
+func Budgeted(inner Interface, max int64) Interface {
+	return &budgeted{wrapper: wrapper{inner}, max: max}
+}
+
+// take reserves n queries from the budget, reporting whether they fit.
+func (b *budgeted) take(n int64) bool {
+	if b.used.Add(n) > b.max {
+		// Leave the counter past max: the budget is spent for good, and
+		// concurrent callers racing the boundary all see exhaustion.
+		return false
+	}
+	return true
+}
+
+func (b *budgeted) Query(x []float64) ([]float64, error) {
+	if !b.take(1) {
+		return nil, ErrBudgetExhausted
+	}
+	return b.inner.Query(x)
+}
+
+func (b *budgeted) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if !b.take(int64(x.Rows)) {
+		return nil, ErrBudgetExhausted
+	}
+	return b.inner.QueryBatch(x)
+}
+
+// --- Flaky -----------------------------------------------------------------
+
+type flaky struct {
+	wrapper
+	rate  float64
+	seed  uint64
+	calls atomic.Uint64
+}
+
+// Flaky returns a view of inner that drops a seeded fraction of calls with
+// ErrTransient before they reach the device (so dropped calls consume no
+// queries and no budget). Failures are decided per call — a Query or a
+// whole QueryBatch — from the seed and a call counter, so a serial run is
+// exactly reproducible; retrying the same input draws a fresh decision.
+func Flaky(inner Interface, rate float64, seed int64) Interface {
+	return &flaky{wrapper: wrapper{inner}, rate: rate, seed: uint64(seed)}
+}
+
+func (f *flaky) drop() bool {
+	n := f.calls.Add(1)
+	return unit(splitmix64(f.seed^n*0xbf58476d1ce4e5b9)) < f.rate
+}
+
+func (f *flaky) Query(x []float64) ([]float64, error) {
+	if f.drop() {
+		return nil, ErrTransient
+	}
+	return f.inner.Query(x)
+}
+
+func (f *flaky) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if f.drop() {
+		return nil, ErrTransient
+	}
+	return f.inner.QueryBatch(x)
+}
+
+// --- seeded hashing --------------------------------------------------------
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashFloats folds the bit patterns of a float vector into one mixed word.
+func hashFloats(seed uint64, x []float64) uint64 {
+	h := splitmix64(seed ^ 0x2545f4914f6cdd1d)
+	for _, v := range x {
+		h = splitmix64(h ^ math.Float64bits(v))
+	}
+	return h
+}
+
+// unit maps a mixed word to (0, 1), excluding the endpoints so log and
+// Box–Muller stay finite.
+func unit(h uint64) float64 {
+	return (float64(h>>11) + 0.5) / (1 << 53)
+}
+
+// gauss derives one standard normal sample from a mixed word (Box–Muller
+// on two derived uniforms).
+func gauss(h uint64) float64 {
+	u1 := unit(splitmix64(h ^ 0xd1342543de82ef95))
+	u2 := unit(splitmix64(h ^ 0xaf251af3b195259f))
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,297 @@
+package oracle
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/tensor"
+)
+
+// sampleInputs returns a fixed set of query points for replay tests.
+func sampleInputs(seed int64, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([][]float64, n)
+	for i := range inputs {
+		x := make([]float64, 4)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		inputs[i] = x
+	}
+	return inputs
+}
+
+// replay queries each input twice (repeat draws must replay too) and
+// returns the concatenated responses.
+func replay(t *testing.T, o Interface, inputs [][]float64) [][]float64 {
+	t.Helper()
+	var out [][]float64
+	for _, x := range inputs {
+		for k := 0; k < 2; k++ {
+			out = append(out, mustQuery(t, o, x))
+		}
+	}
+	return out
+}
+
+func TestDecoratorDeterminism(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(inner Interface) Interface
+	}{
+		{"quantized", func(in Interface) Interface { return Quantized(in, 8) }},
+		{"noisy", func(in Interface) Interface { return Noisy(in, 0.05, 7) }},
+		{"labelonly", func(in Interface) Interface { return LabelOnly(in) }},
+		{"composed", func(in Interface) Interface { return Quantized(Noisy(in, 0.05, 7), 6) }},
+	}
+	inputs := sampleInputs(33, 6)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inner, _ := newTestOracle(41)
+			a := replay(t, tc.build(inner), inputs)
+			inner2, _ := newTestOracle(41)
+			b := replay(t, tc.build(inner2), inputs)
+			for i := range a {
+				for j := range a[i] {
+					if a[i][j] != b[i][j] {
+						t.Fatalf("replay diverged at response %d component %d: %v vs %v",
+							i, j, a[i][j], b[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNoisyFreshDrawsPerRepeat(t *testing.T) {
+	inner, _ := newTestOracle(42)
+	o := Noisy(inner, 0.1, 9)
+	x := []float64{0.3, -0.7, 0.2, 1.1}
+	y1 := mustQuery(t, o, x)
+	y2 := mustQuery(t, o, x)
+	same := true
+	for j := range y1 {
+		if y1[j] != y2[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("repeat query of the same point got identical noise; voting would be useless")
+	}
+}
+
+func TestNoisySigmaZeroIsExact(t *testing.T) {
+	inner, _ := newTestOracle(43)
+	clean, _ := newTestOracle(43)
+	o := Noisy(inner, 0, 9)
+	x := []float64{0.3, -0.7, 0.2, 1.1}
+	got := mustQuery(t, o, x)
+	want := mustQuery(t, clean, x)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("sigma=0 perturbed component %d: %v vs %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestQuantizedOnGrid(t *testing.T) {
+	const bits = 6
+	step := QuantizationStep(bits)
+	if step != math.Ldexp(1, -bits) {
+		t.Fatalf("QuantizationStep(%d) = %v", bits, step)
+	}
+	if QuantizationStep(0) != 0 || QuantizationStep(-3) != 0 {
+		t.Fatal("QuantizationStep must be 0 for non-positive bits")
+	}
+	inner, _ := newTestOracle(44)
+	o := Quantized(inner, bits)
+	for _, x := range sampleInputs(5, 4) {
+		for _, v := range mustQuery(t, o, x) {
+			q := math.Round(v/step) * step
+			if v != q {
+				t.Fatalf("output %v not on the 2^-%d grid", v, bits)
+			}
+		}
+	}
+	xb := tensor.New(3, 4)
+	for i := range xb.Data {
+		xb.Data[i] = rand.New(rand.NewSource(6)).NormFloat64()
+	}
+	out := mustQueryBatch(t, o, xb)
+	defer tensor.PutMatrix(out)
+	for _, v := range out.Data {
+		if v != math.Round(v/step)*step {
+			t.Fatalf("batch output %v not on grid", v)
+		}
+	}
+}
+
+func TestLabelOnlyOneHot(t *testing.T) {
+	inner, net := newTestOracle(45)
+	o := LabelOnly(inner)
+	for _, x := range sampleInputs(8, 5) {
+		y := mustQuery(t, o, x)
+		ones, hot := 0, -1
+		for j, v := range y {
+			switch v {
+			case 1:
+				ones++
+				hot = j
+			case 0:
+			default:
+				t.Fatalf("label-only output has non-binary component %v", v)
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("label-only output has %d ones", ones)
+		}
+		if want := tensor.ArgMax(net.Forward(x)); hot != want {
+			t.Fatalf("argmax %d, want %d", hot, want)
+		}
+	}
+}
+
+func TestBudgetedExhaustion(t *testing.T) {
+	inner, _ := newTestOracle(46)
+	o := Budgeted(inner, 3)
+	x := []float64{1, 0, -1, 0.5}
+	for i := 0; i < 3; i++ {
+		mustQuery(t, o, x)
+	}
+	if _, err := o.Query(x); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if inner.Queries() != 3 {
+		t.Fatalf("exhausted query still reached the device: %d", inner.Queries())
+	}
+	// ResetCounter zeroes accounting but must not refill the budget.
+	o.ResetCounter()
+	if _, err := o.Query(x); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("ResetCounter refilled the budget: err = %v", err)
+	}
+	if inner.Queries() != 0 {
+		t.Fatalf("ResetCounter did not propagate: %d", inner.Queries())
+	}
+}
+
+func TestBudgetedBatchAllOrNothing(t *testing.T) {
+	inner, _ := newTestOracle(47)
+	o := Budgeted(inner, 4)
+	xb := tensor.New(5, 4)
+	y, err := o.QueryBatch(xb)
+	tensor.PutMatrix(y) // nil on the expected error; nil-safe
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("oversized batch: err = %v, want ErrBudgetExhausted", err)
+	}
+	if inner.Queries() != 0 {
+		t.Fatalf("rejected batch consumed %d device queries", inner.Queries())
+	}
+}
+
+func TestFlakyTransientAndRetryable(t *testing.T) {
+	inner, _ := newTestOracle(48)
+	o := Flaky(inner, 0.5, 13)
+	x := []float64{0.2, 0.4, -0.6, 0.8}
+	fails := 0
+	for i := 0; i < 40; i++ {
+		if _, err := o.Query(x); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("flaky failure is %v, not ErrTransient", err)
+			}
+			fails++
+		}
+	}
+	if fails == 0 || fails == 40 {
+		t.Fatalf("rate-0.5 flaky oracle failed %d/40 calls", fails)
+	}
+	// Dropped calls never reached the device: the counter reflects only
+	// successful calls.
+	if got := inner.Queries(); got != int64(40-fails) {
+		t.Fatalf("device saw %d queries, want %d", got, 40-fails)
+	}
+	// Retrying eventually succeeds: the drop decision is per call, not
+	// per input.
+	o2 := Flaky(mustOracle(t), 0.5, 13)
+	ok := false
+	for i := 0; i < 20; i++ {
+		if _, err := o2.Query(x); err == nil {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("20 retries at rate 0.5 never succeeded")
+	}
+}
+
+func mustOracle(t *testing.T) Interface {
+	t.Helper()
+	o, _ := newTestOracle(49)
+	return o
+}
+
+// TestWrapperAccountingPassThrough checks that query counting, reset, and the
+// softmax flag all reflect the innermost oracle through a decorator stack.
+func TestWrapperAccountingPassThrough(t *testing.T) {
+	inner, _ := newTestOracle(50)
+	o := Quantized(Noisy(LabelOnly(inner), 0.01, 3), 8)
+	if o.Softmax() != inner.Softmax() {
+		t.Fatal("Softmax flag not passed through")
+	}
+	x := []float64{1, 2, 3, 4}
+	mustQuery(t, o, x)
+	xb := tensor.New(3, 4)
+	out := mustQueryBatch(t, o, xb)
+	tensor.PutMatrix(out)
+	if o.Queries() != 4 || inner.Queries() != 4 {
+		t.Fatalf("Queries = %d (inner %d), want 4", o.Queries(), inner.Queries())
+	}
+	o.ResetCounter()
+	if inner.Queries() != 0 {
+		t.Fatal("ResetCounter not passed through")
+	}
+}
+
+// TestCompositionOrder: quantize-then-noise leaves outputs off-grid, while
+// noise-then-quantize lands on the grid — decorators compose outside-in.
+func TestCompositionOrder(t *testing.T) {
+	const bits = 4
+	step := QuantizationStep(bits)
+	onGrid := func(y []float64) bool {
+		for _, v := range y {
+			if v != math.Round(v/step)*step {
+				return false
+			}
+		}
+		return true
+	}
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+
+	in1, _ := newTestOracle(51)
+	noisyOutside := Noisy(Quantized(in1, bits), 0.05, 5)
+	if onGrid(mustQuery(t, noisyOutside, x)) {
+		t.Fatal("noise applied after quantization should leave the grid")
+	}
+
+	in2, _ := newTestOracle(51)
+	quantOutside := Quantized(Noisy(in2, 0.05, 5), bits)
+	if !onGrid(mustQuery(t, quantOutside, x)) {
+		t.Fatal("quantization applied last should land on the grid")
+	}
+}
+
+// TestDecoratorEmptyBatch: decorators preserve the 0-row contract.
+func TestDecoratorEmptyBatch(t *testing.T) {
+	inner, _ := newTestOracle(52)
+	o := Quantized(Noisy(inner, 0.1, 2), 8)
+	out, err := o.QueryBatch(tensor.New(0, 4))
+	if err != nil {
+		t.Fatalf("0-row batch through decorators: %v", err)
+	}
+	if out == nil || out.Rows != 0 {
+		t.Fatal("0-row contract broken by decorators")
+	}
+	tensor.PutMatrix(out)
+}

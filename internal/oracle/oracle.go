@@ -3,15 +3,60 @@
 // it with arbitrary inputs a reasonable number of times, observing the
 // logits. The oracle counts queries so experiments can report the paper's
 // query-complexity metric.
+//
+// The paper assumes a perfectly reliable device returning exact
+// full-precision logits. Interface is the boundary that lets experiments
+// relax that assumption: Oracle is the clean reference implementation, and
+// the decorators in fault.go (Quantized, Noisy, LabelOnly, Budgeted,
+// Flaky) degrade it in seeded, composable ways so the attack's fidelity
+// and query complexity can be evaluated under realistic device access.
 package oracle
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/rot"
 	"dnnlock/internal/tensor"
+)
+
+// Interface is the oracle boundary consumed by the attacks, the harness,
+// and the benches. Implementations must be safe for concurrent use.
+//
+// Query and QueryBatch return the device's response or an error describing
+// why no response was produced; callers must not interpret a nil error as
+// an exact answer (decorators may quantize, perturb, or truncate the
+// response while still succeeding). Returned slices and matrices are owned
+// by the caller; QueryBatch results come from the workspace pool and are
+// recycled with tensor.PutMatrix.
+type Interface interface {
+	// Query runs one inference and returns the output vector.
+	Query(x []float64) ([]float64, error)
+	// QueryBatch runs one inference per row of x and returns the pooled
+	// output matrix, one row per input row.
+	QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error)
+	// Queries returns the number of device queries consumed so far.
+	Queries() int64
+	// ResetCounter zeroes the query counter (used between experiment
+	// phases). It does not refill any query budget.
+	ResetCounter()
+	// Softmax reports whether responses are probabilities rather than
+	// logits.
+	Softmax() bool
+}
+
+// Errors surfaced at the oracle boundary. Callers distinguish transient
+// failures (worth retrying) from budget exhaustion (terminal).
+var (
+	// ErrBudgetExhausted is returned by a Budgeted oracle once the query
+	// cap is spent. It is terminal: retrying cannot succeed.
+	ErrBudgetExhausted = errors.New("oracle: query budget exhausted")
+	// ErrTransient is returned for transient device failures (a Flaky
+	// oracle's dropped queries). Retrying the same query may succeed.
+	ErrTransient = errors.New("oracle: transient device failure")
 )
 
 // Oracle wraps a provisioned device and counts queries. Safe for concurrent
@@ -22,6 +67,8 @@ type Oracle struct {
 	softmax bool
 	queries atomic.Int64
 }
+
+var _ Interface = (*Oracle)(nil)
 
 // New provisions a fresh device with the correct key, binds the locked
 // model, and returns the resulting oracle — the experimental stand-in for
@@ -49,32 +96,33 @@ func FromDevice(dev *rot.Device) *Oracle { return &Oracle{dev: dev} }
 func (o *Oracle) Softmax() bool { return o.softmax }
 
 // Query runs one inference and returns the logits (or the softmax output
-// vector in softmax mode).
-func (o *Oracle) Query(x []float64) []float64 {
+// vector in softmax mode). Device errors are returned, not panicked: the
+// attack path must be able to survive a degraded device.
+func (o *Oracle) Query(x []float64) ([]float64, error) {
 	o.queries.Add(1)
-	y, err := o.dev.Evaluate(x)
-	if err != nil {
-		panic("oracle: " + err.Error())
-	}
-	if o.softmax {
-		return tensor.Softmax(y)
-	}
-	return y
+	return o.evalRow(x)
 }
 
 // QueryBatch runs one inference per row and returns the output matrix.
 // Rows are evaluated concurrently (the device is safe for concurrent
 // inference), sharded over tensor.Parallelism() goroutines. Each row lands
 // in its own output slot, so the result is identical to the serial loop.
-func (o *Oracle) QueryBatch(x *tensor.Matrix) *tensor.Matrix {
+//
+// The result comes from the workspace pool (per-invocation callers like the
+// learning attack recycle it with tensor.PutMatrix); on error the pooled
+// buffer is released before the error is surfaced, so the caller owns a
+// buffer only when err is nil. A 0-row input yields an empty pooled 0×0
+// matrix, not nil, so callers may PutMatrix or iterate it unconditionally.
+func (o *Oracle) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
 	o.queries.Add(int64(x.Rows))
 	if x.Rows == 0 {
-		return nil
+		return tensor.GetMatrix(0, 0), nil
 	}
-	// First row sizes the output matrix. It comes from the workspace pool
-	// (every row is overwritten below); per-invocation callers like the
-	// learning attack recycle it with tensor.PutMatrix.
-	y0 := o.evalRow(x.Row(0))
+	// First row sizes the output matrix.
+	y0, err := o.evalRow(x.Row(0))
+	if err != nil {
+		return nil, err
+	}
 	out := tensor.GetMatrix(x.Rows, len(y0))
 	out.SetRow(0, y0)
 	rest := x.Rows - 1
@@ -86,7 +134,8 @@ func (o *Oracle) QueryBatch(x *tensor.Matrix) *tensor.Matrix {
 		for i := 1; i < x.Rows; i++ {
 			y, err := o.dev.Evaluate(x.Row(i))
 			if err != nil {
-				panic("oracle: " + err.Error())
+				tensor.PutMatrix(out)
+				return nil, fmt.Errorf("oracle: %w", err)
 			}
 			if o.softmax {
 				tensor.SoftmaxInto(out.Row(i), y)
@@ -94,7 +143,7 @@ func (o *Oracle) QueryBatch(x *tensor.Matrix) *tensor.Matrix {
 				out.SetRow(i, y)
 			}
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
@@ -125,23 +174,25 @@ func (o *Oracle) QueryBatch(x *tensor.Matrix) *tensor.Matrix {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			// Surface on the caller's goroutine, like the serial path.
-			panic("oracle: " + err.Error())
+			// Surface on the caller's goroutine, like the serial path. The
+			// pooled buffer goes back first: an error exit owns nothing.
+			tensor.PutMatrix(out)
+			return nil, fmt.Errorf("oracle: %w", err)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // evalRow runs one uncounted device inference (QueryBatch bulk-counts).
-func (o *Oracle) evalRow(x []float64) []float64 {
+func (o *Oracle) evalRow(x []float64) ([]float64, error) {
 	y, err := o.dev.Evaluate(x)
 	if err != nil {
-		panic("oracle: " + err.Error())
+		return nil, fmt.Errorf("oracle: %w", err)
 	}
 	if o.softmax {
-		return tensor.Softmax(y)
+		return tensor.Softmax(y), nil
 	}
-	return y
+	return y, nil
 }
 
 // Queries returns the total number of queries so far.

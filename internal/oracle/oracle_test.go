@@ -20,10 +20,29 @@ func newTestOracle(seed int64) (*Oracle, *nn.Network) {
 	return New(lm, key), net
 }
 
+// mustQuery fails the test on a query error; the clean oracle never errors.
+func mustQuery(t *testing.T, o Interface, x []float64) []float64 {
+	t.Helper()
+	y, err := o.Query(x)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	return y
+}
+
+func mustQueryBatch(t *testing.T, o Interface, x *tensor.Matrix) *tensor.Matrix {
+	t.Helper()
+	y, err := o.QueryBatch(x)
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	return y
+}
+
 func TestQueryMatchesKeyedNetwork(t *testing.T) {
 	o, net := newTestOracle(1)
 	x := []float64{0.5, -0.1, 0.9, 0.2}
-	if tensor.NormInf(tensor.VecSub(o.Query(x), net.Forward(x))) > 1e-12 {
+	if tensor.NormInf(tensor.VecSub(mustQuery(t, o, x), net.Forward(x))) > 1e-12 {
 		t.Fatal("oracle output differs from keyed network")
 	}
 }
@@ -31,13 +50,13 @@ func TestQueryMatchesKeyedNetwork(t *testing.T) {
 func TestQueryCounting(t *testing.T) {
 	o, _ := newTestOracle(2)
 	x := []float64{1, 2, 3, 4}
-	o.Query(x)
-	o.Query(x)
+	mustQuery(t, o, x)
+	mustQuery(t, o, x)
 	if o.Queries() != 2 {
 		t.Fatalf("Queries = %d", o.Queries())
 	}
 	xb := tensor.New(5, 4)
-	yb := o.QueryBatch(xb)
+	yb := mustQueryBatch(t, o, xb)
 	tensor.PutMatrix(yb)
 	if o.Queries() != 7 {
 		t.Fatalf("Queries after batch = %d", o.Queries())
@@ -55,15 +74,36 @@ func TestQueryBatchMatchesSingles(t *testing.T) {
 	for i := range xb.Data {
 		xb.Data[i] = rng.NormFloat64()
 	}
-	got := o.QueryBatch(xb)
+	got := mustQueryBatch(t, o, xb)
 	defer tensor.PutMatrix(got)
 	for r := 0; r < 4; r++ {
-		want := o.Query(xb.Row(r))
+		want := mustQuery(t, o, xb.Row(r))
 		for c := range want {
 			if got.At(r, c) != want[c] {
 				t.Fatal("batch/single mismatch")
 			}
 		}
+	}
+}
+
+// Regression for the 0-row crash: an empty query set must yield an empty
+// pooled matrix the caller can release or iterate, never nil.
+func TestQueryBatchEmptyInput(t *testing.T) {
+	o, _ := newTestOracle(5)
+	empty := tensor.New(0, 4)
+	out, err := o.QueryBatch(empty)
+	if err != nil {
+		t.Fatalf("QueryBatch(0 rows): %v", err)
+	}
+	if out == nil {
+		t.Fatal("QueryBatch(0 rows) returned nil")
+	}
+	if out.Rows != 0 {
+		t.Fatalf("empty batch has %d rows", out.Rows)
+	}
+	tensor.PutMatrix(out) // must be poolable like any other batch
+	if o.Queries() != 0 {
+		t.Fatalf("empty batch consumed %d queries", o.Queries())
 	}
 }
 
@@ -81,7 +121,10 @@ func TestConcurrentQueries(t *testing.T) {
 				for j := range x {
 					x[j] = rng.NormFloat64()
 				}
-				o.Query(x)
+				if _, err := o.Query(x); err != nil {
+					t.Error(err)
+					return
+				}
 			}
 		}(int64(w))
 	}

@@ -23,7 +23,7 @@ func TestSoftmaxModeNormalizesBatch(t *testing.T) {
 	for i := range xb.Data {
 		xb.Data[i] = rng.NormFloat64()
 	}
-	out := o.QueryBatch(xb)
+	out := mustQueryBatch(t, o, xb)
 	defer tensor.PutMatrix(out)
 	for r := 0; r < out.Rows; r++ {
 		sum := 0.0
@@ -37,7 +37,7 @@ func TestSoftmaxModeNormalizesBatch(t *testing.T) {
 	// Softmax preserves the argmax of the logits.
 	x := xb.Row(0)
 	logits := lm.Net.Forward(x)
-	probs := o.Query(x)
+	probs := mustQuery(t, o, x)
 	if tensor.ArgMax(logits) != tensor.ArgMax(probs) {
 		t.Fatal("softmax changed the argmax")
 	}
@@ -55,7 +55,7 @@ func TestFromDeviceSharesCounter(t *testing.T) {
 	if o.Softmax() {
 		t.Fatal("FromDevice should default to logits")
 	}
-	o.Query([]float64{1, 2})
+	mustQuery(t, o, []float64{1, 2})
 	if o.Queries() != 1 {
 		t.Fatalf("queries = %d", o.Queries())
 	}

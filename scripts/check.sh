@@ -25,4 +25,12 @@ go build ./...
 echo "==> go test -race ./internal/..."
 go test -race ./internal/...
 
+# Robustness smoke (DESIGN.md §11): the oracle-boundary hardening must keep
+# the clean path bit-identical to Table 1 and must degrade — never panic —
+# under faults. These tests run inside the -race pass above too; re-running
+# them by name makes a boundary regression fail with a targeted message.
+echo "==> robustness smoke (clean-path identity + fault degradation)"
+go test -race -run 'TestRobustness|TestRunBudget|TestRunRetries|TestRunDeclared|TestRunHeavy|TestRunCleanPath' \
+	./internal/core ./internal/harness
+
 echo "OK"
