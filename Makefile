@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare robust vet lint check clean
+.PHONY: build test race bench bench-compare robust table1 vet lint check clean
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ vet:
 	$(GO) vet ./...
 
 ## lint: repo-specific analyzers (pool discipline, determinism, float
-## equality, goroutine sites) — see DESIGN.md §10
+## equality, goroutine sites, package docs) — see DESIGN.md §10
 lint:
 	$(GO) run ./cmd/dnnlint ./...
 
@@ -32,6 +32,12 @@ bench-compare:
 ## (DESIGN.md §11); tiny scale by default, seconds on one core
 robust:
 	$(GO) run ./cmd/dnnlock robust -model mlp -bits 8 -scale tiny
+
+## table1: Table 1 sweep with a JSONL span trace, then render + verify it
+## (DESIGN.md §12, EXPERIMENTS.md); tiny scale by default
+table1:
+	$(GO) run ./cmd/dnnlock table1 -model mlp -scale tiny -trace table1_trace.jsonl
+	$(GO) run ./cmd/dnnlock trace -in table1_trace.jsonl -check
 
 clean:
 	$(GO) clean -testcache

@@ -16,6 +16,7 @@
 package dnnlock_test
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
@@ -25,6 +26,7 @@ import (
 	"dnnlock/internal/metrics"
 	"dnnlock/internal/models"
 	"dnnlock/internal/nn"
+	"dnnlock/internal/obs"
 	"dnnlock/internal/oracle"
 	"dnnlock/internal/tensor"
 )
@@ -99,6 +101,17 @@ func benchDecrypt(b *testing.B, kind string, bits int, mutate func(*core.Config)
 	for _, p := range metrics.AllProcedures {
 		b.ReportMetric(res.Breakdown.Percent(p), string(p)+"_pct")
 	}
+}
+
+// Tracer overhead (DESIGN.md §12): the same decryption cell once with the
+// no-op default tracer and once exporting a full detailed trace to
+// io.Discard. bench.sh records both, so the observability layer's cost
+// stays a tracked, diffable number.
+func BenchmarkDecryptTracerOff(b *testing.B) { benchDecrypt(b, "mlp", 8, nil) }
+func BenchmarkDecryptTracerOn(b *testing.B) {
+	tr := obs.New(obs.WithSink(io.Discard))
+	defer tr.Close()
+	benchDecrypt(b, "mlp", 8, func(c *core.Config) { c.Tracer = tr })
 }
 
 func BenchmarkFigure3MLP(b *testing.B)          { benchDecrypt(b, "mlp", 8, nil) }

@@ -1,11 +1,12 @@
 // Command dnnlint runs the repository's custom static-analysis suite: the
-// pool-ownership, determinism, float-comparison, and naked-goroutine
-// analyzers of internal/lint, which machine-enforce the invariants the
-// parallel runtime and the frozen-prefix cache rely on (DESIGN.md §10).
+// pool-ownership, determinism, float-comparison, naked-goroutine, and
+// package-doc analyzers of internal/lint, which machine-enforce the
+// invariants the parallel runtime, the frozen-prefix cache, and the
+// documentation pass rely on (DESIGN.md §10).
 //
 // Usage:
 //
-//	dnnlint [-analyzers=poolpair,determinism,floatcmp,nakedgo] [pattern ...]
+//	dnnlint [-analyzers=poolpair,determinism,floatcmp,nakedgo,pkgdoc] [pattern ...]
 //
 // Patterns are package directories relative to the working directory; a
 // trailing /... lints the subtree. With no pattern, ./... is assumed. The

@@ -8,14 +8,22 @@
 //	dnnlock lock   -model mlp -bits 32 -out locked.json -keyout key.txt [-epochs 4] [-scheme negation|scaling|bias-shift|weight-perturb -alpha 0.5]
 //	dnnlock attack -in locked.json -keyfile key.txt [-monolithic]
 //	dnnlock bench  -exp table1|figure3|all [-scale tiny|quick|paper] [-models mlp,lenet] [-keysizes 16,32] [-csv rows.csv]
+//	dnnlock table1 -model mlp [-scale tiny|quick|paper] [-keysizes 16,32] [-csv rows.csv] [-trace out.jsonl] [-pprof :6060] [-v]
+//	dnnlock trace  -in out.jsonl [-check] [-cover 0.5] [-depth 3]
 //	dnnlock robust -model mlp -bits 8 [-scale tiny|quick|paper] [-sigmas 0,1e-4,1e-3] [-qbits 24,16,10] [-csv rows.csv]
 //	dnnlock verify -in locked.json -keyfile key.txt -candidate recovered.txt
 //	dnnlock info   -in locked.json
+//
+// Observability: -trace exports a JSONL span trace of the whole sweep
+// (read it back with `dnnlock trace`), -pprof serves net/http/pprof on a
+// private mux, and -v (or DNNLOCK_LOG=debug) turns on structured debug
+// logging.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"strconv"
@@ -27,6 +35,7 @@ import (
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/modelio"
 	"dnnlock/internal/models"
+	"dnnlock/internal/obs"
 	"dnnlock/internal/oracle"
 	"dnnlock/internal/train"
 )
@@ -44,6 +53,10 @@ func main() {
 		err = cmdAttack(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "table1":
+		err = cmdTable1(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "robust":
 		err = cmdRobust(os.Args[2:])
 	case "info":
@@ -61,10 +74,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dnnlock <lock|attack|bench|info> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dnnlock <lock|attack|bench|table1|trace|robust|info|verify> [flags]
   lock    build, HPNN-lock, and train a model; save model + key
   attack  run the DNN decryption attack (or -monolithic) on a saved model
   bench   regenerate the paper's Table 1 / Figure 3
+  table1  Table 1 sweep with observability: -trace out.jsonl -pprof :6060 -v
+  trace   render a JSONL trace: Figure-3 breakdown table + flame summary
   robust  sweep the decryption attack across noisy/quantized oracles
   info    describe a saved model
   verify  check a candidate key against the device key (fidelity + equivalence)`)
@@ -230,18 +245,8 @@ func cmdBench(args []string) error {
 		return err
 	}
 	sc.Seed = *seed
-	if *keysizes != "" {
-		var sizes []int
-		for _, tok := range strings.Split(*keysizes, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil {
-				return fmt.Errorf("bad -keysizes: %v", err)
-			}
-			sizes = append(sizes, v)
-		}
-		for m := range sc.KeySizes {
-			sc.KeySizes[m] = sizes
-		}
+	if err := applyKeySizes(&sc, *keysizes); err != nil {
+		return err
 	}
 	names := strings.Split(*modelsFlag, ",")
 	fmt.Printf("scale=%s models=%v\n", sc.Name, names)
@@ -262,6 +267,141 @@ func cmdBench(args []string) error {
 	if *exp == "figure3" || *exp == "all" {
 		fmt.Println("\nFigure 3: runtime breakdown of the decryption attack")
 		harness.FormatFigure3(harness.RunFigure3(rows), os.Stdout)
+	}
+	return nil
+}
+
+// applyKeySizes overrides every model's key sizes with a comma-separated
+// list; an empty list leaves the scale's defaults alone.
+func applyKeySizes(sc *harness.Scale, list string) error {
+	if list == "" {
+		return nil
+	}
+	var sizes []int
+	for _, tok := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("bad -keysizes: %v", err)
+		}
+		sizes = append(sizes, v)
+	}
+	for m := range sc.KeySizes {
+		sc.KeySizes[m] = sizes
+	}
+	return nil
+}
+
+// cmdTable1 is the observability-first Table 1 driver: the bench sweep
+// plus span tracing (-trace), pprof (-pprof), and debug logging (-v).
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	modelsFlag := fs.String("model", "mlp", "comma-separated model list")
+	scaleName := fs.String("scale", "tiny", "scale: tiny, quick, paper")
+	keysizes := fs.String("keysizes", "", "override key sizes for all models, e.g. 16,32")
+	csvPath := fs.String("csv", "", "also write Table 1 rows to this CSV file")
+	tracePath := fs.String("trace", "", "export a JSONL span trace to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address, e.g. :6060")
+	verbose := fs.Bool("v", false, "structured debug logging to stderr (same as DNNLOCK_LOG=debug)")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Seed = *seed
+	if err := applyKeySizes(&sc, *keysizes); err != nil {
+		return err
+	}
+	if *verbose {
+		sc.AttackCfg.Logger = obs.NewLogger(os.Stderr, slog.LevelDebug)
+	}
+	if *pprofAddr != "" {
+		stop, err := obs.StartProfiler(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		// Shutdown errors on exit are uninteresting; the server dies with us.
+		defer stop()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	var tr *obs.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		tr = obs.New(obs.WithSink(traceFile))
+		sc.AttackCfg.Tracer = tr
+	}
+	names := strings.Split(*modelsFlag, ",")
+	fmt.Printf("scale=%s models=%v\n", sc.Name, names)
+	rows, runErr := harness.RunTable1(sc, names, os.Stdout)
+	if tr != nil {
+		// The tracer flushes on every span end; Close surfaces the first
+		// sink write error of the whole run.
+		if err := tr.Close(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("trace export: %w", err)
+		}
+		if err := traceFile.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+		fmt.Printf("trace -> %s (render with: dnnlock trace -in %s)\n", *tracePath, *tracePath)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		harness.WriteCSV(rows, f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nFigure 3: runtime breakdown of the decryption attack")
+	harness.FormatFigure3(harness.RunFigure3(rows), os.Stdout)
+	return nil
+}
+
+// cmdTrace reads a JSONL trace produced by `table1 -trace` and renders
+// the Figure-3 breakdown of every anchored attack plus a flame-style
+// summary of the span tree. -check verifies the exported summaries
+// against a rollup recomputed from the raw spans.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	in := fs.String("in", "trace.jsonl", "JSONL trace file (from `dnnlock table1 -trace`)")
+	check := fs.Bool("check", false, "verify summaries against a span-tree rollup")
+	cover := fs.Float64("cover", 0.5, "with -check: minimum fraction of anchor wall time the procedures must cover")
+	depth := fs.Int("depth", 3, "flame summary depth (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	trace, err := obs.ReadTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if *check {
+		if err := trace.Check(*cover); err != nil {
+			return fmt.Errorf("trace check: %w", err)
+		}
+		fmt.Printf("trace check: ok (%d spans, %d anchors)\n", len(trace.Spans), len(trace.Anchors()))
+	}
+	trace.BreakdownTable(os.Stdout)
+	if *depth > 0 {
+		fmt.Println()
+		trace.Flame(os.Stdout, *depth)
 	}
 	return nil
 }

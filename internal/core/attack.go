@@ -2,8 +2,9 @@ package core
 
 import (
 	"errors"
-	"fmt"
+	"log/slog"
 	"math/rand"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/metrics"
 	"dnnlock/internal/nn"
+	"dnnlock/internal/obs"
 	"dnnlock/internal/oracle"
 	"dnnlock/internal/tensor"
 )
@@ -37,8 +39,16 @@ type Attack struct {
 	// persistent transient failures or split majority votes.
 	degraded atomic.Int64
 
-	mu            sync.Mutex
-	queriesByProc map[metrics.Procedure]int64
+	// Observability. tracer and log are never nil (New substitutes the
+	// no-op tracer and the env-controlled default logger). root is the
+	// attack's root span, the rollup anchor of bd; phase is the span of the
+	// procedure currently running — written only by trackProc between
+	// phases, read by that phase's worker goroutines (the write
+	// happens-before the workers start).
+	tracer *obs.Tracer
+	root   *obs.Span
+	phase  *obs.Span
+	log    *slog.Logger
 }
 
 // New prepares an attack against the locked model served by orc. The
@@ -46,16 +56,17 @@ type Attack struct {
 func New(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg Config) *Attack {
 	applier := applierFor(white, spec)
 	a := &Attack{
-		white:         applier.clone(white),
-		spec:          spec,
-		orc:           orc,
-		cfg:           cfg.withDefaults(),
-		bd:            metrics.NewBreakdown(),
-		applier:       applier,
-		decided:       make([]bool, spec.NumBits()),
-		confidence:    make([]float64, spec.NumBits()),
-		origins:       make([]BitOrigin, spec.NumBits()),
-		queriesByProc: make(map[metrics.Procedure]int64),
+		white:      applier.clone(white),
+		spec:       spec,
+		orc:        orc,
+		cfg:        cfg.withDefaults(),
+		bd:         metrics.NewBreakdown(),
+		applier:    applier,
+		decided:    make([]bool, spec.NumBits()),
+		confidence: make([]float64, spec.NumBits()),
+		origins:    make([]BitOrigin, spec.NumBits()),
+		tracer:     tracerFor(cfg),
+		log:        loggerFor(cfg),
 	}
 	// Start from the identity hypothesis (all bits 0).
 	for i, pn := range spec.Neurons {
@@ -67,21 +78,69 @@ func New(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg Config
 // Breakdown exposes the per-procedure timing (Figure 3).
 func (a *Attack) Breakdown() *metrics.Breakdown { return a.bd }
 
-// trackProc runs f, accumulating its wall time and oracle queries under
-// proc.
-func (a *Attack) trackProc(proc metrics.Procedure, f func()) {
-	q0 := a.orc.Queries()
-	a.bd.Track(proc, f)
-	a.mu.Lock()
-	a.queriesByProc[proc] += a.orc.Queries() - q0
-	a.mu.Unlock()
+// tracerFor resolves the attack's tracer: the TraceParent's tracer first,
+// then the configured one, then the no-op default.
+func tracerFor(cfg Config) *obs.Tracer {
+	if cfg.TraceParent != nil {
+		return cfg.TraceParent.Tracer()
+	}
+	if cfg.Tracer != nil {
+		return cfg.Tracer
+	}
+	return obs.New()
 }
 
-// debugf writes a progress line to the configured debug writer.
-func (a *Attack) debugf(format string, args ...any) {
-	if a.cfg.Debug != nil {
-		fmt.Fprintf(a.cfg.Debug, format, args...)
+// loggerFor resolves the attack's logger: Logger, then the Debug writer at
+// debug level, then the DNNLOCK_LOG-controlled default.
+func loggerFor(cfg Config) *slog.Logger {
+	if cfg.Logger != nil {
+		return cfg.Logger
 	}
+	if cfg.Debug != nil {
+		return obs.NewLogger(cfg.Debug, slog.LevelDebug)
+	}
+	return obs.Default(os.Stderr)
+}
+
+// startRoot opens the attack's root span — the rollup anchor of a.bd, so
+// every proc-labelled phase span that ends under it populates the Figure 3
+// breakdown — parented to cfg.TraceParent when the harness provides one.
+func (a *Attack) startRoot(name string, attrs ...obs.Attr) *obs.Span {
+	var sp *obs.Span
+	if p := a.cfg.TraceParent; p != nil {
+		sp = p.Child(name, attrs...)
+	} else {
+		sp = a.tracer.Start(name, attrs...)
+	}
+	sp.SetBreakdown(a.bd)
+	a.root = sp
+	return sp
+}
+
+// trackProc runs one procedure phase of Algorithm 2 under a proc-labelled
+// child span of parent. The span times the phase and carries its oracle
+// usage (phases are sequential, so the counter delta is exact); when it
+// ends, both roll up into a.bd through the root anchor. While f runs the
+// span is the attack's current phase — the parent of detail spans and the
+// destination of degradation events raised on worker goroutines.
+func (a *Attack) trackProc(parent *obs.Span, proc metrics.Procedure, f func()) {
+	sp := parent.Child(string(proc), obs.Proc(proc))
+	q0 := a.orc.Queries()
+	a.phase = sp
+	f()
+	a.phase = nil
+	sp.AddQueries(a.orc.Queries() - q0)
+	sp.End()
+}
+
+// event records a point annotation on the current phase span (or the root
+// between phases). Safe from phase worker goroutines.
+func (a *Attack) event(name string, attrs ...obs.Attr) {
+	if sp := a.phase; sp != nil {
+		sp.Event(name, attrs...)
+		return
+	}
+	a.root.Event(name, attrs...)
 }
 
 // CurrentKey reads the key hypothesis currently written into the white box.
@@ -180,20 +239,28 @@ func (a *Attack) parallelForErr(n int, seedBase int64, fn func(i int, rng *rand.
 // cfg.QueryRetries times. A clean oracle never errors, so this path adds
 // nothing to the paper's reproduction; against a degraded one it returns the
 // terminal error (budget exhaustion, device fault) for the caller to
-// propagate out of Run.
-func (a *Attack) query(x []float64) ([]float64, error) {
-	return queryRetry(a.orc, x, a.cfg.QueryRetries)
+// propagate out of Run. sp, when non-nil, is the caller's detail span: it
+// counts every attempt and retry (it never receives the phase span itself —
+// phase query counts come from the oracle-counter delta in trackProc, and
+// double counting there would corrupt the Figure 3 rollup).
+func (a *Attack) query(sp *obs.Span, x []float64) ([]float64, error) {
+	return queryRetry(a.orc, x, a.cfg.QueryRetries, sp)
 }
 
 // queryBatch is query for a batch.
-func (a *Attack) queryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
-	return queryBatchRetry(a.orc, x, a.cfg.QueryRetries)
+func (a *Attack) queryBatch(sp *obs.Span, x *tensor.Matrix) (*tensor.Matrix, error) {
+	return queryBatchRetry(a.orc, x, a.cfg.QueryRetries, sp)
 }
 
-// queryRetry implements the bounded-retry policy on a bare Interface.
-func queryRetry(orc oracle.Interface, x []float64, retries int) ([]float64, error) {
+// queryRetry implements the bounded-retry policy on a bare Interface,
+// counting attempts and retries on the (nil-safe) span.
+func queryRetry(orc oracle.Interface, x []float64, retries int, sp *obs.Span) ([]float64, error) {
 	var err error
 	for t := 0; t <= retries; t++ {
+		if t > 0 {
+			sp.AddRetry()
+		}
+		sp.AddQueries(1)
 		var y []float64
 		y, err = orc.Query(x)
 		if err == nil {
@@ -207,9 +274,13 @@ func queryRetry(orc oracle.Interface, x []float64, retries int) ([]float64, erro
 }
 
 // queryBatchRetry is queryRetry for batches.
-func queryBatchRetry(orc oracle.Interface, x *tensor.Matrix, retries int) (*tensor.Matrix, error) {
+func queryBatchRetry(orc oracle.Interface, x *tensor.Matrix, retries int, sp *obs.Span) (*tensor.Matrix, error) {
 	var err error
 	for t := 0; t <= retries; t++ {
+		if t > 0 {
+			sp.AddRetry()
+		}
+		sp.AddQueries(int64(x.Rows))
 		var y *tensor.Matrix
 		y, err = orc.QueryBatch(x)
 		if err == nil {
@@ -230,7 +301,8 @@ func queryBatchRetry(orc oracle.Interface, x *tensor.Matrix, retries int) (*tens
 func (a *Attack) fallthroughBottom(err error) error {
 	if errors.Is(err, oracle.ErrTransient) {
 		a.degraded.Add(1)
-		a.debugf("transient oracle failure after %d retries: degrading to ⊥\n", a.cfg.QueryRetries)
+		a.event("degraded", obs.String("reason", "transient"))
+		a.log.Warn("transient oracle failure: degrading to ⊥", "retries", a.cfg.QueryRetries)
 		return nil
 	}
 	return err

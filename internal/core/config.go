@@ -8,11 +8,13 @@ package core
 
 import (
 	"io"
+	"log/slog"
 	"runtime"
 	"time"
 
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/metrics"
+	"dnnlock/internal/obs"
 )
 
 // Config tunes the attack. Zero values are replaced by the defaults below.
@@ -104,8 +106,25 @@ type Config struct {
 	// activation cache (nn.Slice). Results are identical either way — this
 	// exists for the ablation benchmark and the equivalence property tests.
 	DisableSlicing bool
-	// Debug, when non-nil, receives progress lines from the attack.
+	// Debug, when non-nil, receives debug-level progress lines from the
+	// attack. It is a convenience shorthand for Logger =
+	// obs.NewLogger(Debug, slog.LevelDebug); Logger wins when both are set.
 	Debug io.Writer
+
+	// Tracer records the attack as a tree of spans (see internal/obs). Nil
+	// selects the no-op default: phase spans are still timed — they are how
+	// Result.Breakdown is populated — but nothing is exported and no
+	// probe-level spans exist. Tracing never touches the attack's numerics
+	// or random streams, so traced and untraced runs are bit-identical.
+	Tracer *obs.Tracer
+	// TraceParent, when non-nil, parents the attack's root span (the
+	// harness uses it to group the attacks of one Table 1 cell). The span's
+	// tracer takes precedence over Tracer.
+	TraceParent *obs.Span
+	// Logger receives the attack's structured progress records. Nil selects
+	// obs.Default(os.Stderr): controlled by DNNLOCK_LOG, discarding when
+	// the variable is unset.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the configuration used by the experiments.

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"dnnlock/internal/obs"
 )
 
 // errorCorrection implements §3.8's heuristic repair: bits of the pending
@@ -60,6 +62,8 @@ func (a *Attack) errorCorrection(groupSites, groupBits []int, rng *rand.Rand) (b
 				bit := !a.applier.read(a.white, a.spec.Neurons[si], si)
 				a.setBit(si, bit, 1, OriginCorrection)
 			}
+			a.event("corrected", obs.Int("hamming", h), obs.Int("candidates", len(combos)))
+			a.log.Info("error correction committed", "hamming", h, "flipped", h)
 			return true, nil
 		}
 		for _, err := range errs {

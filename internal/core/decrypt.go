@@ -9,6 +9,7 @@ import (
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/metrics"
 	"dnnlock/internal/nn"
+	"dnnlock/internal/obs"
 	"dnnlock/internal/oracle"
 )
 
@@ -28,6 +29,10 @@ import (
 // ⊥ and falls through to the learning attack (counted in Result.Degraded);
 // terminal errors — oracle.ErrBudgetExhausted, hard device faults — abort
 // the run with a returned error.
+//
+// With cfg.Tracer (or cfg.TraceParent) set, the run is recorded as a span
+// tree — attack → site → procedure, with per-probe detail under each
+// procedure — whose rollup IS the returned Breakdown; see internal/obs.
 func Run(whiteBox *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg Config) (*Result, error) {
 	if spec.Scheme != hpnn.Negation {
 		return RunVariant(whiteBox, spec, orc, cfg)
@@ -36,137 +41,35 @@ func Run(whiteBox *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg Con
 	return a.run()
 }
 
+// sitePending carries the not-yet-validated bits across deferred sites
+// (mid residual block, §3.7).
+type sitePending struct {
+	bits  []int
+	sites []int
+}
+
 func (a *Attack) run() (*Result, error) {
 	//lint:ignore determinism telemetry timer for Result.Time; the value never feeds the numerics
 	start := time.Now()
 	startQ := a.orc.Queries()
+	root := a.startRoot("attack", obs.Int("bits", a.spec.NumBits()))
+	defer root.End() // idempotent: the success path ends it with annotations
 	rng := rand.New(rand.NewSource(a.cfg.Seed))
 	bySite := a.spec.SiteBits()
 
 	var reports []SiteReport
-	var pendingBits []int  // bits decided but not yet validated
-	var pendingSites []int // their flip sites
+	var pending sitePending
 	for _, site := range a.orderedSites() {
-		bits := bySite[site]
-		rep := SiteReport{Site: site, Bits: len(bits)}
-
-		// Phase 1: algebraic inference (Algorithm 1) on every bit, in
-		// parallel across neurons (§4.1).
-		inferred := make([]bitValue, len(bits))
-		if a.cfg.DisableAlgebraic {
-			for i := range inferred {
-				inferred[i] = bitBottom
-			}
-		} else {
-			var inferErr error
-			a.trackProc(metrics.ProcKeyBitInference, func() {
-				inferErr = a.parallelForErr(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) error {
-					var err error
-					inferred[i], err = a.keyBitInference(bits[i], wrng)
-					return err
-				})
-			})
-			if inferErr != nil {
-				return nil, fmt.Errorf("core: site %d key_bit_inference: %w", site, inferErr)
-			}
+		rep, err := a.runSite(site, bySite[site], &pending, rng)
+		if err != nil {
+			return nil, err
 		}
-		var unresolved []int
-		for i, v := range inferred {
-			switch v {
-			case bitZero, bitOne:
-				a.setBit(bits[i], v == bitOne, 1, OriginAlgebraic)
-				rep.Algebraic++
-			default:
-				unresolved = append(unresolved, bits[i])
-			}
-		}
-		a.debugf("site %d: %d bits, %d algebraic, %d unresolved\n", site, len(bits), rep.Algebraic, len(unresolved))
-
-		// Phase 2: learning attack on the ⊥ bits (§3.6).
-		if len(unresolved) > 0 {
-			var learnErr error
-			a.trackProc(metrics.ProcLearningAttack, func() {
-				_, learnErr = a.learningAttack(site, unresolved, rng)
-			})
-			if learnErr != nil {
-				return nil, fmt.Errorf("core: site %d learning_attack: %w", site, learnErr)
-			}
-			rep.Learned = len(unresolved)
-		}
-
-		pendingBits = append(pendingBits, bits...)
-		pendingSites = append(pendingSites, site)
-
-		// Phase 3: validate the pending group, correcting errors until it
-		// passes (Algorithm 2 lines 9–10). When the topology offers no
-		// admissible probe yet (mid residual block), defer to the next
-		// site and validate the block as one unit.
-		if _, mode := a.validationProbe(pendingSites); mode == modeDefer {
-			reports = append(reports, rep)
-			continue
-		}
-		learnQueries := a.cfg.LearnQueries
-		valid := false
-		for round := 0; round <= a.cfg.MaxCorrectionRounds; round++ {
-			var valErr error
-			a.trackProc(metrics.ProcKeyVectorValidation, func() {
-				rep.ValidationRuns++
-				valid, valErr = a.keyVectorValidation(a.white, pendingSites, rng)
-			})
-			if valErr != nil {
-				return nil, fmt.Errorf("core: site %d key_vector_validation: %w", site, valErr)
-			}
-			if valid {
-				break
-			}
-			fixed := false
-			var corrErr error
-			a.trackProc(metrics.ProcErrorCorrection, func() {
-				fixed, corrErr = a.errorCorrection(pendingSites, a.decidedBits(), rng)
-			})
-			if corrErr != nil {
-				return nil, fmt.Errorf("core: site %d error_correction: %w", site, corrErr)
-			}
-			if fixed {
-				// The committed candidate already passed validation inside
-				// errorCorrection.
-				rep.Corrected++
-				valid = true
-				break
-			}
-			// Correction exhausted its Hamming budget: re-run the learning
-			// attack with a doubled query budget on the least certain bits
-			// before trying again.
-			if round == a.cfg.MaxCorrectionRounds {
-				return nil, fmt.Errorf("core: site %d failed validation after %d correction rounds", site, round+1)
-			}
-			learnQueries *= 2
-			relearn := lowConfidenceBits(a, pendingBits)
-			if len(relearn) == 0 {
-				relearn = unresolved
-			}
-			if len(relearn) > 0 {
-				var relearnErr error
-				a.trackProc(metrics.ProcLearningAttack, func() {
-					saved := a.cfg.LearnQueries
-					a.cfg.LearnQueries = learnQueries
-					relearnErr = a.relearnBySite(relearn, rng)
-					a.cfg.LearnQueries = saved
-				})
-				if relearnErr != nil {
-					return nil, fmt.Errorf("core: site %d relearn: %w", site, relearnErr)
-				}
-			}
-		}
-		if !valid {
-			return nil, fmt.Errorf("core: site %d failed validation", site)
-		}
-		pendingBits = pendingBits[:0]
-		pendingSites = pendingSites[:0]
 		reports = append(reports, rep)
 	}
 
-	eq, eqErr := a.directCompare(a.white, rng)
+	fsp := root.Child("final_check")
+	eq, eqErr := a.directCompare(fsp, a.white, rng)
+	fsp.End(obs.Bool("equivalent", eq))
 	res := &Result{
 		Key:     a.CurrentKey(),
 		Origins: append([]BitOrigin(nil), a.origins...),
@@ -174,11 +77,13 @@ func (a *Attack) run() (*Result, error) {
 		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:          time.Since(start),
 		Breakdown:     a.bd,
-		QueriesByProc: a.queriesByProc,
+		QueriesByProc: a.bd.QueriesByProc(),
 		Sites:         reports,
 		Equivalent:    eq,
 		Degraded:      int(a.degraded.Load()),
 	}
+	root.End(obs.Int64("queries", res.Queries), obs.Int("degraded", res.Degraded),
+		obs.Bool("equivalent", res.Equivalent))
 	if eqErr != nil {
 		return res, fmt.Errorf("core: final equivalence check: %w", eqErr)
 	}
@@ -186,6 +91,135 @@ func (a *Attack) run() (*Result, error) {
 		return res, fmt.Errorf("core: recovered key is not functionally equivalent to the oracle")
 	}
 	return res, nil
+}
+
+// runSite attacks the protected bits of one flip site: algebraic inference,
+// learning fallback, then the validation / correction loop over the pending
+// group (Algorithm 2 lines 4–10). On error the site span is left unended —
+// the run aborts and the trace simply truncates.
+func (a *Attack) runSite(site int, bits []int, pending *sitePending, rng *rand.Rand) (SiteReport, error) {
+	rep := SiteReport{Site: site, Bits: len(bits)}
+	ssp := a.root.Child("site", obs.Int("site", site), obs.Int("bits", len(bits)))
+
+	// Phase 1: algebraic inference (Algorithm 1) on every bit, in
+	// parallel across neurons (§4.1).
+	inferred := make([]bitValue, len(bits))
+	if a.cfg.DisableAlgebraic {
+		for i := range inferred {
+			inferred[i] = bitBottom
+		}
+	} else {
+		var inferErr error
+		a.trackProc(ssp, metrics.ProcKeyBitInference, func() {
+			inferErr = a.parallelForErr(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) error {
+				var err error
+				inferred[i], err = a.keyBitInference(bits[i], wrng)
+				return err
+			})
+		})
+		if inferErr != nil {
+			return rep, fmt.Errorf("core: site %d key_bit_inference: %w", site, inferErr)
+		}
+	}
+	var unresolved []int
+	for i, v := range inferred {
+		switch v {
+		case bitZero, bitOne:
+			a.setBit(bits[i], v == bitOne, 1, OriginAlgebraic)
+			rep.Algebraic++
+		default:
+			unresolved = append(unresolved, bits[i])
+		}
+	}
+	a.log.Debug("site inferred", "site", site, "bits", len(bits),
+		"algebraic", rep.Algebraic, "unresolved", len(unresolved))
+
+	// Phase 2: learning attack on the ⊥ bits (§3.6).
+	if len(unresolved) > 0 {
+		var learnErr error
+		a.trackProc(ssp, metrics.ProcLearningAttack, func() {
+			_, learnErr = a.learningAttack(site, unresolved, rng)
+		})
+		if learnErr != nil {
+			return rep, fmt.Errorf("core: site %d learning_attack: %w", site, learnErr)
+		}
+		rep.Learned = len(unresolved)
+	}
+
+	pending.bits = append(pending.bits, bits...)
+	pending.sites = append(pending.sites, site)
+
+	// Phase 3: validate the pending group, correcting errors until it
+	// passes (Algorithm 2 lines 9–10). When the topology offers no
+	// admissible probe yet (mid residual block), defer to the next
+	// site and validate the block as one unit.
+	if _, mode := a.validationProbe(pending.sites); mode == modeDefer {
+		ssp.End(obs.Bool("deferred", true))
+		return rep, nil
+	}
+	learnQueries := a.cfg.LearnQueries
+	valid := false
+	for round := 0; round <= a.cfg.MaxCorrectionRounds; round++ {
+		var valErr error
+		a.trackProc(ssp, metrics.ProcKeyVectorValidation, func() {
+			rep.ValidationRuns++
+			valid, valErr = a.keyVectorValidation(a.white, pending.sites, rng)
+		})
+		if valErr != nil {
+			return rep, fmt.Errorf("core: site %d key_vector_validation: %w", site, valErr)
+		}
+		if valid {
+			break
+		}
+		fixed := false
+		var corrErr error
+		a.trackProc(ssp, metrics.ProcErrorCorrection, func() {
+			fixed, corrErr = a.errorCorrection(pending.sites, a.decidedBits(), rng)
+		})
+		if corrErr != nil {
+			return rep, fmt.Errorf("core: site %d error_correction: %w", site, corrErr)
+		}
+		if fixed {
+			// The committed candidate already passed validation inside
+			// errorCorrection.
+			rep.Corrected++
+			valid = true
+			break
+		}
+		// Correction exhausted its Hamming budget: re-run the learning
+		// attack with a doubled query budget on the least certain bits
+		// before trying again.
+		if round == a.cfg.MaxCorrectionRounds {
+			return rep, fmt.Errorf("core: site %d failed validation after %d correction rounds", site, round+1)
+		}
+		learnQueries *= 2
+		relearn := lowConfidenceBits(a, pending.bits)
+		if len(relearn) == 0 {
+			relearn = unresolved
+		}
+		if len(relearn) > 0 {
+			a.log.Info("validation failed: relearning", "site", site,
+				"round", round, "bits", len(relearn), "learn_queries", learnQueries)
+			var relearnErr error
+			a.trackProc(ssp, metrics.ProcLearningAttack, func() {
+				saved := a.cfg.LearnQueries
+				a.cfg.LearnQueries = learnQueries
+				relearnErr = a.relearnBySite(relearn, rng)
+				a.cfg.LearnQueries = saved
+			})
+			if relearnErr != nil {
+				return rep, fmt.Errorf("core: site %d relearn: %w", site, relearnErr)
+			}
+		}
+	}
+	if !valid {
+		return rep, fmt.Errorf("core: site %d failed validation", site)
+	}
+	pending.bits = pending.bits[:0]
+	pending.sites = pending.sites[:0]
+	ssp.End(obs.Int("algebraic", rep.Algebraic), obs.Int("learned", rep.Learned),
+		obs.Int("corrected", rep.Corrected))
+	return rep, nil
 }
 
 // lowConfidenceBits returns the bits whose confidence is below the

@@ -6,6 +6,7 @@ import (
 
 	"dnnlock/internal/geometry"
 	"dnnlock/internal/nn"
+	"dnnlock/internal/obs"
 	"dnnlock/internal/tensor"
 )
 
@@ -17,6 +18,18 @@ const (
 	bitZero   bitValue = 0
 	bitOne    bitValue = 1
 )
+
+// String names the outcome for trace annotations.
+func (b bitValue) String() string {
+	switch b {
+	case bitZero:
+		return "zero"
+	case bitOne:
+		return "one"
+	default:
+		return "bottom"
+	}
+}
 
 // keyBitInference implements Algorithm 1 for the protected neuron at spec
 // position bitIdx. It finds a critical point of the neuron, computes the
@@ -30,6 +43,13 @@ const (
 // run; transient failures that outlast the retry budget degrade to ⊥
 // instead.
 func (a *Attack) keyBitInference(bitIdx int, rng *rand.Rand) (bitValue, error) {
+	bsp := a.phase.ChildDetail("bit", obs.Int("bit", bitIdx))
+	bit, err := a.keyBitInferenceSpanned(bsp, bitIdx, rng)
+	bsp.End(obs.String("outcome", bit.String()))
+	return bit, err
+}
+
+func (a *Attack) keyBitInferenceSpanned(bsp *obs.Span, bitIdx int, rng *rand.Rand) (bitValue, error) {
 	pn := a.spec.Neurons[bitIdx]
 	// Static expansiveness: a site wider than the input space can never
 	// have full row rank, so Â is not onto and no basis pre-image exists
@@ -48,7 +68,7 @@ func (a *Attack) keyBitInference(bitIdx int, rng *rand.Rand) (bitValue, error) {
 			// region before giving up.
 			continue
 		}
-		bit, ok, err := a.probeBit(x0, v, pn.Site, pn.Index)
+		bit, ok, err := a.probeBit(bsp, x0, v, pn.Site, pn.Index)
 		if err != nil {
 			return bitBottom, a.fallthroughBottom(err)
 		}
@@ -108,7 +128,7 @@ func (a *Attack) preimage(x0 []float64, site, idx int) ([]float64, bool) {
 // an occurrence counter), so independent votes average the noise out. With
 // the default ProbeVotes=1 the loop degenerates to the paper's single-shot
 // probe, issuing the same three queries in the same order.
-func (a *Attack) probeBit(x0, v []float64, site, idx int) (bitValue, bool, error) {
+func (a *Attack) probeBit(sp *obs.Span, x0, v []float64, site, idx int) (bitValue, bool, error) {
 	eps := a.cfg.probeStep(a.cfg.Epsilon)
 	for shrink := 0; shrink < 4; shrink++ {
 		xp := tensor.VecClone(x0)
@@ -122,15 +142,15 @@ func (a *Attack) probeBit(x0, v []float64, site, idx int) (bitValue, bool, error
 		votes := a.cfg.ProbeVotes
 		var tally [3]int // bitZero, bitOne, ambiguous
 		for vi := 0; vi < votes; vi++ {
-			y0, err := a.query(x0)
+			y0, err := a.query(sp, x0)
 			if err != nil {
 				return bitBottom, false, err
 			}
-			yp, err := a.query(xp)
+			yp, err := a.query(sp, xp)
 			if err != nil {
 				return bitBottom, false, err
 			}
-			ym, err := a.query(xm)
+			ym, err := a.query(sp, xm)
 			if err != nil {
 				return bitBottom, false, err
 			}
@@ -162,7 +182,11 @@ func (a *Attack) probeBit(x0, v []float64, site, idx int) (bitValue, bool, error
 			// the degradation and let the learning attack take the bit.
 			if votes > 1 {
 				a.degraded.Add(1)
-				a.debugf("probe votes split %v at site %d idx %d: degrading to ⊥\n", tally, site, idx)
+				a.event("degraded", obs.String("reason", "vote_split"),
+					obs.Int("site", site), obs.Int("idx", idx))
+				a.log.Warn("probe votes split: degrading to ⊥",
+					"site", site, "idx", idx,
+					"zero", tally[0], "one", tally[1], "ambiguous", tally[2])
 			}
 			return bitBottom, false, nil
 		}

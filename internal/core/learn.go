@@ -11,6 +11,7 @@ import (
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/metrics"
 	"dnnlock/internal/nn"
+	"dnnlock/internal/obs"
 	"dnnlock/internal/oracle"
 	"dnnlock/internal/tensor"
 	"dnnlock/internal/train"
@@ -190,6 +191,8 @@ func fitSoft(net *nn.Network, sites []softSite, x, y *tensor.Matrix, cfg Config,
 // the undecided bits and must abort the run — the learning attack is the
 // last fallback, so there is nothing left to degrade to.
 func (a *Attack) learningAttack(site int, unresolved []int, rng *rand.Rand) (map[int]float64, error) {
+	lsp := a.phase.ChildDetail("fit", obs.Int("site", site), obs.Int("bits", len(unresolved)),
+		obs.Int("learn_queries", a.cfg.LearnQueries))
 	trainNet := a.white.CloneForKeys()
 	bySite := map[int][]int{site: unresolved}
 	for i, pn := range a.spec.Neurons {
@@ -200,12 +203,25 @@ func (a *Attack) learningAttack(site int, unresolved []int, rng *rand.Rand) (map
 	sites := soften(trainNet, &a.spec, bySite)
 
 	x := dataset.UniformInputs(a.cfg.LearnQueries, trainNet.InSize(), a.cfg.InputLim, rng)
-	y, err := a.queryBatch(x)
+	y, err := a.queryBatch(lsp, x)
 	if err != nil {
 		tensor.PutMatrix(x)
+		lsp.End(obs.String("outcome", "labelling_failed"))
 		return nil, err
 	}
-	fitSoft(trainNet, sites, x, y, a.cfg, rng, a.orc.Softmax(), nil)
+	// The epoch callback only observes the trajectory for the trace — it
+	// always returns true, so the fit runs exactly as it does untraced.
+	var epochCb func(int, float64) bool
+	var epochs int
+	var lastLoss float64
+	if lsp != nil {
+		epochCb = func(e int, loss float64) bool {
+			epochs, lastLoss = e+1, loss
+			return true
+		}
+	}
+	fitSoft(trainNet, sites, x, y, a.cfg, rng, a.orc.Softmax(), epochCb)
+	lsp.End(obs.Int("epochs", epochs), obs.Float("loss", lastLoss))
 	// The query set and its labels are per-invocation scratch: recycle them
 	// instead of leaking a fresh pair every site visit.
 	tensor.PutMatrix(x, y)
@@ -247,13 +263,27 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg
 	startQ := orc.Queries()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// The baseline is one long learning phase: a single proc-labelled span
+	// under a root anchor, so its trace rolls up into the Breakdown exactly
+	// like the decryption attack's phases do.
+	bd := metrics.NewBreakdown()
+	var root *obs.Span
+	if p := cfg.TraceParent; p != nil {
+		root = p.Child("monolithic", obs.Int("bits", spec.NumBits()))
+	} else {
+		root = tracerFor(cfg).Start("monolithic", obs.Int("bits", spec.NumBits()))
+	}
+	root.SetBreakdown(bd)
+	defer root.End()
+	ph := root.Child(string(metrics.ProcLearningAttack), obs.Proc(metrics.ProcLearningAttack))
+
 	net := white.CloneForKeys()
 	// All bits participate; group by site.
 	bySite := spec.SiteBits()
 	sites := soften(net, &spec, bySite)
 
 	x := dataset.UniformInputs(cfg.LearnQueries, net.InSize(), cfg.InputLim, rng)
-	y, err := queryBatchRetry(orc, x, cfg.QueryRetries)
+	y, err := queryBatchRetry(orc, x, cfg.QueryRetries, nil)
 	if err != nil {
 		tensor.PutMatrix(x)
 		return nil, fmt.Errorf("core: monolithic labelling failed: %w", err)
@@ -295,8 +325,11 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg
 		Queries: orc.Queries() - startQ,
 		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:      time.Since(start),
-		Breakdown: metrics.NewBreakdown(),
+		Breakdown: bd,
 	}
-	rep.Breakdown.Add(metrics.ProcLearningAttack, rep.Time)
+	ph.AddQueries(rep.Queries)
+	ph.End()
+	root.End(obs.Int("epochs", rep.Epochs), obs.Int64("queries", rep.Queries))
+	rep.QueriesByProc = bd.QueriesByProc()
 	return rep, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/nn"
+	"dnnlock/internal/obs"
 	"dnnlock/internal/tensor"
 )
 
@@ -98,7 +99,10 @@ func (a *Attack) keyVectorValidation(net *nn.Network, groupSites []int, rng *ran
 	reluSite, mode := a.validationProbe(groupSites)
 	switch mode {
 	case modeDirect:
-		return a.directCompare(net, rng)
+		dsp := a.phase.ChildDetail("direct_compare")
+		eq, err := a.directCompare(dsp, net, rng)
+		dsp.End(obs.Bool("equivalent", eq))
+		return eq, err
 	case modeDefer:
 		// Nothing to probe: treat as failure so the caller notices misuse.
 		return false, nil
@@ -132,7 +136,8 @@ func (a *Attack) keyVectorValidation(net *nn.Network, groupSites []int, rng *ran
 		return false, err
 	}
 	p := participants.Load()
-	a.debugf("validate sites=%v probe_relu=%d votes=%d/%d\n", groupSites, reluSite, votes.Load(), p)
+	a.log.Debug("validation vote", "probe_relu", reluSite,
+		"votes", votes.Load(), "participants", p)
 	if p < 3 {
 		// Too few observable hyperplanes to judge: suspicious, reject.
 		return false, nil
@@ -163,6 +168,13 @@ func (a *Attack) nextSiteWithUndecided() (int, bool) {
 // bit of the flip gating this ReLU moves the kink, so the vote accepts a
 // kink at either candidate location.
 func (a *Attack) hyperplaneVote(net *nn.Network, reluSite, j int, rng *rand.Rand) (detected, ok bool, err error) {
+	vsp := a.phase.ChildDetail("vote", obs.Int("relu", reluSite), obs.Int("neuron", j))
+	detected, ok, err = a.hyperplaneVoteSpanned(vsp, net, reluSite, j, rng)
+	vsp.End(obs.Bool("detected", detected), obs.Bool("participated", ok))
+	return detected, ok, err
+}
+
+func (a *Attack) hyperplaneVoteSpanned(vsp *obs.Span, net *nn.Network, reluSite, j int, rng *rand.Rand) (detected, ok bool, err error) {
 	candidates := []*nn.Network{net}
 	if a.ownHyperplaneMoves() {
 		if gate := a.directGatedFlip(reluSite); gate >= 0 {
@@ -182,7 +194,7 @@ func (a *Attack) hyperplaneVote(net *nn.Network, reluSite, j int, rng *rand.Rand
 		for try := 0; try < a.cfg.MaxCriticalTries; try++ {
 			x0, found := searchCriticalPointReLU(cand, reluSite, j, a.cfg, rng)
 			if !found {
-				a.debugf("vote r%d n%d: no critical point\n", reluSite, j)
+				a.log.Debug("no critical point for vote", "relu", reluSite, "neuron", j)
 				break
 			}
 			v := a.voteDirection(cand, x0, reluSite, j, rng)
@@ -199,11 +211,11 @@ func (a *Attack) hyperplaneVote(net *nn.Network, reluSite, j int, rng *rand.Rand
 			}
 			participated = true
 
-			kink, err := a.oracleSecondDifference(x0, v, d)
+			kink, err := a.oracleSecondDifference(vsp, x0, v, d)
 			if err != nil {
 				return false, false, err
 			}
-			background, err := a.oracleSecondDifference(ctrl, v, d)
+			background, err := a.oracleSecondDifference(vsp, ctrl, v, d)
 			if err != nil {
 				return false, false, err
 			}
@@ -294,14 +306,14 @@ func (a *Attack) voteDirection(net *nn.Network, x0 []float64, reluSite, j int, r
 // times and the median magnitude is used — the median is robust to a single
 // outlier draw, and with ProbeVotes=1 this is exactly one probe, issuing
 // the paper's three queries in order.
-func (a *Attack) oracleSecondDifference(x, v []float64, d float64) (float64, error) {
+func (a *Attack) oracleSecondDifference(sp *obs.Span, x, v []float64, d float64) (float64, error) {
 	votes := a.cfg.ProbeVotes
 	if votes <= 1 {
-		return a.secondDifferenceErr(x, v, d)
+		return a.secondDifferenceErr(sp, x, v, d)
 	}
 	vals := make([]float64, 0, votes)
 	for vi := 0; vi < votes; vi++ {
-		s, err := a.secondDifferenceErr(x, v, d)
+		s, err := a.secondDifferenceErr(sp, x, v, d)
 		if err != nil {
 			return 0, err
 		}
@@ -313,20 +325,20 @@ func (a *Attack) oracleSecondDifference(x, v []float64, d float64) (float64, err
 
 // secondDifferenceErr is one three-point second-difference probe on the
 // oracle with error propagation.
-func (a *Attack) secondDifferenceErr(x, v []float64, d float64) (float64, error) {
+func (a *Attack) secondDifferenceErr(sp *obs.Span, x, v []float64, d float64) (float64, error) {
 	xp := tensor.VecClone(x)
 	tensor.AXPY(d, v, xp)
 	xm := tensor.VecClone(x)
 	tensor.AXPY(-d, v, xm)
-	y0, err := a.query(x)
+	y0, err := a.query(sp, x)
 	if err != nil {
 		return 0, err
 	}
-	yp, err := a.query(xp)
+	yp, err := a.query(sp, xp)
 	if err != nil {
 		return 0, err
 	}
-	ym, err := a.query(xm)
+	ym, err := a.query(sp, xm)
 	if err != nil {
 		return 0, err
 	}
@@ -371,11 +383,11 @@ func secondDifferenceOf(f func([]float64) []float64, x, v []float64, d float64) 
 // the oracle's answer legitimately strays from the true function by that
 // much, and without the pad a perfectly recovered key would be rejected.
 // The pad is exactly zero for a clean oracle.
-func (a *Attack) directCompare(net *nn.Network, rng *rand.Rand) (bool, error) {
+func (a *Attack) directCompare(sp *obs.Span, net *nn.Network, rng *rand.Rand) (bool, error) {
 	p := net.InSize()
 	for i := 0; i < a.cfg.ValidationSamples; i++ {
 		x := randomPoint(p, a.cfg.InputLim, rng)
-		yo, err := a.query(x)
+		yo, err := a.query(sp, x)
 		if err != nil {
 			return false, err
 		}

@@ -166,7 +166,7 @@ func TestDirectCompareTolerance(t *testing.T) {
 		a.setBit(si, key[si], 1, OriginAlgebraic)
 	}
 	rng := rand.New(rand.NewSource(313))
-	ok, err := a.directCompare(a.white, rng)
+	ok, err := a.directCompare(nil, a.white, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestDirectCompareTolerance(t *testing.T) {
 		t.Fatal("direct compare rejected the exact network")
 	}
 	a.setBit(0, !key[0], 1, OriginAlgebraic)
-	ok, err = a.directCompare(a.white, rng)
+	ok, err = a.directCompare(nil, a.white, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/metrics"
 	"dnnlock/internal/nn"
+	"dnnlock/internal/obs"
 	"dnnlock/internal/oracle"
 	"dnnlock/internal/tensor"
 )
@@ -40,6 +41,9 @@ func (a *Attack) runVariant() (*Result, error) {
 	//lint:ignore determinism telemetry timer for Result.Time; the value never feeds the numerics
 	start := time.Now()
 	startQ := a.orc.Queries()
+	root := a.startRoot("attack_variant", obs.Int("bits", a.spec.NumBits()),
+		obs.Int("scheme", int(a.spec.Scheme)))
+	defer root.End() // idempotent: the success path ends it with annotations
 	rng := rand.New(rand.NewSource(a.cfg.Seed))
 	bySite := a.spec.SiteBits()
 
@@ -48,10 +52,11 @@ func (a *Attack) runVariant() (*Result, error) {
 	for _, site := range a.orderedSites() {
 		bits := bySite[site]
 		rep := SiteReport{Site: site, Bits: len(bits)}
+		ssp := root.Child("site", obs.Int("site", site), obs.Int("bits", len(bits)))
 
 		inferred := make([]bitValue, len(bits))
 		var inferErr error
-		a.trackProc(metrics.ProcKeyBitInference, func() {
+		a.trackProc(ssp, metrics.ProcKeyBitInference, func() {
 			inferErr = a.parallelForErr(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) error {
 				var err error
 				inferred[i], err = a.hypothesisTestBit(bits[i], wrng)
@@ -72,17 +77,20 @@ func (a *Attack) runVariant() (*Result, error) {
 				a.setBit(bits[i], false, 0, OriginUnknown)
 			}
 		}
+		a.log.Debug("variant site tested", "site", site, "bits", len(bits),
+			"decided", rep.Algebraic)
 
 		pendingBits = append(pendingBits, bits...)
 		pendingSites = append(pendingSites, site)
 		if _, mode := a.validationProbe(pendingSites); mode == modeDefer {
+			ssp.End(obs.Bool("deferred", true))
 			reports = append(reports, rep)
 			continue
 		}
 		valid := false
 		for round := 0; round <= a.cfg.MaxCorrectionRounds; round++ {
 			var valErr error
-			a.trackProc(metrics.ProcKeyVectorValidation, func() {
+			a.trackProc(ssp, metrics.ProcKeyVectorValidation, func() {
 				rep.ValidationRuns++
 				valid, valErr = a.keyVectorValidation(a.white, pendingSites, rng)
 			})
@@ -94,7 +102,7 @@ func (a *Attack) runVariant() (*Result, error) {
 			}
 			fixed := false
 			var corrErr error
-			a.trackProc(metrics.ProcErrorCorrection, func() {
+			a.trackProc(ssp, metrics.ProcErrorCorrection, func() {
 				fixed, corrErr = a.errorCorrection(pendingSites, a.decidedBits(), rng)
 			})
 			if corrErr != nil {
@@ -116,10 +124,13 @@ func (a *Attack) runVariant() (*Result, error) {
 		}
 		pendingBits = pendingBits[:0]
 		pendingSites = pendingSites[:0]
+		ssp.End(obs.Int("decided", rep.Algebraic), obs.Int("corrected", rep.Corrected))
 		reports = append(reports, rep)
 	}
 
-	eq, eqErr := a.directCompare(a.white, rng)
+	fsp := root.Child("final_check")
+	eq, eqErr := a.directCompare(fsp, a.white, rng)
+	fsp.End(obs.Bool("equivalent", eq))
 	res := &Result{
 		Key:     a.CurrentKey(),
 		Origins: append([]BitOrigin(nil), a.origins...),
@@ -127,11 +138,12 @@ func (a *Attack) runVariant() (*Result, error) {
 		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:          time.Since(start),
 		Breakdown:     a.bd,
-		QueriesByProc: a.queriesByProc,
+		QueriesByProc: a.bd.QueriesByProc(),
 		Sites:         reports,
 		Equivalent:    eq,
 		Degraded:      int(a.degraded.Load()),
 	}
+	root.End(obs.Int64("queries", res.Queries), obs.Bool("equivalent", res.Equivalent))
 	if eqErr != nil {
 		return res, fmt.Errorf("core: variant equivalence check: %w", eqErr)
 	}
@@ -147,23 +159,26 @@ func (a *Attack) runVariant() (*Result, error) {
 // a kink. Persistent transient oracle failures degrade the bit to ⊥ (the
 // validation/correction loop repairs it); terminal errors propagate.
 func (a *Attack) hypothesisTestBit(specIdx int, rng *rand.Rand) (bitValue, error) {
+	bsp := a.phase.ChildDetail("bit", obs.Int("bit", specIdx))
 	var bit bitValue
 	var err error
 	if a.ownHyperplaneMoves() {
-		bit, err = a.ownHyperplaneTest(specIdx, rng)
+		bit, err = a.ownHyperplaneTest(bsp, specIdx, rng)
 	} else {
-		bit, err = a.fanOutTest(specIdx, rng)
+		bit, err = a.fanOutTest(bsp, specIdx, rng)
 	}
 	if err != nil {
+		bsp.End(obs.String("outcome", "degraded"))
 		return bitBottom, a.fallthroughBottom(err)
 	}
+	bsp.End(obs.String("outcome", bit.String()))
 	return bit, nil
 }
 
 // ownHyperplaneTest handles bias-shift and weight-perturbation bits: the
 // two hypotheses predict two distinct hyperplanes for the protected neuron
 // itself.
-func (a *Attack) ownHyperplaneTest(specIdx int, rng *rand.Rand) (bitValue, error) {
+func (a *Attack) ownHyperplaneTest(bsp *obs.Span, specIdx int, rng *rand.Rand) (bitValue, error) {
 	pn := a.spec.Neurons[specIdx]
 	gate := a.gatingReLU(pn.Site)
 	if gate < 0 {
@@ -180,7 +195,7 @@ func (a *Attack) ownHyperplaneTest(specIdx int, rng *rand.Rand) (bitValue, error
 			}
 			found[b] = true
 			var err error
-			kink[b], err = a.kinkAt(cands[b], x0, gate, pn.Index, rng)
+			kink[b], err = a.kinkAt(bsp, cands[b], x0, gate, pn.Index, rng)
 			if err != nil {
 				return bitBottom, err
 			}
@@ -203,11 +218,11 @@ func (a *Attack) ownHyperplaneTest(specIdx int, rng *rand.Rand) (bitValue, error
 // fanOutTest handles scaling bits: it probes neurons of the next lockable
 // layer inside the protected neuron's fan-out cone, at witnesses where the
 // protected neuron is active (so the hypotheses actually disagree).
-func (a *Attack) fanOutTest(specIdx int, rng *rand.Rand) (bitValue, error) {
+func (a *Attack) fanOutTest(bsp *obs.Span, specIdx int, rng *rand.Rand) (bitValue, error) {
 	pn := a.spec.Neurons[specIdx]
 	next := pn.Site + 1
 	if next >= a.white.NumFlipSites() {
-		return a.lastLayerSlopeTest(specIdx, rng)
+		return a.lastLayerSlopeTest(bsp, specIdx, rng)
 	}
 	gate := a.gatingReLU(next)
 	if gate < 0 {
@@ -229,7 +244,7 @@ func (a *Attack) fanOutTest(specIdx int, rng *rand.Rand) (bitValue, error) {
 			}
 			found[b] = true
 			var err error
-			kinkV[b], err = a.kinkAt(cands[b], x0, gate, k, rng)
+			kinkV[b], err = a.kinkAt(bsp, cands[b], x0, gate, k, rng)
 			if err != nil {
 				return bitBottom, err
 			}
@@ -258,7 +273,7 @@ func (a *Attack) fanOutTest(specIdx int, rng *rand.Rand) (bitValue, error) {
 // a critical point of the neuron, moving along the pre-image direction
 // changes only this neuron, and since no unknown keys remain downstream,
 // each hypothesis predicts the oracle's response exactly.
-func (a *Attack) lastLayerSlopeTest(specIdx int, rng *rand.Rand) (bitValue, error) {
+func (a *Attack) lastLayerSlopeTest(bsp *obs.Span, specIdx int, rng *rand.Rand) (bitValue, error) {
 	pn := a.spec.Neurons[specIdx]
 	cands := a.hypothesisPair(specIdx)
 	for try := 0; try < a.cfg.MaxCriticalTries; try++ {
@@ -273,11 +288,11 @@ func (a *Attack) lastLayerSlopeTest(specIdx int, rng *rand.Rand) (bitValue, erro
 		eps := a.cfg.probeStep(a.cfg.Epsilon)
 		xp := tensor.VecClone(x0)
 		tensor.AXPY(eps, v, xp)
-		yp, qerr := a.query(xp)
+		yp, qerr := a.query(bsp, xp)
 		if qerr != nil {
 			return bitBottom, qerr
 		}
-		y0, qerr := a.query(x0)
+		y0, qerr := a.query(bsp, x0)
 		if qerr != nil {
 			return bitBottom, qerr
 		}
@@ -385,16 +400,16 @@ func (a *Attack) othersMuted(net *nn.Network, x0 []float64, up hpnn.ProtectedNeu
 
 // kinkAt runs the control-calibrated second-difference test of §3.7 at a
 // witness x° of ReLU input (reluSite, idx) on net.
-func (a *Attack) kinkAt(net *nn.Network, x0 []float64, reluSite, idx int, rng *rand.Rand) (bool, error) {
+func (a *Attack) kinkAt(sp *obs.Span, net *nn.Network, x0 []float64, reluSite, idx int, rng *rand.Rand) (bool, error) {
 	v := a.voteDirection(net, x0, reluSite, idx, rng)
 	d := a.cfg.probeStep(a.cfg.ValidationDelta)
-	kink, err := a.oracleSecondDifference(x0, v, d)
+	kink, err := a.oracleSecondDifference(sp, x0, v, d)
 	if err != nil {
 		return false, err
 	}
 	ctrl := tensor.VecClone(x0)
 	tensor.AXPY(3*d, v, ctrl)
-	background, err := a.oracleSecondDifference(ctrl, v, d)
+	background, err := a.oracleSecondDifference(sp, ctrl, v, d)
 	if err != nil {
 		return false, err
 	}

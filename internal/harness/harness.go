@@ -18,6 +18,7 @@ import (
 	"dnnlock/internal/metrics"
 	"dnnlock/internal/models"
 	"dnnlock/internal/nn"
+	"dnnlock/internal/obs"
 	"dnnlock/internal/oracle"
 	"dnnlock/internal/train"
 )
@@ -209,11 +210,19 @@ func (p *pipeline) baselineAccuracy(rng *rand.Rand) float64 {
 	return sum / float64(p.sc.BaselineKeys)
 }
 
-// runCell executes both attacks for one Table 1 cell.
+// runCell executes both attacks for one Table 1 cell. When the scale's
+// AttackCfg carries a Tracer, the cell opens a span that parents both
+// attack roots, so a full sweep exports as one trace with a `cell` span
+// per (model, keyBits) and the two attack subtrees beneath it.
 func (p *pipeline) runCell(w io.Writer) Table1Row {
 	row := Table1Row{
 		Model:   p.model,
 		KeyBits: p.bits,
+	}
+	var cell *obs.Span
+	if tr := p.sc.AttackCfg.Tracer; tr != nil {
+		cell = tr.Start("cell", obs.String("model", p.model), obs.Int("bits", p.bits))
+		defer cell.End()
 	}
 	rng := rand.New(rand.NewSource(p.sc.Seed + 99))
 	row.OriginalAccuracy = p.accuracyUnderKey(p.key)
@@ -224,6 +233,7 @@ func (p *pipeline) runCell(w io.Writer) Table1Row {
 	monoCfg.LearnQueries = p.sc.MonoQueries
 	monoCfg.LearnEpochs = p.sc.MonoEpochs
 	monoCfg.Seed = p.sc.Seed + 1
+	monoCfg.TraceParent = cell
 	monoOrc := oracle.New(p.lm, p.key)
 	monoStart := time.Now()
 	mono, monoErr := core.Monolithic(p.lm.WhiteBox(), p.lm.Spec, monoOrc, monoCfg, nil)
@@ -243,6 +253,7 @@ func (p *pipeline) runCell(w io.Writer) Table1Row {
 	// The DNN decryption attack (Algorithm 2).
 	decCfg := p.sc.AttackCfg
 	decCfg.Seed = p.sc.Seed + 2
+	decCfg.TraceParent = cell
 	decOrc := oracle.New(p.lm, p.key)
 	decStart := time.Now()
 	res, err := core.Run(p.lm.WhiteBox(), p.lm.Spec, decOrc, decCfg)
@@ -260,6 +271,8 @@ func (p *pipeline) runCell(w io.Writer) Table1Row {
 	}
 	row.Breakdown = res.Breakdown
 	row.QueriesByProc = res.QueriesByProc
+	cell.Annotate(obs.Float("dec_fidelity", row.Decryption.Fidelity),
+		obs.Int64("dec_queries", row.Decryption.Queries))
 	if w != nil {
 		fmt.Fprintf(w, "%s\n", FormatRow(row))
 	}

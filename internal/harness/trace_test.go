@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"dnnlock/internal/obs"
+)
+
+// TestRunTable1Traced runs one Table-1 cell with a sink-backed tracer and
+// checks the exported trace: a `cell` span parents both attack roots, the
+// per-procedure rollup of the decryption subtree matches the summary its
+// breakdown anchor carries, and the total query attribution agrees with
+// the row's reported query counts.
+func TestRunTable1Traced(t *testing.T) {
+	sc := TinyScale()
+	sc.KeySizes = map[string][]int{"mlp": {6}}
+	var sink bytes.Buffer
+	tr := obs.New(obs.WithSink(&sink))
+	sc.AttackCfg.Tracer = tr
+	rows, err := RunTable1(sc, []string{"mlp"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := obs.ReadTrace(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	if err := trace.Check(0.5); err != nil {
+		t.Fatalf("trace self-check: %v", err)
+	}
+
+	var cell, attack, mono int
+	byID := map[uint64]obs.SpanRecord{}
+	for _, s := range trace.Spans {
+		byID[s.ID] = s
+	}
+	var cellID uint64
+	for _, s := range trace.Spans {
+		switch s.Name {
+		case "cell":
+			cell++
+			cellID = s.ID
+		case "attack":
+			attack++
+		case "monolithic":
+			mono++
+		}
+	}
+	if cell != 1 || attack != 1 || mono != 1 {
+		t.Fatalf("span census cell=%d attack=%d monolithic=%d, want 1 each", cell, attack, mono)
+	}
+	for _, s := range trace.Spans {
+		if s.Name == "attack" || s.Name == "monolithic" {
+			if s.Parent != cellID {
+				t.Fatalf("%s span parented to %d, not the cell span %d", s.Name, s.Parent, cellID)
+			}
+		}
+	}
+
+	// Query attribution. The per-procedure rollup of the decryption
+	// subtree must agree exactly with the row's QueriesByProc (the trace
+	// and the breakdown are the same measurement), and stay within the
+	// row's oracle total — the final equivalence check's queries are
+	// deliberately unattributed, so the rollup may undershoot the total
+	// but never exceed it.
+	r := rows[0]
+	for _, s := range trace.Spans {
+		if s.Name != "attack" && s.Name != "monolithic" {
+			continue
+		}
+		rolled := int64(0)
+		_, queries := trace.RollupFromSpans(s.ID)
+		for _, q := range queries {
+			rolled += q
+		}
+		total := r.Decryption.Queries
+		if s.Name == "monolithic" {
+			total = r.Monolithic.Queries
+		}
+		if rolled <= 0 || rolled > total {
+			t.Fatalf("%s rollup counted %d queries, row total is %d", s.Name, rolled, total)
+		}
+		if s.Name == "attack" {
+			var byProc int64
+			for _, q := range r.QueriesByProc {
+				byProc += q
+			}
+			if rolled != byProc {
+				t.Fatalf("attack rollup %d != QueriesByProc sum %d", rolled, byProc)
+			}
+		}
+	}
+}

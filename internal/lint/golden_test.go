@@ -20,6 +20,7 @@ func TestPoolPairGolden(t *testing.T)    { runGolden(t, PoolPair, "poolpair") }
 func TestDeterminismGolden(t *testing.T) { runGolden(t, Determinism, "determinism") }
 func TestFloatCmpGolden(t *testing.T)    { runGolden(t, FloatCmp, "floatcmp") }
 func TestNakedGoGolden(t *testing.T)     { runGolden(t, NakedGo, "nakedgo") }
+func TestPkgDocGolden(t *testing.T)      { runGolden(t, PkgDoc, "pkgdoc") }
 
 type wantMarker struct {
 	file string

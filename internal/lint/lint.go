@@ -1,8 +1,9 @@
 // Package lint machine-enforces the repository's hand-written runtime
 // invariants: pooled workspaces must be released (poolpair), the kernel
-// packages must stay bit-reproducible (determinism, floatcmp), and all
+// packages must stay bit-reproducible (determinism, floatcmp), all
 // parallelism must route through the tensor worker pool so DNNLOCK_PROCS
-// stays authoritative (nakedgo). See DESIGN.md §10 for the invariant each
+// stays authoritative (nakedgo), and every internal package must carry a
+// godoc package comment (pkgdoc). See DESIGN.md §10 for the invariant each
 // analyzer encodes and why Algorithm 2's hyperplane matching depends on it.
 //
 // The suite is pure standard library (go/ast, go/parser, go/types,
@@ -33,7 +34,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in report order.
-var All = []*Analyzer{PoolPair, Determinism, FloatCmp, NakedGo}
+var All = []*Analyzer{PoolPair, Determinism, FloatCmp, NakedGo, PkgDoc}
 
 // ByName resolves a comma-separated analyzer list against All.
 func ByName(names string) ([]*Analyzer, error) {

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// PkgDoc enforces the documentation contract of the observability/docs
+// pass: every package under internal/ must carry a godoc package comment,
+// and that comment must open with the canonical "Package <name> " form so
+// `go doc` renders a sensible synopsis. Test files and external test
+// packages are exempt; command packages (cmd/...) are left to their own
+// "Command ..." convention.
+//
+// A missing comment is reported once per package, anchored at the package
+// clause of its lexically first non-test file, so the finding lands
+// somewhere stable and suppressible.
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "every internal/ package needs a package comment starting with \"Package <name>\"",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(p *Pass) {
+	path := p.Unit.Path
+	if !strings.HasPrefix(path, "dnnlock/internal/") || strings.HasSuffix(path, "_test") {
+		return
+	}
+	type clause struct {
+		file *ast.File
+		name string
+	}
+	var clauses []clause
+	documented := false
+	for _, f := range p.Unit.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if isTestFilename(name) {
+			continue
+		}
+		clauses = append(clauses, clause{file: f, name: name})
+		if f.Doc == nil {
+			continue
+		}
+		documented = true
+		want := "Package " + f.Name.Name + " "
+		if !strings.HasPrefix(f.Doc.Text(), want) {
+			p.Report(f.Name.Pos(), "package comment should start with %q", want)
+		}
+	}
+	if documented || len(clauses) == 0 {
+		return
+	}
+	sort.Slice(clauses, func(i, j int) bool { return clauses[i].name < clauses[j].name })
+	p.Report(clauses[0].file.Name.Pos(),
+		"package %s has no package comment; document what the package contributes (see DESIGN.md §12)",
+		clauses[0].file.Name.Name)
+}

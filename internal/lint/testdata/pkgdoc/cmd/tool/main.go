@@ -1,0 +1,5 @@
+// Command packages are outside pkgdoc's scope even without the canonical
+// "Package ..." opening.
+package main
+
+func main() {}

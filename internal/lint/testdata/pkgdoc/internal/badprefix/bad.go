@@ -1,0 +1,4 @@
+// Frobs the widgets without naming the package first.
+package badprefix // want "package comment should start with \"Package badprefix \""
+
+const Placeholder = 1

@@ -1,0 +1,6 @@
+// Package documented is the pkgdoc golden fixture for a correctly
+// documented package: present, and opening with the canonical form.
+package documented
+
+// Placeholder keeps the package non-empty.
+const Placeholder = 1

@@ -1,0 +1,3 @@
+// Package multi shows that one documented file covers the whole package:
+// the undocumented sibling below draws no finding.
+package multi

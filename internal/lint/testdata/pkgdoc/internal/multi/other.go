@@ -1,0 +1,4 @@
+package multi
+
+// Placeholder keeps the second file non-trivial.
+const Placeholder = 2

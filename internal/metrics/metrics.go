@@ -31,15 +31,22 @@ var AllProcedures = []Procedure{
 	ProcErrorCorrection,
 }
 
-// Breakdown accumulates wall time per procedure. Safe for concurrent use.
+// Breakdown accumulates wall time and oracle queries per procedure. Safe
+// for concurrent use: every reader goes through one lock acquisition
+// (Snapshot), so shares and totals stay mutually consistent while other
+// goroutines — including a tracer rolling up spans — keep accumulating.
 type Breakdown struct {
-	mu    sync.Mutex
-	times map[Procedure]time.Duration
+	mu      sync.Mutex
+	times   map[Procedure]time.Duration
+	queries map[Procedure]int64
 }
 
 // NewBreakdown returns an empty breakdown.
 func NewBreakdown() *Breakdown {
-	return &Breakdown{times: make(map[Procedure]time.Duration)}
+	return &Breakdown{
+		times:   make(map[Procedure]time.Duration),
+		queries: make(map[Procedure]int64),
+	}
 }
 
 // Add accumulates d under proc.
@@ -47,6 +54,32 @@ func (b *Breakdown) Add(proc Procedure, d time.Duration) {
 	b.mu.Lock()
 	b.times[proc] += d
 	b.mu.Unlock()
+}
+
+// AddQueries accumulates n oracle queries under proc, the query-complexity
+// companion to Add.
+func (b *Breakdown) AddQueries(proc Procedure, n int64) {
+	b.mu.Lock()
+	b.queries[proc] += n
+	b.mu.Unlock()
+}
+
+// Queries returns the oracle queries accumulated under proc.
+func (b *Breakdown) Queries(proc Procedure) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queries[proc]
+}
+
+// QueriesByProc returns a copy of the per-procedure query counts.
+func (b *Breakdown) QueriesByProc() map[Procedure]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[Procedure]int64, len(b.queries))
+	for p, n := range b.queries {
+		out[p] = n
+	}
+	return out
 }
 
 // Track runs f and accumulates its wall time under proc.
@@ -74,19 +107,72 @@ func (b *Breakdown) Total() time.Duration {
 	return t
 }
 
-// snapshot copies the accumulated times and their sum under one lock
-// acquisition. Shares derived from a snapshot stay mutually consistent even
-// while other goroutines keep accumulating.
-func (b *Breakdown) snapshot() (map[Procedure]time.Duration, time.Duration) {
+// Snapshot is a self-consistent copy of a breakdown: times, query counts,
+// and their totals all observed under one lock acquisition.
+type Snapshot struct {
+	Times   map[Procedure]time.Duration
+	Queries map[Procedure]int64
+	Total   time.Duration
+	TotalQ  int64
+}
+
+// Snapshot copies the accumulated times and query counts under one lock
+// acquisition. Every rendering path (String, Percentages, the trace
+// summary) derives from a Snapshot, so concurrent Add/AddQueries calls —
+// e.g. a tracer rolling spans up while the harness prints a progress line —
+// can never produce a torn view (shares above 100, queries without times).
+func (b *Breakdown) Snapshot() Snapshot {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	times := make(map[Procedure]time.Duration, len(b.times))
-	var total time.Duration
-	for p, d := range b.times {
-		times[p] = d
-		total += d
+	s := Snapshot{
+		Times:   make(map[Procedure]time.Duration, len(b.times)),
+		Queries: make(map[Procedure]int64, len(b.queries)),
 	}
-	return times, total
+	for p, d := range b.times {
+		s.Times[p] = d
+		s.Total += d
+	}
+	for p, n := range b.queries {
+		s.Queries[p] = n
+		s.TotalQ += n
+	}
+	return s
+}
+
+// Procedures lists the snapshot's procedures in deterministic render order:
+// the Figure 3 procedures first, then any nonstandard ones sorted by name.
+func (s Snapshot) Procedures() []Procedure {
+	out := append([]Procedure(nil), AllProcedures...)
+	var extra []string
+	for p := range s.Times {
+		if !isStandard(p) {
+			extra = append(extra, string(p))
+		}
+	}
+	for p := range s.Queries {
+		if !isStandard(p) {
+			if _, dup := s.Times[Procedure(p)]; !dup {
+				extra = append(extra, string(p))
+			}
+		}
+	}
+	sort.Strings(extra)
+	for _, p := range extra {
+		out = append(out, Procedure(p))
+	}
+	return out
+}
+
+// Percent returns proc's share of the snapshot's total in [0, 100].
+func (s Snapshot) Percent(proc Procedure) float64 {
+	return share(s.Times[proc], s.Total)
+}
+
+// snapshot is the historical internal accessor, kept for the read paths
+// that only need times.
+func (b *Breakdown) snapshot() (map[Procedure]time.Duration, time.Duration) {
+	s := b.Snapshot()
+	return s.Times, s.Total
 }
 
 func share(d, total time.Duration) float64 {
@@ -128,26 +214,15 @@ func isStandard(p Procedure) bool {
 
 // String renders a one-line summary: the Figure 3 procedures in
 // presentation order, then any nonstandard procedures sorted by name, each
-// with its share and accumulated duration.
+// with its share and accumulated duration. All values come from a single
+// Snapshot, so the line is internally consistent even while other
+// goroutines keep accumulating.
 func (b *Breakdown) String() string {
-	times, total := b.snapshot()
+	s := b.Snapshot()
 	var parts []string
-	render := func(p Procedure) string {
-		d := times[p]
-		return fmt.Sprintf("%s %.1f%% (%s)", p, share(d, total), d.Round(time.Millisecond))
-	}
-	for _, p := range AllProcedures {
-		parts = append(parts, render(p))
-	}
-	var extra []string
-	for p := range times {
-		if !isStandard(p) {
-			extra = append(extra, string(p))
-		}
-	}
-	sort.Strings(extra)
-	for _, p := range extra {
-		parts = append(parts, render(Procedure(p)))
+	for _, p := range s.Procedures() {
+		d := s.Times[p]
+		parts = append(parts, fmt.Sprintf("%s %.1f%% (%s)", p, s.Percent(p), d.Round(time.Millisecond)))
 	}
 	return strings.Join(parts, ", ")
 }

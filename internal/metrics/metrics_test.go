@@ -89,6 +89,88 @@ func TestPercentagesIncludeExtras(t *testing.T) {
 	}
 }
 
+func TestBreakdownQueries(t *testing.T) {
+	b := NewBreakdown()
+	b.AddQueries(ProcKeyBitInference, 40)
+	b.AddQueries(ProcKeyBitInference, 2)
+	b.AddQueries(ProcLearningAttack, 100)
+	if b.Queries(ProcKeyBitInference) != 42 {
+		t.Fatalf("Queries = %d", b.Queries(ProcKeyBitInference))
+	}
+	q := b.QueriesByProc()
+	if q[ProcLearningAttack] != 100 || len(q) != 2 {
+		t.Fatalf("QueriesByProc = %v", q)
+	}
+	s := b.Snapshot()
+	if s.TotalQ != 142 {
+		t.Fatalf("TotalQ = %d", s.TotalQ)
+	}
+}
+
+// TestSnapshotProceduresDeterministic pins the render order: the four
+// Figure 3 procedures first, then extras sorted by name — including extras
+// that only accumulated queries, never time.
+func TestSnapshotProceduresDeterministic(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(Procedure("zeta"), time.Millisecond)
+	b.Add(Procedure("alpha"), time.Millisecond)
+	b.AddQueries(Procedure("mid"), 7)
+	b.Add(ProcErrorCorrection, time.Millisecond)
+	got := b.Snapshot().Procedures()
+	want := append(append([]Procedure{}, AllProcedures...), "alpha", "mid", "zeta")
+	if len(got) != len(want) {
+		t.Fatalf("Procedures = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Procedures[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStringConsistentUnderConcurrentAdds hammers String and Snapshot while
+// writers accumulate times and queries — the harness-progress-print race
+// the single-lock snapshot closes. Run under -race this also checks the
+// memory model, not just the arithmetic.
+func TestStringConsistentUnderConcurrentAdds(t *testing.T) {
+	b := NewBreakdown()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			proc := AllProcedures[i%len(AllProcedures)]
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					b.Add(proc, time.Microsecond)
+					b.AddQueries(proc, 3)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 500; i++ {
+		if s := b.String(); !strings.Contains(s, "key_bit_inference") {
+			t.Errorf("String = %q", s)
+			break
+		}
+		snap := b.Snapshot()
+		var sum time.Duration
+		for _, d := range snap.Times {
+			sum += d
+		}
+		if sum != snap.Total {
+			t.Errorf("snapshot torn: times sum %v, total %v", sum, snap.Total)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
 // TestPercentConsistentUnderConcurrentAdds pins the single-snapshot fix: a
 // share read while other goroutines accumulate must never exceed 100, and a
 // Percentages map must always sum to 100 (or be all zero). The old

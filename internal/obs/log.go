@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Structured logging for the attack path. The repo's progress output used
+// to be ad-hoc fmt.Fprintf lines scattered through core, harness, and
+// cmd/dnnlock; they now route through log/slog with a compact single-line
+// handler, controlled by the DNNLOCK_LOG environment variable or the CLI's
+// -v flag. The default is off: a discarding logger, so library code can log
+// unconditionally.
+
+// LevelFromEnv reads DNNLOCK_LOG (debug, info, warn, error; empty or "off"
+// disables logging) and reports the level and whether logging is enabled.
+func LevelFromEnv() (slog.Level, bool) {
+	switch strings.ToLower(strings.TrimSpace(os.Getenv("DNNLOCK_LOG"))) {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn", "warning":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	default:
+		return slog.LevelInfo, false
+	}
+}
+
+// Default returns the process-default logger: DNNLOCK_LOG-controlled,
+// writing to w (typically os.Stderr), discarding when the variable is
+// unset.
+func Default(w io.Writer) *slog.Logger {
+	if level, on := LevelFromEnv(); on {
+		return NewLogger(w, level)
+	}
+	return Discard()
+}
+
+// NewLogger returns a slog.Logger with the compact handler at the given
+// level.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(&compactHandler{w: w, level: level, mu: &sync.Mutex{}})
+}
+
+// Discard returns a logger that drops everything (the library default, so
+// call sites need no nil checks).
+func Discard() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// compactHandler renders one short line per record:
+//
+//	12:04:05.123 INFO  site decided site=3 algebraic=12 learned=4
+//
+// It is deliberately smaller than slog.TextHandler: no key quoting beyond
+// what ambiguity requires, fixed-width level, wall-clock time only (span
+// timings belong to the tracer, not the log).
+type compactHandler struct {
+	w      io.Writer
+	level  slog.Level
+	mu     *sync.Mutex
+	prefix string // pre-rendered WithAttrs/WithGroup context
+	groups string
+}
+
+func (h *compactHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level
+}
+
+func (h *compactHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString(r.Time.Format("15:04:05.000"))
+	b.WriteByte(' ')
+	lv := r.Level.String()
+	b.WriteString(lv)
+	for i := len(lv); i < 5; i++ {
+		b.WriteByte(' ')
+	}
+	b.WriteByte(' ')
+	b.WriteString(r.Message)
+	b.WriteString(h.prefix)
+	r.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, h.groups, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func (h *compactHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	var b strings.Builder
+	b.WriteString(h.prefix)
+	for _, a := range attrs {
+		appendAttr(&b, h.groups, a)
+	}
+	h2 := *h
+	h2.prefix = b.String()
+	return &h2
+}
+
+func (h *compactHandler) WithGroup(name string) slog.Handler {
+	h2 := *h
+	if name != "" {
+		h2.groups = h.groups + name + "."
+	}
+	return &h2
+}
+
+func appendAttr(b *strings.Builder, groups string, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		g := groups
+		if a.Key != "" {
+			g += a.Key + "."
+		}
+		for _, ga := range v.Group() {
+			appendAttr(b, g, ga)
+		}
+		return
+	}
+	b.WriteByte(' ')
+	b.WriteString(groups)
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	switch v.Kind() {
+	case slog.KindString:
+		s := v.String()
+		if strings.ContainsAny(s, " \t\"=") {
+			b.WriteString(fmt.Sprintf("%q", s))
+		} else {
+			b.WriteString(s)
+		}
+	case slog.KindDuration:
+		b.WriteString(v.Duration().Round(time.Microsecond).String())
+	default:
+		b.WriteString(v.String())
+	}
+}

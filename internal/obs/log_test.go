@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLevelFromEnv(t *testing.T) {
+	cases := []struct {
+		env   string
+		level slog.Level
+		on    bool
+	}{
+		{"", slog.LevelInfo, false},
+		{"off", slog.LevelInfo, false},
+		{"nonsense", slog.LevelInfo, false},
+		{"debug", slog.LevelDebug, true},
+		{"INFO", slog.LevelInfo, true},
+		{" warn ", slog.LevelWarn, true},
+		{"warning", slog.LevelWarn, true},
+		{"error", slog.LevelError, true},
+	}
+	for _, c := range cases {
+		t.Setenv("DNNLOCK_LOG", c.env)
+		level, on := LevelFromEnv()
+		if level != c.level || on != c.on {
+			t.Errorf("DNNLOCK_LOG=%q: got (%v,%v), want (%v,%v)", c.env, level, on, c.level, c.on)
+		}
+	}
+}
+
+func TestDefaultRespectsEnv(t *testing.T) {
+	var buf bytes.Buffer
+	t.Setenv("DNNLOCK_LOG", "")
+	Default(&buf).Info("hidden")
+	if buf.Len() != 0 {
+		t.Fatalf("disabled logger wrote %q", buf.String())
+	}
+	t.Setenv("DNNLOCK_LOG", "info")
+	Default(&buf).Info("visible")
+	if !strings.Contains(buf.String(), "visible") {
+		t.Fatalf("enabled logger wrote %q", buf.String())
+	}
+}
+
+func TestCompactHandlerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelDebug)
+	log.Info("site decided", "site", 3, "frac", 0.25, "note", "two words")
+	line := strings.TrimRight(buf.String(), "\n")
+	for _, want := range []string{"INFO", "site decided", "site=3", "frac=0.25", `note="two words"`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Fatalf("expected one line, got %q", buf.String())
+	}
+
+	buf.Reset()
+	log.Debug("fine")
+	log.Warn("coarse")
+	if !strings.Contains(buf.String(), "DEBUG") || !strings.Contains(buf.String(), "WARN") {
+		t.Fatalf("level rendering wrong: %q", buf.String())
+	}
+
+	buf.Reset()
+	NewLogger(&buf, slog.LevelWarn).Info("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("below-level record written: %q", buf.String())
+	}
+}
+
+func TestCompactHandlerWithAttrsAndGroup(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo).With("model", "mlp").WithGroup("cell")
+	log.Info("row", "bits", 64)
+	line := buf.String()
+	if !strings.Contains(line, "model=mlp") {
+		t.Fatalf("WithAttrs context lost: %q", line)
+	}
+	if !strings.Contains(line, "cell.bits=64") {
+		t.Fatalf("group prefix missing: %q", line)
+	}
+}
+
+func TestDiscardLoggerIsSilent(t *testing.T) {
+	log := Discard()
+	if log.Enabled(nil, slog.LevelError) {
+		t.Fatal("discard logger claims to be enabled")
+	}
+	log.Error("nothing happens")
+	log.With("k", "v").WithGroup("g").Info("still nothing")
+}

@@ -1,0 +1,287 @@
+// Package obs is the observability layer of the decryption attack: nested
+// span tracing, structured logging, and profiling hooks, all pure standard
+// library.
+//
+// A Tracer records a tree of timed spans (attack → cell → site → procedure
+// → probe) with monotonic timings, per-span oracle-query and retry
+// counters, and point events (degradations, retries, correction attempts).
+// Completed spans stream to an optional JSONL sink; spans that carry a
+// procedure label additionally roll up into a metrics.Breakdown, so the
+// paper's Figure 3 is a projection of the trace rather than a separate set
+// of hand-placed counters.
+//
+// The zero-cost contract: a Tracer constructed without a sink (obs.New())
+// is the no-op default. It still maintains the handful of procedure-level
+// spans the Breakdown rollup needs — the same bookkeeping the attack always
+// did — but allocates nothing per probe: fine-grained spans are gated on
+// Detailed(), which is true only when a sink is attached. Tracing never
+// touches the attack's numerics or its random streams, so the traced and
+// untraced runs are bit-identical (pinned by TestTracedRunBitIdentical in
+// internal/core).
+//
+// All Span methods are nil-safe: a nil *Span (from a nil Tracer, or from a
+// Detailed() gate that declined) accepts every call as a no-op, so call
+// sites carry no conditionals.
+package obs
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnnlock/internal/metrics"
+)
+
+// Tracer produces spans and serializes completed ones to the sink. Safe for
+// concurrent use: spans may start and end on any goroutine.
+type Tracer struct {
+	mu     sync.Mutex // guards sink writes and err
+	sink   io.Writer  // nil = no export (the no-op default)
+	err    error      // first sink write error, surfaced by Close
+	start  time.Time  // monotonic anchor; all record times are offsets
+	nextID atomic.Uint64
+}
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithSink streams completed spans to w as JSONL, one record per span plus
+// one summary record per breakdown-carrying span. Attaching a sink also
+// turns on Detailed(), enabling probe-level spans.
+func WithSink(w io.Writer) Option {
+	return func(t *Tracer) { t.sink = w }
+}
+
+// New returns a Tracer. With no options it is the no-op default: spans are
+// timed and rolled up into any attached Breakdown, but nothing is exported
+// and Detailed() is false.
+func New(opts ...Option) *Tracer {
+	t := &Tracer{start: time.Now()}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Detailed reports whether fine-grained (per-probe, per-vote) spans should
+// be created. True only when a sink is attached; the clean path keeps its
+// overhead budget by declining them.
+func (t *Tracer) Detailed() bool {
+	return t != nil && t.sink != nil
+}
+
+// Start opens a root span. A nil Tracer returns a nil (no-op) span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(nil, name, attrs)
+}
+
+// Close flushes nothing (writes are unbuffered by the tracer; wrap the sink
+// in a bufio.Writer and flush it yourself if needed) but surfaces the first
+// sink write error encountered. Nil-safe.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tracer) newSpan(parent *Span, name string, attrs []Attr) *Span {
+	s := &Span{
+		tr:     t,
+		parent: parent,
+		id:     t.nextID.Add(1),
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+	for _, a := range attrs {
+		if a.Key == procKey {
+			if p, ok := a.Val.(string); ok {
+				s.proc = metrics.Procedure(p)
+			}
+		}
+	}
+	return s
+}
+
+// Span is one timed node of the trace tree. Counters are atomic, so a span
+// may be shared across the goroutines of one parallel phase; Child and End
+// may likewise be called from any goroutine.
+type Span struct {
+	tr     *Tracer
+	parent *Span
+	id     uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	proc   metrics.Procedure  // non-empty: End rolls duration+queries into bd
+	bd     *metrics.Breakdown // rollup target for proc-labelled descendants
+
+	queries atomic.Int64
+	retries atomic.Int64
+
+	mu     sync.Mutex
+	events []Event
+	late   []Attr
+	ended  bool
+}
+
+// Event is a point annotation inside a span (a retry, a degradation, a
+// correction attempt).
+type Event struct {
+	Name  string
+	At    time.Duration // offset from the tracer's start
+	Attrs []Attr
+}
+
+// Child opens a sub-span. Nil-safe: a nil receiver returns nil.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(s, name, attrs)
+}
+
+// ChildDetail is Child gated on the tracer's Detailed() flag: it returns a
+// real span only when a sink is attached, and nil — a free no-op — on the
+// clean path. Probe- and vote-level spans use this so the default tracer
+// stays within its overhead budget.
+func (s *Span) ChildDetail(name string, attrs ...Attr) *Span {
+	if s == nil || !s.tr.Detailed() {
+		return nil
+	}
+	return s.tr.newSpan(s, name, attrs)
+}
+
+// Tracer returns the span's tracer (nil for a nil span).
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// SetBreakdown makes s the rollup anchor: when a descendant span labelled
+// with Proc(p) ends, its duration and query count are added to bd under p.
+// Ending s then emits a summary record (the Breakdown's snapshot) to the
+// sink, which `dnnlock trace -check` verifies against the span rollup.
+func (s *Span) SetBreakdown(bd *metrics.Breakdown) {
+	if s == nil {
+		return
+	}
+	s.bd = bd
+}
+
+// AddQueries adds n to the span's oracle-query counter. Nil-safe, atomic.
+func (s *Span) AddQueries(n int64) {
+	if s == nil {
+		return
+	}
+	s.queries.Add(n)
+}
+
+// AddRetry counts one transient-failure retry. Nil-safe, atomic.
+func (s *Span) AddRetry() {
+	if s == nil {
+		return
+	}
+	s.retries.Add(1)
+}
+
+// Queries returns the span's query counter (0 for nil).
+func (s *Span) Queries() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.queries.Load()
+}
+
+// Event records a point annotation. Nil-safe.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	ev := Event{Name: name, At: time.Since(s.tr.start), Attrs: attrs}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Annotate attaches attributes after span creation (an outcome, a final
+// loss). Nil-safe.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.late = append(s.late, attrs...)
+	s.mu.Unlock()
+}
+
+// End closes the span: it stamps the duration, rolls a procedure-labelled
+// span up into the nearest ancestor Breakdown, and exports the record (plus
+// a summary record if s anchors a Breakdown) to the sink. End is idempotent
+// and nil-safe.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.late = append(s.late, attrs...)
+	// Snapshot the mutable slices under the lock: export runs after release,
+	// and a (misused) concurrent Event must not race the sink writer.
+	events, late := s.events, s.late
+	s.mu.Unlock()
+
+	if s.proc != "" {
+		for p := s.parent; p != nil; p = p.parent {
+			if p.bd != nil {
+				p.bd.Add(s.proc, dur)
+				p.bd.AddQueries(s.proc, s.queries.Load())
+				break
+			}
+		}
+	}
+	s.tr.export(s, dur, events, late)
+}
+
+const procKey = "proc"
+
+// Attr is one key/value annotation. Values are restricted to JSON-friendly
+// scalars by the constructors below.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// String makes a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Val: v} }
+
+// Int makes an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Val: int64(v)} }
+
+// Int64 makes an integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Val: v} }
+
+// Float makes a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Val: v} }
+
+// Bool makes a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Val: v} }
+
+// Proc labels a span as one of the Figure 3 procedures; when the span ends,
+// its duration and query count roll up into the nearest ancestor span's
+// Breakdown under this procedure.
+func Proc(p metrics.Procedure) Attr { return Attr{Key: procKey, Val: string(p)} }

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dnnlock/internal/metrics"
+)
+
+// TestNilSafety drives every Tracer and Span method through nil receivers:
+// the no-op contract call sites rely on to stay conditional-free.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Detailed() {
+		t.Fatal("nil tracer reports Detailed")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("nil tracer Close: %v", err)
+	}
+	sp := tr.Start("root")
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	// Every span method must accept the nil receiver.
+	sp.AddQueries(3)
+	sp.AddRetry()
+	sp.Event("ev", Int("k", 1))
+	sp.Annotate(String("k", "v"))
+	sp.SetBreakdown(metrics.NewBreakdown())
+	sp.AnnotateRuntime(RuntimeStats{})
+	sp.End()
+	if q := sp.Queries(); q != 0 {
+		t.Fatalf("nil span queries = %d", q)
+	}
+	if c := sp.Child("x"); c != nil {
+		t.Fatal("nil span Child returned non-nil")
+	}
+	if c := sp.ChildDetail("x"); c != nil {
+		t.Fatal("nil span ChildDetail returned non-nil")
+	}
+	if sp.Tracer() != nil {
+		t.Fatal("nil span Tracer returned non-nil")
+	}
+}
+
+// TestNoSinkRollup checks the no-op default still performs the Breakdown
+// rollup: proc-labelled spans add their duration and queries to the nearest
+// ancestor anchor even with nothing exported.
+func TestNoSinkRollup(t *testing.T) {
+	tr := New()
+	if tr.Detailed() {
+		t.Fatal("sinkless tracer reports Detailed")
+	}
+	bd := metrics.NewBreakdown()
+	root := tr.Start("attack")
+	root.SetBreakdown(bd)
+
+	site := root.Child("site", Int("site", 0))
+	ph := site.Child("infer", Proc(metrics.ProcKeyBitInference))
+	ph.AddQueries(6)
+	time.Sleep(time.Millisecond)
+	ph.End()
+	site.End()
+	root.End()
+
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if bd.Queries(metrics.ProcKeyBitInference) != 6 {
+		t.Fatalf("rollup queries = %d, want 6", bd.Queries(metrics.ProcKeyBitInference))
+	}
+	if bd.Total() <= 0 {
+		t.Fatal("rollup recorded no time")
+	}
+	// ChildDetail must decline without a sink.
+	if sp := tr.Start("x").ChildDetail("probe"); sp != nil {
+		t.Fatal("ChildDetail returned a span without a sink")
+	}
+}
+
+// TestEndIdempotent pins that a double End neither double-counts the rollup
+// nor exports a second record.
+func TestEndIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(WithSink(&buf))
+	bd := metrics.NewBreakdown()
+	root := tr.Start("attack")
+	root.SetBreakdown(bd)
+	ph := root.Child("infer", Proc(metrics.ProcKeyBitInference))
+	ph.AddQueries(2)
+	ph.End()
+	ph.End()
+	root.End()
+	if got := bd.Queries(metrics.ProcKeyBitInference); got != 2 {
+		t.Fatalf("double End double-counted: queries = %d, want 2", got)
+	}
+	trace, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Spans) != 2 {
+		t.Fatalf("got %d span records, want 2", len(trace.Spans))
+	}
+}
+
+// TestJSONLRoundTrip writes a small trace and reads it back through
+// ReadTrace, verifying span fields, the parent links, events, late
+// attributes, and the summary record — the `dnnlock trace` input format.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(WithSink(&buf))
+	if !tr.Detailed() {
+		t.Fatal("sinked tracer not Detailed")
+	}
+	bd := metrics.NewBreakdown()
+	root := tr.Start("attack", String("model", "mlp"))
+	root.SetBreakdown(bd)
+	ph := root.Child("infer", Proc(metrics.ProcKeyBitInference), Int("site", 4))
+	probe := ph.ChildDetail("probe", Int("bit", 7))
+	if probe == nil {
+		t.Fatal("ChildDetail declined with a sink attached")
+	}
+	probe.AddQueries(3)
+	probe.AddRetry()
+	probe.Event("degraded", String("reason", "transient"))
+	probe.End(Bool("decided", true))
+	ph.AddQueries(probe.Queries())
+	ph.End()
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	trace, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(trace.Spans))
+	}
+	if len(trace.Summaries) != 1 {
+		t.Fatalf("got %d summaries, want 1", len(trace.Summaries))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range trace.Spans {
+		byName[s.Name] = s
+	}
+	pr, ok := byName["probe"]
+	if !ok {
+		t.Fatal("probe span missing")
+	}
+	if pr.Queries != 3 || pr.Retries != 1 {
+		t.Fatalf("probe queries/retries = %d/%d, want 3/1", pr.Queries, pr.Retries)
+	}
+	if pr.Parent != byName["infer"].ID {
+		t.Fatal("probe not parented to infer")
+	}
+	if byName["infer"].Parent != byName["attack"].ID {
+		t.Fatal("infer not parented to attack")
+	}
+	if pr.Attrs["bit"] != float64(7) { // JSON numbers decode as float64
+		t.Fatalf("probe bit attr = %v", pr.Attrs["bit"])
+	}
+	if pr.Attrs["decided"] != true {
+		t.Fatalf("late attr lost: %v", pr.Attrs)
+	}
+	if len(pr.Events) != 1 || pr.Events[0].Name != "degraded" {
+		t.Fatalf("probe events = %+v", pr.Events)
+	}
+	if pr.Proc != "" {
+		t.Fatalf("probe has proc label %q; detail spans must not roll up", pr.Proc)
+	}
+	inf := byName["infer"]
+	if inf.Proc != string(metrics.ProcKeyBitInference) {
+		t.Fatalf("infer proc = %q", inf.Proc)
+	}
+	if _, ok := inf.Attrs["proc"]; ok {
+		t.Fatal("proc leaked into the attrs map")
+	}
+	sum := trace.Summaries[0]
+	if sum.Span != byName["attack"].ID {
+		t.Fatal("summary not tied to the anchoring span")
+	}
+	if sum.Queries[string(metrics.ProcKeyBitInference)] != 3 {
+		t.Fatalf("summary queries = %v", sum.Queries)
+	}
+	if sum.TimesNS[string(metrics.ProcKeyBitInference)] != inf.DurNS {
+		t.Fatalf("summary time %d != span dur %d",
+			sum.TimesNS[string(metrics.ProcKeyBitInference)], inf.DurNS)
+	}
+}
+
+// TestConcurrentSpans hammers one tracer from many goroutines — parallel
+// QueryBatch workers each opening detail spans, adding counters, and ending
+// them — and checks the totals and the exported record count. Run under
+// -race this is the tracer's concurrency test.
+func TestConcurrentSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(WithSink(&buf))
+	bd := metrics.NewBreakdown()
+	root := tr.Start("attack")
+	root.SetBreakdown(bd)
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//lint:ignore nakedgo test-local goroutines joined by the WaitGroup below
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ph := root.Child(fmt.Sprintf("batch-%d", w), Proc(metrics.ProcLearningAttack))
+				sp := ph.ChildDetail("probe", Int("i", i))
+				sp.AddQueries(2)
+				sp.Event("tick")
+				sp.End()
+				ph.AddQueries(2)
+				root.AddQueries(2)
+				ph.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wantQ := int64(workers * perWorker * 2)
+	if got := bd.Queries(metrics.ProcLearningAttack); got != wantQ {
+		t.Fatalf("rollup queries = %d, want %d", got, wantQ)
+	}
+	if got := root.Queries(); got != wantQ {
+		t.Fatalf("root queries = %d, want %d", got, wantQ)
+	}
+	trace, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSpans := 1 + 2*workers*perWorker
+	if len(trace.Spans) != wantSpans {
+		t.Fatalf("got %d span records, want %d", len(trace.Spans), wantSpans)
+	}
+	ids := map[uint64]bool{}
+	for _, s := range trace.Spans {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		ids[s.ID] = true
+	}
+}
+
+// TestReadTraceErrors pins the reader's tolerance: unknown record types are
+// skipped, malformed JSON is an error with the line number.
+func TestReadTraceErrors(t *testing.T) {
+	in := `{"type":"span","id":1,"name":"a","start_ns":0,"dur_ns":5}
+{"type":"future-record","payload":1}
+
+{"type":"summary","span":1,"name":"a","times_ns":{},"queries":{},"total_ns":5}`
+	trace, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Spans) != 1 || len(trace.Summaries) != 1 {
+		t.Fatalf("spans=%d summaries=%d", len(trace.Spans), len(trace.Summaries))
+	}
+	if _, err := ReadTrace(strings.NewReader("{not json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+}
+
+// TestSinkErrorSurfaced checks the first write error is kept and returned
+// by Close instead of being silently dropped.
+func TestSinkErrorSurfaced(t *testing.T) {
+	tr := New(WithSink(failWriter{}))
+	sp := tr.Start("x")
+	sp.End()
+	if err := tr.Close(); err == nil {
+		t.Fatal("sink write error lost")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+	"time"
+)
+
+// Profiling hooks: an opt-in pprof endpoint (dnnlock table1 -pprof :6060)
+// and cheap runtime/metrics snapshots that spans attach as attributes, so a
+// trace records not just where the time went but what the allocator and
+// scheduler were doing while it did.
+
+// StartProfiler serves the net/http/pprof handlers on addr (e.g. ":6060")
+// in a background goroutine and returns a stop function. The mux is
+// private, so importing this package never mutates http.DefaultServeMux.
+func StartProfiler(addr string) (stop func() error, err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	//lint:ignore nakedgo background HTTP server, not attack parallelism; lifetime bounded by the returned stop function
+	go func() { _ = srv.Serve(ln) }()
+	return srv.Close, nil
+}
+
+// RuntimeStats is one runtime/metrics snapshot of the counters the attack
+// cares about: allocation pressure (the pooled kernels exist to keep
+// CumAllocBytes flat), GC activity, and scheduler width.
+type RuntimeStats struct {
+	CumAllocBytes uint64 // /gc/heap/allocs:bytes — cumulative, diff two snapshots
+	HeapBytes     uint64 // /memory/classes/heap/objects:bytes — live objects now
+	GCCycles      uint64 // /gc/cycles/total:gc-cycles — cumulative
+	Goroutines    uint64 // /sched/goroutines:goroutines — now
+}
+
+var runtimeSamples = []metrics.Sample{
+	{Name: "/gc/heap/allocs:bytes"},
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/gc/cycles/total:gc-cycles"},
+	{Name: "/sched/goroutines:goroutines"},
+}
+
+// ReadRuntimeStats samples the runtime. Cheap enough for span boundaries
+// (no stop-the-world, unlike runtime.ReadMemStats).
+func ReadRuntimeStats() RuntimeStats {
+	s := make([]metrics.Sample, len(runtimeSamples))
+	copy(s, runtimeSamples)
+	metrics.Read(s)
+	u := func(i int) uint64 {
+		if s[i].Value.Kind() == metrics.KindUint64 {
+			return s[i].Value.Uint64()
+		}
+		return 0
+	}
+	return RuntimeStats{
+		CumAllocBytes: u(0),
+		HeapBytes:     u(1),
+		GCCycles:      u(2),
+		Goroutines:    u(3),
+	}
+}
+
+// AnnotateRuntime attaches the allocation and GC deltas since `before` (and
+// the instantaneous goroutine count) to the span. Call it just before End
+// with a snapshot taken at span start. Nil-safe via Annotate.
+func (s *Span) AnnotateRuntime(before RuntimeStats) {
+	if s == nil {
+		return
+	}
+	now := ReadRuntimeStats()
+	s.Annotate(
+		Int64("alloc_bytes", int64(now.CumAllocBytes-before.CumAllocBytes)),
+		Int64("gc_cycles", int64(now.GCCycles-before.GCCycles)),
+		Int64("heap_bytes", int64(now.HeapBytes)),
+		Int64("goroutines", int64(now.Goroutines)),
+	)
+}

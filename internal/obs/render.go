@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"dnnlock/internal/metrics"
+)
+
+// Rendering and verification of parsed traces, shared by `dnnlock trace`
+// and the tests. A trace may hold several rollup anchors (one per Table 1
+// cell); every view is computed per anchor.
+
+// Anchor pairs a summary record with its span.
+type Anchor struct {
+	Span    SpanRecord
+	Summary SummaryRecord
+}
+
+// Anchors returns the trace's rollup anchors (summary-emitting spans) in
+// file order. A summary whose span record is missing (truncated file) is
+// skipped.
+func (t *Trace) Anchors() []Anchor {
+	byID := make(map[uint64]SpanRecord, len(t.Spans))
+	for _, s := range t.Spans {
+		byID[s.ID] = s
+	}
+	var out []Anchor
+	for _, sum := range t.Summaries {
+		if sp, ok := byID[sum.Span]; ok {
+			out = append(out, Anchor{Span: sp, Summary: sum})
+		}
+	}
+	return out
+}
+
+// children indexes the span tree.
+func (t *Trace) children() map[uint64][]SpanRecord {
+	out := make(map[uint64][]SpanRecord, len(t.Spans))
+	for _, s := range t.Spans {
+		out[s.Parent] = append(out[s.Parent], s)
+	}
+	for _, kids := range out {
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].StartNS != kids[j].StartNS {
+				return kids[i].StartNS < kids[j].StartNS
+			}
+			return kids[i].ID < kids[j].ID
+		})
+	}
+	return out
+}
+
+// subtree lists root and every descendant.
+func (t *Trace) subtree(root uint64, kids map[uint64][]SpanRecord) []SpanRecord {
+	byID := make(map[uint64]SpanRecord, len(t.Spans))
+	for _, s := range t.Spans {
+		byID[s.ID] = s
+	}
+	var out []SpanRecord
+	stack := []uint64{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s, ok := byID[id]; ok {
+			out = append(out, s)
+		}
+		for _, c := range kids[id] {
+			stack = append(stack, c.ID)
+		}
+	}
+	return out
+}
+
+// RollupFromSpans recomputes the per-procedure durations and query counts
+// from the proc-labelled spans under root — the projection the summary
+// record claims to be. Integer sums of the same values the live rollup
+// added, so agreement is exact, not approximate.
+func (t *Trace) RollupFromSpans(root uint64) (times map[string]int64, queries map[string]int64) {
+	times = map[string]int64{}
+	queries = map[string]int64{}
+	kids := t.children()
+	for _, s := range t.subtree(root, kids) {
+		if s.Proc == "" || s.ID == root {
+			continue
+		}
+		times[s.Proc] += s.DurNS
+		queries[s.Proc] += s.Queries
+	}
+	return times, queries
+}
+
+// Check verifies a trace's internal consistency for every anchor:
+//
+//  1. the summary's per-procedure times and query counts equal the rollup
+//     recomputed from the spans, exactly;
+//  2. the procedure times sum to no more than the anchor span's duration
+//     (procedures are disjoint sequential phases), and
+//  3. to no less than minCover of it (the breakdown explains the wall time
+//     up to setup/teardown).
+//
+// This is the `dnnlock trace -check` smoke in scripts/check.sh.
+func (t *Trace) Check(minCover float64) error {
+	anchors := t.Anchors()
+	if len(anchors) == 0 {
+		return fmt.Errorf("trace holds no rollup anchors (no summary records)")
+	}
+	for _, a := range anchors {
+		times, queries := t.RollupFromSpans(a.Span.ID)
+		for proc, ns := range a.Summary.TimesNS {
+			if times[proc] != ns {
+				return fmt.Errorf("anchor %d (%s): summary says %s took %v, span rollup says %v",
+					a.Span.ID, a.Span.Name, proc, time.Duration(ns), time.Duration(times[proc]))
+			}
+		}
+		for proc, ns := range times {
+			if a.Summary.TimesNS[proc] != ns {
+				return fmt.Errorf("anchor %d (%s): span rollup has %s (%v) missing from the summary",
+					a.Span.ID, a.Span.Name, proc, time.Duration(ns))
+			}
+		}
+		for proc, n := range a.Summary.Queries {
+			if queries[proc] != n {
+				return fmt.Errorf("anchor %d (%s): summary says %s used %d queries, span rollup says %d",
+					a.Span.ID, a.Span.Name, proc, n, queries[proc])
+			}
+		}
+		var sum int64
+		for _, ns := range times {
+			sum += ns
+		}
+		// 1% slack for clock granularity on very short runs.
+		if float64(sum) > 1.01*float64(a.Span.DurNS) {
+			return fmt.Errorf("anchor %d (%s): procedures sum to %v, more than the span's %v",
+				a.Span.ID, a.Span.Name, time.Duration(sum), time.Duration(a.Span.DurNS))
+		}
+		if float64(sum) < minCover*float64(a.Span.DurNS) {
+			return fmt.Errorf("anchor %d (%s): procedures cover only %v of %v (< %.0f%%)",
+				a.Span.ID, a.Span.Name, time.Duration(sum), time.Duration(a.Span.DurNS), 100*minCover)
+		}
+	}
+	return nil
+}
+
+// BreakdownTable renders each anchor's summary as the Figure 3 table: one
+// row per procedure with its share, duration, and query count.
+func (t *Trace) BreakdownTable(w io.Writer) {
+	for _, a := range t.Anchors() {
+		fmt.Fprintf(w, "%s (span %d, %s", a.Span.Name, a.Span.ID, time.Duration(a.Span.DurNS).Round(time.Microsecond))
+		if attrs := formatAttrs(a.Span.Attrs); attrs != "" {
+			fmt.Fprintf(w, ", %s", attrs)
+		}
+		fmt.Fprintln(w, ")")
+		var total int64
+		for _, ns := range a.Summary.TimesNS {
+			total += ns
+		}
+		for _, proc := range procOrder(a.Summary) {
+			ns := a.Summary.TimesNS[proc]
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(ns) / float64(total)
+			}
+			fmt.Fprintf(w, "  %-22s %6.1f%%  %12v  %9d queries\n",
+				proc, pct, time.Duration(ns).Round(time.Microsecond), a.Summary.Queries[proc])
+		}
+	}
+}
+
+// procOrder lists a summary's procedures Figure-3 first, extras sorted.
+func procOrder(s SummaryRecord) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range metrics.AllProcedures {
+		if _, ok := s.TimesNS[string(p)]; ok {
+			out = append(out, string(p))
+			seen[string(p)] = true
+			continue
+		}
+		if _, ok := s.Queries[string(p)]; ok {
+			out = append(out, string(p))
+			seen[string(p)] = true
+		}
+	}
+	var extra []string
+	for p := range s.TimesNS {
+		if !seen[p] {
+			extra = append(extra, p)
+			seen[p] = true
+		}
+	}
+	for p := range s.Queries {
+		if !seen[p] {
+			extra = append(extra, p)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// Flame renders the span tree as an indented, aggregated text summary: at
+// each level, sibling spans with the same name merge into one line with
+// their count, total duration, share of the parent, and query total. The
+// per-layer view of where an attack's time went.
+func (t *Trace) Flame(w io.Writer, maxDepth int) {
+	kids := t.children()
+	for _, root := range kids[0] {
+		t.flameNode(w, []SpanRecord{root}, root.DurNS, 0, maxDepth, kids)
+	}
+}
+
+type flameGroup struct {
+	name    string
+	count   int
+	durNS   int64
+	queries int64
+	members []SpanRecord
+}
+
+func (t *Trace) flameNode(w io.Writer, group []SpanRecord, parentNS int64, depth, maxDepth int, kids map[uint64][]SpanRecord) {
+	var g flameGroup
+	g.name = group[0].Name
+	for _, s := range group {
+		g.count++
+		g.durNS += s.DurNS
+		g.queries += s.Queries
+	}
+	indent := strings.Repeat("  ", depth)
+	pct := 100.0
+	if parentNS > 0 {
+		pct = 100 * float64(g.durNS) / float64(parentNS)
+	}
+	line := fmt.Sprintf("%s%s", indent, g.name)
+	if g.count > 1 {
+		line += fmt.Sprintf(" ×%d", g.count)
+	}
+	fmt.Fprintf(w, "%-42s %6.1f%%  %12v", line, pct, time.Duration(g.durNS).Round(time.Microsecond))
+	if g.queries > 0 {
+		fmt.Fprintf(w, "  %9d queries", g.queries)
+	}
+	if g.count == 1 {
+		if attrs := formatAttrs(group[0].Attrs); attrs != "" {
+			fmt.Fprintf(w, "  [%s]", attrs)
+		}
+	}
+	fmt.Fprintln(w)
+	if depth+1 >= maxDepth {
+		return
+	}
+	// Group the merged members' children by name, preserving first-start
+	// order among groups.
+	var order []string
+	byName := map[string][]SpanRecord{}
+	for _, s := range group {
+		for _, c := range kids[s.ID] {
+			if _, ok := byName[c.Name]; !ok {
+				order = append(order, c.Name)
+			}
+			byName[c.Name] = append(byName[c.Name], c)
+		}
+	}
+	for _, name := range order {
+		t.flameNode(w, byName[name], g.durNS, depth+1, maxDepth, kids)
+	}
+}
+
+// formatAttrs renders a record's attributes deterministically (sorted keys).
+func formatAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, attrs[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dnnlock/internal/metrics"
+)
+
+// buildTrace runs a miniature two-site attack shape through a real tracer
+// and parses the result: the shared fixture for the renderer and Check.
+func buildTrace(t *testing.T) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := New(WithSink(&buf))
+	bd := metrics.NewBreakdown()
+	root := tr.Start("attack", String("model", "mlp"))
+	root.SetBreakdown(bd)
+	for site := 0; site < 2; site++ {
+		sp := root.Child("site", Int("site", site))
+		for _, proc := range []metrics.Procedure{
+			metrics.ProcKeyBitInference,
+			metrics.ProcLearningAttack,
+			metrics.ProcKeyVectorValidation,
+		} {
+			ph := sp.Child(string(proc), Proc(proc))
+			ph.AddQueries(10)
+			time.Sleep(200 * time.Microsecond)
+			ph.End()
+		}
+		sp.End()
+	}
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestCheckAgainstLiveRollup is the round-trip contract behind `dnnlock
+// trace -check`: a trace produced by the tracer itself must always verify —
+// summary equals span rollup exactly, and the phases cover the root span.
+func TestCheckAgainstLiveRollup(t *testing.T) {
+	trace := buildTrace(t)
+	anchors := trace.Anchors()
+	if len(anchors) != 1 {
+		t.Fatalf("anchors = %d, want 1", len(anchors))
+	}
+	times, queries := trace.RollupFromSpans(anchors[0].Span.ID)
+	if got := queries[string(metrics.ProcKeyBitInference)]; got != 20 {
+		t.Fatalf("rollup queries = %d, want 20", got)
+	}
+	for proc, ns := range anchors[0].Summary.TimesNS {
+		if times[proc] != ns {
+			t.Fatalf("summary/%s = %d, span rollup = %d", proc, ns, times[proc])
+		}
+	}
+	if err := trace.Check(0.5); err != nil {
+		t.Fatalf("Check failed on a live trace: %v", err)
+	}
+}
+
+// TestCheckCatchesCorruption mutates a valid trace and confirms Check
+// rejects each corruption.
+func TestCheckCatchesCorruption(t *testing.T) {
+	tamper := func(name string, f func(tr *Trace)) {
+		trace := buildTrace(t)
+		f(trace)
+		if err := trace.Check(0.5); err == nil {
+			t.Errorf("%s: corruption not caught", name)
+		}
+	}
+	tamper("summary time inflated", func(tr *Trace) {
+		tr.Summaries[0].TimesNS[string(metrics.ProcKeyBitInference)] += 12345
+	})
+	tamper("summary queries wrong", func(tr *Trace) {
+		tr.Summaries[0].Queries[string(metrics.ProcLearningAttack)]--
+	})
+	tamper("procedure missing from summary", func(tr *Trace) {
+		delete(tr.Summaries[0].TimesNS, string(metrics.ProcKeyVectorValidation))
+	})
+	tamper("no summaries at all", func(tr *Trace) {
+		tr.Summaries = nil
+	})
+	tamper("span duration shrunk below coverage", func(tr *Trace) {
+		for i := range tr.Spans {
+			if tr.Spans[i].Proc != "" {
+				tr.Spans[i].DurNS = 0
+			}
+		}
+		// Summary still claims the original times: exact-match fails.
+	})
+}
+
+// TestBreakdownTable checks the Figure 3 rendering: procedure order, the
+// query column, and that shares sum to ~100%.
+func TestBreakdownTable(t *testing.T) {
+	trace := buildTrace(t)
+	var out bytes.Buffer
+	trace.BreakdownTable(&out)
+	s := out.String()
+	for _, proc := range []string{"key_bit_inference", "learning_attack", "key_vector_validation"} {
+		if !strings.Contains(s, proc) {
+			t.Fatalf("table missing %s:\n%s", proc, s)
+		}
+	}
+	if !strings.Contains(s, "20 queries") {
+		t.Fatalf("table missing query counts:\n%s", s)
+	}
+	// Figure 3 order: inference before learning before validation.
+	if strings.Index(s, "key_bit_inference") > strings.Index(s, "learning_attack") {
+		t.Fatalf("procedures out of Figure 3 order:\n%s", s)
+	}
+}
+
+// TestFlame checks the tree view: sibling aggregation (site ×2), depth
+// limiting, and indentation.
+func TestFlame(t *testing.T) {
+	trace := buildTrace(t)
+	var out bytes.Buffer
+	trace.Flame(&out, 8)
+	s := out.String()
+	if !strings.Contains(s, "attack") {
+		t.Fatalf("flame missing root:\n%s", s)
+	}
+	if !strings.Contains(s, "site ×2") {
+		t.Fatalf("flame did not aggregate sibling sites:\n%s", s)
+	}
+	if !strings.Contains(s, "  key_bit_inference") {
+		t.Fatalf("flame missing indented phase:\n%s", s)
+	}
+
+	out.Reset()
+	trace.Flame(&out, 1)
+	if strings.Contains(out.String(), "site") {
+		t.Fatalf("maxDepth=1 still shows children:\n%s", out.String())
+	}
+}
+
+// TestProcOrder pins extras-after-canonical ordering in summaries.
+func TestProcOrder(t *testing.T) {
+	sum := SummaryRecord{
+		TimesNS: map[string]int64{
+			"zeta_extra":        1,
+			"alpha_extra":       1,
+			"learning_attack":   1,
+			"key_bit_inference": 1,
+		},
+		Queries: map[string]int64{"error_correction": 4},
+	}
+	got := procOrder(sum)
+	want := []string{"key_bit_inference", "learning_attack", "error_correction", "alpha_extra", "zeta_extra"}
+	if len(got) != len(want) {
+		t.Fatalf("procOrder = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("procOrder = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package oracle
+
+import "dnnlock/internal/tensor"
+
+// Counter receives query-count increments from a Traced oracle. It is the
+// narrow waist between this package and the tracing layer: *obs.Span
+// satisfies it, so a trace span can count the queries flowing through any
+// oracle decorator stack without oracle importing obs. Implementations
+// must be safe for concurrent use (QueryBatch shards rows across
+// goroutines behind a single bulk count, but distinct queries may arrive
+// from concurrent attack workers).
+type Counter interface {
+	AddQueries(n int64)
+}
+
+// Traced decorates an Interface so every query is mirrored onto a Counter
+// as it happens, in addition to the inner oracle's own cumulative counter.
+// The decorator is observation-only: inputs, outputs, and errors pass
+// through untouched, and failed queries still count — the device was
+// exercised even when it returned an error, which is the accounting the
+// fault-path experiments need.
+type Traced struct {
+	inner Interface
+	c     Counter
+}
+
+var _ Interface = (*Traced)(nil)
+
+// Trace wraps inner so queries are mirrored onto c. A nil counter returns
+// inner unchanged: the undecorated fast path stays free.
+func Trace(inner Interface, c Counter) Interface {
+	if c == nil {
+		return inner
+	}
+	return &Traced{inner: inner, c: c}
+}
+
+// Query counts one query on the attached Counter and delegates.
+func (t *Traced) Query(x []float64) ([]float64, error) {
+	t.c.AddQueries(1)
+	return t.inner.Query(x)
+}
+
+// QueryBatch bulk-counts one query per input row and delegates.
+func (t *Traced) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	t.c.AddQueries(int64(x.Rows))
+	return t.inner.QueryBatch(x)
+}
+
+// Queries reports the inner oracle's cumulative count; the decorator adds
+// no second source of truth.
+func (t *Traced) Queries() int64 { return t.inner.Queries() }
+
+// ResetCounter resets the inner oracle's counter. The attached Counter is
+// not reset: a span accumulates for its own lifetime.
+func (t *Traced) ResetCounter() { t.inner.ResetCounter() }
+
+// Softmax reports the inner oracle's output mode.
+func (t *Traced) Softmax() bool { return t.inner.Softmax() }

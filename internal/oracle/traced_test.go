@@ -1,0 +1,133 @@
+package oracle
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dnnlock/internal/obs"
+	"dnnlock/internal/tensor"
+)
+
+// tallyCounter is a Counter that just accumulates.
+type tallyCounter struct{ n atomic.Int64 }
+
+func (c *tallyCounter) AddQueries(n int64) { c.n.Add(n) }
+
+func TestTracedMirrorsCounts(t *testing.T) {
+	o, _ := newTestOracle(70)
+	var c tallyCounter
+	tr := Trace(o, &c)
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	mustQuery(t, tr, x)
+	xb := tensor.GetMatrix(5, 4)
+	for i := 0; i < 5; i++ {
+		xb.SetRow(i, x)
+	}
+	yb := mustQueryBatch(t, tr, xb)
+	tensor.PutMatrix(yb)
+	tensor.PutMatrix(xb)
+	if got := c.n.Load(); got != 6 {
+		t.Fatalf("counter saw %d queries, want 6", got)
+	}
+	if got := tr.Queries(); got != 6 {
+		t.Fatalf("inner counter saw %d queries, want 6", got)
+	}
+	tr.ResetCounter()
+	if tr.Queries() != 0 {
+		t.Fatal("ResetCounter did not reach the inner oracle")
+	}
+	if c.n.Load() != 6 {
+		t.Fatal("ResetCounter must not reset the attached Counter")
+	}
+	if tr.Softmax() != o.Softmax() {
+		t.Fatal("Softmax mode not passed through")
+	}
+}
+
+func TestTraceNilCounterIsIdentity(t *testing.T) {
+	o, _ := newTestOracle(71)
+	if got := Trace(o, nil); got != Interface(o) {
+		t.Fatal("Trace(o, nil) must return o unchanged")
+	}
+}
+
+// TestTracedSpanConcurrent drives a Traced oracle whose Counter is a live
+// trace span from many goroutines — single queries and batches (whose rows
+// the oracle itself shards across workers) — under the race detector, and
+// checks the span's count is exact.
+func TestTracedSpanConcurrent(t *testing.T) {
+	o, _ := newTestOracle(72)
+	var buf bytes.Buffer
+	trc := obs.New(obs.WithSink(&buf))
+	defer trc.Close()
+	sp := trc.Start("oracle")
+	tr := Trace(o, sp)
+
+	const workers = 8
+	const perWorker = 20
+	const batchRows = 3
+	var wg sync.WaitGroup
+	x := []float64{0.4, -0.2, 0.7, 0.1}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//lint:ignore nakedgo test-local goroutines joined by the WaitGroup below
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := tr.Query(x); err != nil {
+					t.Error(err)
+					return
+				}
+				xb := tensor.GetMatrix(batchRows, len(x))
+				for r := 0; r < batchRows; r++ {
+					xb.SetRow(r, x)
+				}
+				yb, err := tr.QueryBatch(xb)
+				if err != nil {
+					tensor.PutMatrix(yb) // nil on error; PutMatrix is nil-safe
+					tensor.PutMatrix(xb)
+					t.Error(err)
+					return
+				}
+				tensor.PutMatrix(yb)
+				tensor.PutMatrix(xb)
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(workers * perWorker * (1 + batchRows))
+	if got := sp.Queries(); got != want {
+		t.Fatalf("span counted %d queries, want %d", got, want)
+	}
+	if got := tr.Queries(); got != want {
+		t.Fatalf("oracle counted %d queries, want %d", got, want)
+	}
+	sp.End()
+	trace, err := obs.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	if len(trace.Spans) != 1 || trace.Spans[0].Queries != want {
+		t.Fatalf("exported span record %+v, want queries=%d", trace.Spans, want)
+	}
+}
+
+// TestTracedComposesWithFaultDecorators checks the Counter still sees
+// queries that the fault decorators reject: exercising the device counts
+// even when the response is degraded or dropped.
+func TestTracedComposesWithFaultDecorators(t *testing.T) {
+	o, _ := newTestOracle(73)
+	var c tallyCounter
+	tr := Trace(Budgeted(o, 2), &c)
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	mustQuery(t, tr, x)
+	mustQuery(t, tr, x)
+	if _, err := tr.Query(x); err == nil {
+		t.Fatal("expected budget exhaustion")
+	}
+	if got := c.n.Load(); got != 3 {
+		t.Fatalf("counter saw %d queries, want 3 (failed query still counts)", got)
+	}
+}

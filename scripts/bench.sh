@@ -11,7 +11,10 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFigure3}"
+# BenchmarkDecryptTracer{Off,On} ride along so the BENCH json always
+# records the observability layer's overhead next to the numbers it could
+# perturb (DESIGN.md §12).
+PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFigure3|BenchmarkDecryptTracer}"
 BTIME="${BENCH_TIME:-1x}"
 DATE="$(date +%Y-%m-%d)"
 OUT="BENCH_${DATE}.json"

@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> dnnlint ./... (pool, determinism, floatcmp, nakedgo invariants)"
+echo "==> dnnlint ./... (pool, determinism, floatcmp, nakedgo, pkgdoc invariants)"
 go run ./cmd/dnnlint ./...
 
 echo "==> go build ./..."
@@ -32,5 +32,18 @@ go test -race ./internal/...
 echo "==> robustness smoke (clean-path identity + fault degradation)"
 go test -race -run 'TestRobustness|TestRunBudget|TestRunRetries|TestRunDeclared|TestRunHeavy|TestRunCleanPath' \
 	./internal/core ./internal/harness
+
+# Trace smoke (DESIGN.md §12): a Table-1 cell exported as a JSONL trace
+# must be a faithful projection of the run — `trace -check` recomputes the
+# per-procedure rollup from the raw spans, requires it to match the
+# exported breakdown summaries exactly, and requires the attributed time
+# to cover the anchors' wall time within tolerance.
+echo "==> trace smoke (table1 -trace + trace -check)"
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+go build -o "$TRACE_TMP/dnnlock" ./cmd/dnnlock
+"$TRACE_TMP/dnnlock" table1 -model mlp -keysizes 6 -scale tiny \
+	-trace "$TRACE_TMP/trace.jsonl" > /dev/null
+"$TRACE_TMP/dnnlock" trace -in "$TRACE_TMP/trace.jsonl" -check > /dev/null
 
 echo "OK"
