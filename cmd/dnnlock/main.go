@@ -7,8 +7,8 @@
 //
 //	dnnlock lock   -model mlp -bits 32 -out locked.json -keyout key.txt [-epochs 4] [-scheme negation|scaling|bias-shift|weight-perturb -alpha 0.5]
 //	dnnlock attack -in locked.json -keyfile key.txt [-monolithic]
-//	dnnlock bench  -exp table1|figure3|all [-scale tiny|quick|paper] [-models mlp,lenet] [-keysizes 16,32] [-csv rows.csv]
-//	dnnlock table1 -model mlp [-scale tiny|quick|paper] [-keysizes 16,32] [-csv rows.csv] [-trace out.jsonl] [-pprof :6060] [-v]
+//	dnnlock bench  -exp table1|figure3|all [-scale tiny|quick|paper] [-models mlp,lenet] [-keysizes 16,32] [-f32] [-csv rows.csv]
+//	dnnlock table1 -model mlp [-scale tiny|quick|paper] [-keysizes 16,32] [-f32] [-cellworkers n] [-csv rows.csv] [-trace out.jsonl] [-pprof :6060] [-v]
 //	dnnlock trace  -in out.jsonl [-check] [-cover 0.5] [-depth 3]
 //	dnnlock robust -model mlp -bits 8 [-scale tiny|quick|paper] [-sigmas 0,1e-4,1e-3] [-qbits 24,16,10] [-csv rows.csv]
 //	dnnlock verify -in locked.json -keyfile key.txt -candidate recovered.txt
@@ -236,6 +236,7 @@ func cmdBench(args []string) error {
 	modelsFlag := fs.String("models", "mlp,lenet,resnet,vtransformer", "comma-separated model list")
 	keysizes := fs.String("keysizes", "", "override key sizes for all models, e.g. 16,32")
 	csvPath := fs.String("csv", "", "also write Table 1 rows to this CSV file")
+	f32 := fs.Bool("f32", false, "train the learning attack in float32 (speed tier; recovered keys are unchanged)")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -245,6 +246,9 @@ func cmdBench(args []string) error {
 		return err
 	}
 	sc.Seed = *seed
+	if *f32 {
+		sc.AttackCfg.TrainPrecision = core.Float32
+	}
 	if err := applyKeySizes(&sc, *keysizes); err != nil {
 		return err
 	}
@@ -302,6 +306,8 @@ func cmdTable1(args []string) error {
 	tracePath := fs.String("trace", "", "export a JSONL span trace to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address, e.g. :6060")
 	verbose := fs.Bool("v", false, "structured debug logging to stderr (same as DNNLOCK_LOG=debug)")
+	f32 := fs.Bool("f32", false, "train the learning attack in float32 (speed tier; recovered keys are unchanged)")
+	cellWorkers := fs.Int("cellworkers", 0, "concurrent Table 1 cells (0 = DNNLOCK_PROCS/CPU count, 1 = serial)")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -311,6 +317,10 @@ func cmdTable1(args []string) error {
 		return err
 	}
 	sc.Seed = *seed
+	if *f32 {
+		sc.AttackCfg.TrainPrecision = core.Float32
+	}
+	sc.CellWorkers = *cellWorkers
 	if err := applyKeySizes(&sc, *keysizes); err != nil {
 		return err
 	}

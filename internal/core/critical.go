@@ -15,7 +15,7 @@ import (
 // preserves zeros), while for the bias-shift and weight-perturbation
 // variants it tracks the hypothesis currently applied to net.
 func postAct(net *nn.Network, x []float64, site, idx int) float64 {
-	return net.ForwardTraceTo(x, site).Post[site][idx]
+	return net.PostAt(x, site, idx)
 }
 
 // searchCriticalPoint implements §3.5 on an arbitrary network: it draws
@@ -34,7 +34,7 @@ func searchCriticalPoint(net *nn.Network, site, idx int, cfg Config, rng *rand.R
 // (reluSite, idx) crosses zero — a point where the network function bends.
 func searchCriticalPointReLU(net *nn.Network, reluSite, idx int, cfg Config, rng *rand.Rand) ([]float64, bool) {
 	u := func(x []float64) float64 {
-		return net.ForwardTraceToReLU(x, reluSite).ReluIn[reluSite][idx]
+		return net.ReluInAt(x, reluSite, idx)
 	}
 	return searchZero(u, net.InSize(), cfg, rng)
 }
@@ -45,17 +45,21 @@ func searchCriticalPointReLU(net *nn.Network, reluSite, idx int, cfg Config, rng
 // exemplar — a strictly stronger bracketing strategy that copes with the
 // skewed pre-activation distributions of trained networks — and then
 // bisects the segment between them (a zero exists on it by continuity).
+// The probe function u must not retain its argument: sample points are
+// staged in one pooled buffer and refilled between calls.
 func searchZero(u func([]float64) float64, p int, cfg Config, rng *rand.Rand) ([]float64, bool) {
 	budget := cfg.MaxLineTries * cfg.LineSamples
 	scales := [...]float64{1, 0.25, 2, 0.5, 4}
 	var pos, neg []float64
+	x := tensor.GetVec(p)
+	defer tensor.PutVec(x)
 	for i := 0; i < budget; i++ {
-		x := randomPoint(p, cfg.InputLim*scales[i%len(scales)], rng)
+		fillRandomPoint(x, cfg.InputLim*scales[i%len(scales)], rng)
 		switch v := u(x); {
 		case v > 0 && pos == nil:
-			pos = x
+			pos = tensor.VecClone(x)
 		case v < 0 && neg == nil:
-			neg = x
+			neg = tensor.VecClone(x)
 		}
 		if pos != nil && neg != nil {
 			return bisectSegment(u, pos, neg, cfg)
@@ -68,19 +72,22 @@ func searchZero(u func([]float64) float64, p int, cfg Config, rng *rand.Rand) ([
 // |u| ≤ CriticalTol.
 func bisectSegment(u func([]float64) float64, a, b []float64, cfg Config) ([]float64, bool) {
 	dir := tensor.VecSub(b, a)
-	at := func(t float64) []float64 {
-		x := tensor.VecClone(a)
-		tensor.AXPY(t, dir, x)
-		return x
+	// One pooled midpoint buffer for the whole bisection; the witness is
+	// cloned out on success so the caller owns a plain heap slice.
+	xm := tensor.GetVec(len(a))
+	defer tensor.PutVec(xm)
+	at := func(t float64) {
+		copy(xm, a)
+		tensor.AXPY(t, dir, xm)
 	}
 	lo, hi := 0.0, 1.0
 	ulo := u(a)
 	for iter := 0; iter < 200; iter++ {
 		mid := (lo + hi) / 2
-		xm := at(mid)
+		at(mid)
 		um := u(xm)
 		if math.Abs(um) <= cfg.CriticalTol {
-			return xm, true
+			return tensor.VecClone(xm), true
 		}
 		if signChange(ulo, um) {
 			hi = mid
@@ -91,7 +98,7 @@ func bisectSegment(u func([]float64) float64, a, b []float64, cfg Config) ([]flo
 			// Interval exhausted at float resolution; accept the midpoint
 			// if it is reasonably small.
 			if math.Abs(um) <= math.Sqrt(cfg.CriticalTol) {
-				return xm, true
+				return tensor.VecClone(xm), true
 			}
 			break
 		}
@@ -105,8 +112,14 @@ func signChange(a, b float64) bool {
 
 func randomPoint(p int, lim float64, rng *rand.Rand) []float64 {
 	x := make([]float64, p)
+	fillRandomPoint(x, lim, rng)
+	return x
+}
+
+// fillRandomPoint draws the same point randomPoint would (identical rng
+// consumption) into a caller-owned buffer.
+func fillRandomPoint(x []float64, lim float64, rng *rand.Rand) {
 	for i := range x {
 		x[i] = (rng.Float64()*2 - 1) * lim
 	}
-	return x
 }

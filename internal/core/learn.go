@@ -103,6 +103,14 @@ func fitSoft(net *nn.Network, sites []softSite, x, y *tensor.Matrix, cfg Config,
 	if !cfg.DisableSlicing {
 		sl = net.Split(firstSite)
 	}
+	// Speed tier (DESIGN.md §13): identical structure, float32 suffix
+	// kernels, float64 soft-coefficient masters. Falls through to the exact
+	// loop below if any suffix layer lacks a float32 shadow.
+	if cfg.TrainPrecision == Float32 {
+		if fitSoft32(sl, sites, x, y, cfg, rng, softmax, epochCb) {
+			return
+		}
+	}
 	opt := train.NewAdam(cfg.LearnRate)
 	n := x.Rows
 	perm := rng.Perm(n)

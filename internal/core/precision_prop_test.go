@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/models"
+	"dnnlock/internal/oracle"
+)
+
+// TestDecryptionUnchangedByPrecision is the acceptance property of the
+// float32 speed tier (DESIGN.md §13): the full Algorithm 2 attack must
+// recover the identical key with the identical oracle query count whether
+// the learning attack trains in float64 or float32, across every fuzzed
+// architecture family of fuzzedEquivNets. The training trajectory may
+// drift with precision; the attacker-observable outputs may not — the
+// algebraic procedures are precision-independent by construction, the
+// query schedule consumes the rng identically on both tiers, and the soft
+// coefficients harden to the same signs.
+func TestDecryptionUnchangedByPrecision(t *testing.T) {
+	seedRng := rand.New(rand.NewSource(703))
+	for bi, build := range fuzzedEquivNets(seedRng) {
+		rng := rand.New(rand.NewSource(int64(900 + bi)))
+		net := build(rng)
+		lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 6, Rng: rng})
+
+		run := func(p Precision) *Result {
+			cfg := DefaultConfig()
+			cfg.Seed = 11
+			cfg.TrainPrecision = p
+			res, err := Run(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		exact := run(Float64)
+		fast := run(Float32)
+		if exact.Key.Fidelity(key) != 1 {
+			t.Fatalf("net %d: float64 attack fidelity %.3f", bi, exact.Key.Fidelity(key))
+		}
+		if fast.Key.Fidelity(key) != 1 {
+			t.Fatalf("net %d: float32 attack fidelity %.3f", bi, fast.Key.Fidelity(key))
+		}
+		for i := range exact.Key {
+			if exact.Key[i] != fast.Key[i] {
+				t.Fatalf("net %d: key bit %d differs between precisions", bi, i)
+			}
+		}
+		if exact.Queries != fast.Queries {
+			t.Fatalf("net %d: query counts differ: float64 %d vs float32 %d",
+				bi, exact.Queries, fast.Queries)
+		}
+	}
+}
+
+// TestMonolithicUnchangedByPrecision covers the §4.3 baseline the same
+// way: same hardened key, same query count at either training precision.
+func TestMonolithicUnchangedByPrecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(704))
+	net := models.TinyLeNet(rng)
+	lm, key := hpnn.Lock(net, hpnn.Config{Scheme: hpnn.Negation, KeyBits: 8, Rng: rng})
+
+	run := func(p Precision) *MonolithicReport {
+		cfg := DefaultConfig()
+		cfg.Seed = 12
+		cfg.LearnEpochs = 60
+		cfg.TrainPrecision = p
+		rep, err := Monolithic(lm.WhiteBox(), lm.Spec, oracle.New(lm, key), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	exact := run(Float64)
+	fast := run(Float32)
+	for i := range exact.Key {
+		if exact.Key[i] != fast.Key[i] {
+			t.Fatalf("key bit %d differs between precisions", i)
+		}
+	}
+	if exact.Queries != fast.Queries {
+		t.Fatalf("query counts differ: float64 %d vs float32 %d", exact.Queries, fast.Queries)
+	}
+}

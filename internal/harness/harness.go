@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"dnnlock/internal/nn"
 	"dnnlock/internal/obs"
 	"dnnlock/internal/oracle"
+	"dnnlock/internal/tensor"
 	"dnnlock/internal/train"
 )
 
@@ -39,6 +41,28 @@ type Scale struct {
 	MonoEpochs    int
 	AttackCfg     core.Config
 	Seed          int64
+	// CellWorkers bounds how many Table 1 cells run concurrently. Zero
+	// selects tensor.Parallelism() (the DNNLOCK_PROCS override, CPU count
+	// otherwise); 1 forces the historical serial sweep. Cells are fully
+	// independent — each derives its rngs from the scale seed and owns its
+	// oracles — so the rows are identical at any worker count; only
+	// wall-clock changes.
+	CellWorkers int
+}
+
+// cellWorkers resolves the concurrency bound for an n-cell sweep.
+func (sc Scale) cellWorkers(n int) int {
+	w := sc.CellWorkers
+	if w == 0 {
+		w = tensor.Parallelism()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // TinyScale finishes in seconds; it backs unit tests and `go test -bench`.
@@ -279,29 +303,88 @@ func (p *pipeline) runCell(w io.Writer) Table1Row {
 	return row
 }
 
+// cellSpec names one (model, keyBits) cell of a Table 1 sweep.
+type cellSpec struct {
+	model string
+	bits  int
+}
+
 // RunTable1 regenerates Table 1 for the given models at the given scale,
 // streaming rows to w as they complete. Training progress goes to the same
 // writer, so a long prepare phase is visible rather than silent. A model
 // name with no key sizes configured in the scale is an error — previously
 // the row was skipped silently, which made a typo in a model name look like
 // an empty (successful) sweep.
+//
+// Cells run concurrently up to sc.CellWorkers (DNNLOCK_PROCS-bounded by
+// default; see Scale.CellWorkers). Rows and errors keep the deterministic
+// models × key-sizes order regardless of completion order: each concurrent
+// cell writes its training progress and row into a private buffer that is
+// flushed to w in cell order. Every cell remains its own span root (see
+// runCell), and the obs sinks serialize concurrent exports, so a traced
+// parallel sweep still reconciles into one cell subtree per (model, bits).
 func RunTable1(sc Scale, modelNames []string, w io.Writer) ([]Table1Row, error) {
-	var rows []Table1Row
-	if w != nil {
-		fmt.Fprintln(w, TableHeader())
-	}
+	var cells []cellSpec
 	for _, m := range modelNames {
 		sizes, ok := sc.KeySizes[m]
 		if !ok || len(sizes) == 0 {
-			return rows, fmt.Errorf("harness: no key sizes configured for model %q in scale %q", m, sc.Name)
+			return nil, fmt.Errorf("harness: no key sizes configured for model %q in scale %q", m, sc.Name)
 		}
 		for _, bits := range sizes {
-			p, err := prepare(m, bits, sc, w)
+			cells = append(cells, cellSpec{model: m, bits: bits})
+		}
+	}
+	if w != nil {
+		fmt.Fprintln(w, TableHeader())
+	}
+	if sc.cellWorkers(len(cells)) <= 1 {
+		// Serial sweep: stream progress directly, stop at the first error.
+		var rows []Table1Row
+		for _, c := range cells {
+			p, err := prepare(c.model, c.bits, sc, w)
 			if err != nil {
 				return rows, err
 			}
 			rows = append(rows, p.runCell(w))
 		}
+		return rows, nil
+	}
+	results := make([]Table1Row, len(cells))
+	errs := make([]error, len(cells))
+	bufs := make([]bytes.Buffer, len(cells))
+	done := make([]chan struct{}, len(cells))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, sc.cellWorkers(len(cells)))
+	for i, c := range cells {
+		//lint:ignore nakedgo bounded by the sem channel below; completion is awaited per cell via done[i]
+		go func(i int, c cellSpec) {
+			defer close(done[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var out io.Writer
+			if w != nil {
+				out = &bufs[i]
+			}
+			p, err := prepare(c.model, c.bits, sc, out)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = p.runCell(out)
+		}(i, c)
+	}
+	var rows []Table1Row
+	for i := range cells {
+		<-done[i]
+		if w != nil && bufs[i].Len() > 0 {
+			w.Write(bufs[i].Bytes())
+		}
+		if errs[i] != nil {
+			return rows, errs[i]
+		}
+		rows = append(rows, results[i])
 	}
 	return rows, nil
 }

@@ -54,25 +54,34 @@ func (r *ReLU) Forward(x []float64, tr *Trace) []float64 {
 	return y
 }
 
-// ForwardBatch rectifies a batch.
+// ForwardBatch rectifies a batch. Every element of the pooled output is
+// assigned, so the buffer's arbitrary contents never show through.
 func (r *ReLU) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
-	out := x.Clone()
-	for i, v := range out.Data {
+	out := tensor.GetMatrix(x.Rows, x.Cols)
+	od := out.Data
+	for i, v := range x.Data {
 		if v < 0 {
-			out.Data[i] = 0
+			od[i] = 0
+		} else {
+			od[i] = v
 		}
 	}
 	return out
 }
 
-// TrainForward rectifies and caches the activity mask.
+// TrainForward rectifies and caches the activity mask. The mask buffer is
+// reused across batches once grown to the largest batch seen; every element
+// is assigned each call, so stale contents cannot leak.
 func (r *ReLU) TrainForward(x *tensor.Matrix) *tensor.Matrix {
 	out := x.Clone()
-	r.lastMask = make([]bool, len(out.Data))
+	if cap(r.lastMask) < len(out.Data) {
+		r.lastMask = make([]bool, len(out.Data))
+	}
+	r.lastMask = r.lastMask[:len(out.Data)]
 	for i, v := range out.Data {
-		if v > 0 {
-			r.lastMask[i] = true
-		} else {
+		active := v > 0
+		r.lastMask[i] = active
+		if !active {
 			out.Data[i] = 0
 		}
 	}
@@ -84,7 +93,8 @@ func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if r.lastMask == nil {
 		panic("nn: ReLU.Backward before TrainForward")
 	}
-	dx := dy.Clone()
+	dx := tensor.GetMatrix(dy.Rows, dy.Cols)
+	copy(dx.Data, dy.Data)
 	for i := range dx.Data {
 		if !r.lastMask[i] {
 			dx.Data[i] = 0

@@ -64,7 +64,7 @@ func (a *AvgPool2D) TrainForward(x *tensor.Matrix) *tensor.Matrix {
 
 // Backward spreads each output gradient evenly over its window.
 func (a *AvgPool2D) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(dy.Rows, a.InSize())
+	dx := tensor.GetMatrixZero(dy.Rows, a.InSize())
 	inv := 1 / float64(a.K*a.K)
 	for r := 0; r < dy.Rows; r++ {
 		dyr := dy.Row(r)

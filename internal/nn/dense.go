@@ -67,7 +67,8 @@ func (d *Dense) Forward(x []float64, _ *Trace) []float64 {
 // blocked kernel (W is stored out×in, so no copy of Wᵀ is ever built).
 func (d *Dense) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
 	checkSize("dense", d.In, x.Cols)
-	out := tensor.New(x.Rows, d.Out)
+	// MatMulABTInto overwrites dst, so the pooled buffer needs no zeroing.
+	out := tensor.GetMatrix(x.Rows, d.Out)
 	tensor.MatMulABTInto(out, x, d.W.W)
 	brow := d.B.W.Row(0)
 	for i := 0; i < out.Rows; i++ {
@@ -105,8 +106,8 @@ func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
 			bg[o] += g
 		}
 	}
-	dx := tensor.New(dy.Rows, d.In)
-	tensor.MatMulInto(dx, dy, d.W.W)
+	dx := tensor.GetMatrix(dy.Rows, d.In)
+	tensor.MatMulInto(dx, dy, d.W.W) // overwrites dst, so the pooled buffer needs no zeroing
 	return dx
 }
 

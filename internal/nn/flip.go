@@ -191,7 +191,8 @@ func (f *Flip) Forward(x []float64, tr *Trace) []float64 {
 
 // ForwardBatch applies the flip to each row.
 func (f *Flip) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(x.Rows, f.N)
+	// forwardRowInto assigns every output element, so a pooled buffer is safe.
+	out := tensor.GetMatrix(x.Rows, f.N)
 	for i := 0; i < x.Rows; i++ {
 		f.forwardRowInto(out.Row(i), x.Row(i))
 	}
@@ -213,7 +214,8 @@ func (f *Flip) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if f.lastX == nil {
 		panic("nn: Flip.Backward before TrainForward")
 	}
-	dx := dy.Clone()
+	dx := tensor.GetMatrix(dy.Rows, dy.Cols)
+	copy(dx.Data, dy.Data)
 	for r := 0; r < dx.Rows; r++ {
 		row := dx.Row(r)
 		for j := range row {

@@ -1,0 +1,303 @@
+package nn
+
+import "dnnlock/internal/tensor"
+
+// vecForward is implemented by layers whose single-example forward can
+// write into a caller-supplied buffer. Implementations must overwrite
+// every element of out — pooled buffers carry arbitrary contents — and
+// must perform exactly the arithmetic of Forward(x, nil), so the pooled
+// chain below stays bit-identical to the allocating one. Layers that
+// record into traces or return their input unchanged simply don't
+// implement the interface and fall back to Forward.
+type vecForward interface {
+	forwardVecInto(out, x []float64)
+}
+
+func (c *Conv2D) forwardVecInto(out, x []float64) { c.forwardInto(x, out, true) }
+
+func (m *MaxPool2D) forwardVecInto(out, x []float64) { m.forwardArgInto(x, out, nil) }
+
+func (f *Flip) forwardVecInto(out, x []float64) { f.forwardRowInto(out, x) }
+
+func (r *ReLU) forwardVecInto(out, x []float64) {
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+func (d *Dense) forwardVecInto(out, x []float64) {
+	tensor.MatVecInto(out, d.W.W, x)
+	brow := d.B.W.Row(0)
+	for i := range out {
+		out[i] += brow[i]
+	}
+}
+
+func (g *GlobalAvgPool) forwardVecInto(out, x []float64) {
+	plane := g.H * g.W
+	for c := 0; c < g.C; c++ {
+		s := 0.0
+		for i := c * plane; i < (c+1)*plane; i++ {
+			s += x[i]
+		}
+		out[c] = s / float64(plane)
+	}
+}
+
+func (a *AvgPool2D) forwardVecInto(out, x []float64) {
+	inv := 1 / float64(a.K*a.K)
+	for c := 0; c < a.C; c++ {
+		inBase := c * a.InH * a.InW
+		outBase := c * a.OutH * a.OutW
+		for oy := 0; oy < a.OutH; oy++ {
+			for ox := 0; ox < a.OutW; ox++ {
+				s := 0.0
+				for ky := 0; ky < a.K; ky++ {
+					iy := oy*a.Stride + ky
+					for kx := 0; kx < a.K; kx++ {
+						s += x[inBase+iy*a.InW+ox*a.Stride+kx]
+					}
+				}
+				out[outBase+oy*a.OutW+ox] = s * inv
+			}
+		}
+	}
+}
+
+func (m *MeanTokens) forwardVecInto(out, x []float64) {
+	for d := range out {
+		out[d] = 0
+	}
+	for t := 0; t < m.T; t++ {
+		for d := 0; d < m.D; d++ {
+			out[d] += x[t*m.D+d]
+		}
+	}
+	inv := 1 / float64(m.T)
+	for d := range out {
+		out[d] *= inv
+	}
+}
+
+func (r *Residual) forwardVecInto(out, x []float64) {
+	b, bp := forwardVecChain(r.Body, x)
+	s, sp := forwardVecChain(r.Shortcut, x)
+	for i := range out {
+		out[i] = b[i] + s[i]
+	}
+	if bp {
+		tensor.PutVec(b)
+	}
+	if sp {
+		tensor.PutVec(s)
+	}
+}
+
+// traceVecForward is the trace-recording counterpart of vecForward,
+// implemented by the layers whose Forward consults the trace (Flip, ReLU,
+// Residual). The recorded values must be clones, exactly as Forward
+// records them — the out buffer is pooled and will be recycled.
+type traceVecForward interface {
+	forwardVecIntoTrace(out, x []float64, tr *Trace)
+}
+
+func (r *ReLU) forwardVecIntoTrace(out, x []float64, tr *Trace) {
+	pat := make([]bool, r.N)
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			pat[i] = true
+		} else {
+			out[i] = 0
+		}
+	}
+	tr.Patterns[r.SiteID] = pat
+	tr.ReluIn[r.SiteID] = append([]float64(nil), x...)
+}
+
+func (f *Flip) forwardVecIntoTrace(out, x []float64, tr *Trace) {
+	f.forwardRowInto(out, x)
+	tr.Pre[f.SiteID] = tensor.VecClone(x)
+	tr.Post[f.SiteID] = tensor.VecClone(out)
+}
+
+func (r *Residual) forwardVecIntoTrace(out, x []float64, tr *Trace) {
+	b, bp := forwardVecChainTr(r.Body, x, tr)
+	s, sp := forwardVecChainTr(r.Shortcut, x, tr)
+	for i := range out {
+		out[i] = b[i] + s[i]
+	}
+	if bp {
+		tensor.PutVec(b)
+	}
+	if sp {
+		tensor.PutVec(s)
+	}
+}
+
+// forwardVecChain runs layers over x, staging intermediates in pooled
+// vectors wherever a layer supports it. The result is either a pooled
+// buffer (pooled == true, caller releases with PutVec), a fresh heap
+// slice from a fallback layer, or x itself when every layer was an
+// identity (Flatten).
+func forwardVecChain(layers []Layer, x []float64) (res []float64, pooled bool) {
+	return forwardVecChainTr(layers, x, nil)
+}
+
+// forwardVecChainTr is forwardVecChain with optional trace recording:
+// trace-consulting layers dispatch through traceVecForward when tr is
+// non-nil, trace-blind layers always take their plain Into path, and
+// anything else falls back to the allocating Forward.
+func forwardVecChainTr(layers []Layer, x []float64, tr *Trace) (res []float64, pooled bool) {
+	cur := x
+	for _, l := range layers {
+		if next, np, ok := forwardVecLayer(l, cur, tr); ok {
+			if pooled {
+				tensor.PutVec(cur)
+			}
+			cur, pooled = next, np
+			continue
+		}
+		next := l.Forward(cur, tr)
+		if sameVec(next, cur) {
+			continue
+		}
+		if pooled {
+			tensor.PutVec(cur)
+		}
+		cur, pooled = next, false
+	}
+	return cur, pooled
+}
+
+// forwardVecLayer runs one layer through its pooled Into path if it has
+// one appropriate for the trace mode; ok is false when the caller must
+// fall back to Forward.
+func forwardVecLayer(l Layer, x []float64, tr *Trace) (out []float64, pooled, ok bool) {
+	if tr != nil {
+		if tv, hit := l.(traceVecForward); hit {
+			out = tensor.GetVec(l.OutSize())
+			tv.forwardVecIntoTrace(out, x, tr)
+			return out, true, true
+		}
+	}
+	// Reaching here under tracing means the layer is trace-blind (every
+	// trace-consulting layer implements traceVecForward), so its plain
+	// Into path is exact.
+	if fi, hit := l.(vecForward); hit {
+		out = tensor.GetVec(l.OutSize())
+		fi.forwardVecInto(out, x)
+		return out, true, true
+	}
+	return nil, false, false
+}
+
+// sameVec reports whether two slices share a backing array start — the
+// identity-layer case (Flatten returns its input untouched).
+func sameVec(a, b []float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// PostAt returns the post-flip value of element idx at flip site `site` —
+// the scalar the §3.5 critical-point bisection reads. It runs the same
+// pooled kernels as the trace path (values are bit-identical) but records
+// nothing and stops as soon as the flip has run, so a probe costs the
+// prefix forward plus one flip row instead of a trace allocation per call.
+func (n *Network) PostAt(x []float64, site, idx int) float64 {
+	if v, ok := probeChain(n.Layers, x, site, -1, idx); ok {
+		return v
+	}
+	// Site not visible to the walker (shouldn't happen for registered
+	// sites); the recording path is always correct.
+	return n.ForwardTraceTo(x, site).Post[site][idx]
+}
+
+// ReluInAt returns the input of element idx at ReLU site `reluSite`, the
+// scalar bisected by the validation's hyperplane probes. Same contract as
+// PostAt.
+func (n *Network) ReluInAt(x []float64, reluSite, idx int) float64 {
+	if v, ok := probeChain(n.Layers, x, -1, reluSite, idx); ok {
+		return v
+	}
+	return n.ForwardTraceToReLU(x, reluSite).ReluIn[reluSite][idx]
+}
+
+// probeChain walks the layer chain over pooled buffers until the probed
+// site is reached: the output of flip site flipSite, or the input of ReLU
+// site reluSite (-1 disables either). Residuals are entered only when they
+// actually contain the site, so no path is ever evaluated twice.
+func probeChain(layers []Layer, x []float64, flipSite, reluSite, idx int) (float64, bool) {
+	cur, pooled := x, false
+	release := func() {
+		if pooled {
+			tensor.PutVec(cur)
+		}
+	}
+	for _, l := range layers {
+		switch v := l.(type) {
+		case *Flip:
+			if v.SiteID == flipSite {
+				out := tensor.GetVec(v.N)
+				v.forwardRowInto(out, cur)
+				val := out[idx]
+				tensor.PutVec(out)
+				release()
+				return val, true
+			}
+		case *ReLU:
+			if v.SiteID == reluSite {
+				val := cur[idx]
+				release()
+				return val, true
+			}
+		case *Residual:
+			if containsProbeSite(v.subLayers(), flipSite, reluSite) {
+				val, ok := probeChain(v.Body, cur, flipSite, reluSite, idx)
+				if !ok {
+					val, ok = probeChain(v.Shortcut, cur, flipSite, reluSite, idx)
+				}
+				release()
+				return val, ok
+			}
+		}
+		if next, np, ok := forwardVecLayer(l, cur, nil); ok {
+			release()
+			cur, pooled = next, np
+			continue
+		}
+		next := l.Forward(cur, nil)
+		if sameVec(next, cur) {
+			continue
+		}
+		release()
+		cur, pooled = next, false
+	}
+	release()
+	return 0, false
+}
+
+// containsProbeSite reports whether the layer set (recursively) holds the
+// flip or ReLU site a probe is after.
+func containsProbeSite(layers []Layer, flipSite, reluSite int) bool {
+	for _, l := range layers {
+		switch v := l.(type) {
+		case *Flip:
+			if v.SiteID == flipSite {
+				return true
+			}
+		case *ReLU:
+			if v.SiteID == reluSite {
+				return true
+			}
+		case container:
+			if containsProbeSite(v.subLayers(), flipSite, reluSite) {
+				return true
+			}
+		}
+	}
+	return false
+}

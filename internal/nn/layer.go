@@ -107,7 +107,9 @@ func checkSize(layer string, want, got int) {
 // forwardBatchViaSingle implements ForwardBatch for layers whose batch path
 // is just a per-row map of the single-example path.
 func forwardBatchViaSingle(l Layer, x *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(x.Rows, l.OutSize())
+	// Every row is fully assigned from the layer's Forward result, so a
+	// pooled buffer is safe.
+	out := tensor.GetMatrix(x.Rows, l.OutSize())
 	for i := 0; i < x.Rows; i++ {
 		out.SetRow(i, l.Forward(x.Row(i), nil))
 	}

@@ -68,12 +68,17 @@ func (n *Network) ReLUs() []*ReLU { return n.relus }
 func (n *Network) NumFlipSites() int { return len(n.flips) }
 
 // Forward computes the logits for one example. Safe for concurrent use as
-// long as no goroutine mutates parameters or flip signs.
+// long as no goroutine mutates parameters or flip signs. Intermediate
+// activations are staged in pooled workspaces; the returned logits are a
+// fresh slice the caller owns.
 func (n *Network) Forward(x []float64) []float64 {
-	for _, l := range n.Layers {
-		x = l.Forward(x, nil)
+	y, pooled := forwardVecChain(n.Layers, x)
+	if !pooled {
+		return y
 	}
-	return x
+	out := append([]float64(nil), y...)
+	tensor.PutVec(y)
+	return out
 }
 
 func (n *Network) newTrace() *Trace {
@@ -85,14 +90,43 @@ func (n *Network) newTrace() *Trace {
 	}
 }
 
+// forwardTrace drives the trace-recording pass over pooled intermediates.
+// The trace only ever holds clones (and, at the end, a fresh copy of the
+// logits), so recycling the chain buffers is invisible to callers. A
+// non-nil stop predicate is checked after every top-level layer; on stop
+// tr.Out stays nil, exactly like the early return it replaces.
+func (n *Network) forwardTrace(x []float64, tr *Trace, stop func() bool) {
+	cur, pooled := x, false
+	for _, l := range n.Layers {
+		if next, np, ok := forwardVecLayer(l, cur, tr); ok {
+			if pooled {
+				tensor.PutVec(cur)
+			}
+			cur, pooled = next, np
+		} else if next := l.Forward(cur, tr); !sameVec(next, cur) {
+			if pooled {
+				tensor.PutVec(cur)
+			}
+			cur, pooled = next, false
+		}
+		if stop != nil && stop() {
+			if pooled {
+				tensor.PutVec(cur)
+			}
+			return
+		}
+	}
+	tr.Out = append([]float64(nil), cur...)
+	if pooled {
+		tensor.PutVec(cur)
+	}
+}
+
 // ForwardTrace computes the logits while recording flip-site pre/post
 // values, ReLU inputs, and ReLU activation patterns.
 func (n *Network) ForwardTrace(x []float64) *Trace {
 	tr := n.newTrace()
-	for _, l := range n.Layers {
-		x = l.Forward(x, tr)
-	}
-	tr.Out = x
+	n.forwardTrace(x, tr, nil)
 	return tr
 }
 
@@ -102,35 +136,28 @@ func (n *Network) ForwardTrace(x []float64) *Trace {
 // probes one pre-activation many times.
 func (n *Network) ForwardTraceTo(x []float64, site int) *Trace {
 	tr := n.newTrace()
-	for _, l := range n.Layers {
-		x = l.Forward(x, tr)
-		if site >= 0 && site < len(tr.Pre) && tr.Pre[site] != nil {
-			return tr
-		}
-	}
-	tr.Out = x
+	n.forwardTrace(x, tr, func() bool {
+		return site >= 0 && site < len(tr.Pre) && tr.Pre[site] != nil
+	})
 	return tr
 }
 
 // ForwardTraceToReLU is ForwardTraceTo for a ReLU site.
 func (n *Network) ForwardTraceToReLU(x []float64, reluSite int) *Trace {
 	tr := n.newTrace()
-	for _, l := range n.Layers {
-		x = l.Forward(x, tr)
-		if reluSite >= 0 && reluSite < len(tr.ReluIn) && tr.ReluIn[reluSite] != nil {
-			return tr
-		}
-	}
-	tr.Out = x
+	n.forwardTrace(x, tr, func() bool {
+		return reluSite >= 0 && reluSite < len(tr.ReluIn) && tr.ReluIn[reluSite] != nil
+	})
 	return tr
 }
 
-// ForwardBatch computes logits for a batch (rows = examples).
+// ForwardBatch computes logits for a batch (rows = examples). Consumed
+// intermediates are recycled through the workspace pool — no layer retains
+// its ForwardBatch result (unlike TrainForward, whose activations must
+// survive for Backward). The returned logits are the caller's to release
+// or abandon.
 func (n *Network) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
-	for _, l := range n.Layers {
-		x = l.ForwardBatch(x)
-	}
-	return x
+	return forwardBatchChain(n.Layers, x)
 }
 
 // TrainForward runs the caching forward pass for training.
@@ -142,12 +169,11 @@ func (n *Network) TrainForward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // TrainBackward propagates the output gradient, accumulating parameter
-// gradients, and returns the input gradient.
+// gradients, and returns the input gradient. Consumed chain intermediates
+// are recycled through the workspace pool; the returned gradient is the
+// caller's to release (or abandon to the GC).
 func (n *Network) TrainBackward(dy *tensor.Matrix) *tensor.Matrix {
-	for i := len(n.Layers) - 1; i >= 0; i-- {
-		dy = n.Layers[i].Backward(dy)
-	}
-	return dy
+	return backwardChain(n.Layers, dy)
 }
 
 // Params returns every parameter in the network.

@@ -32,58 +32,104 @@ func (m *MaxPool2D) InSize() int { return m.C * m.InH * m.InW }
 // OutSize returns C·OH·OW.
 func (m *MaxPool2D) OutSize() int { return m.C * m.OutH * m.OutW }
 
+// forwardArgInto pools one example into y (length OutSize), recording the
+// argmax input index per output in arg when arg is non-nil. The window scan
+// keeps the (ky, kx) order and strict > comparison of the original gather,
+// so ties resolve to the same index; only the index arithmetic is hoisted.
+func (m *MaxPool2D) forwardArgInto(x, y []float64, arg []int) {
+	o := 0
+	for c := 0; c < m.C; c++ {
+		inBase := c * m.InH * m.InW
+		for oy := 0; oy < m.OutH; oy++ {
+			rowBase := inBase + oy*m.Stride*m.InW
+			if m.K == 2 {
+				// 2×2 window unrolled in the same (ky, kx) scan order, so
+				// ties resolve to the same first-wins index.
+				for ox := 0; ox < m.OutW; ox++ {
+					winBase := rowBase + ox*m.Stride
+					best, bestIdx := math.Inf(-1), -1
+					if v := x[winBase]; v > best {
+						best, bestIdx = v, winBase
+					}
+					if v := x[winBase+1]; v > best {
+						best, bestIdx = v, winBase+1
+					}
+					if v := x[winBase+m.InW]; v > best {
+						best, bestIdx = v, winBase+m.InW
+					}
+					if v := x[winBase+m.InW+1]; v > best {
+						best, bestIdx = v, winBase+m.InW+1
+					}
+					y[o] = best
+					if arg != nil {
+						arg[o] = bestIdx
+					}
+					o++
+				}
+				continue
+			}
+			for ox := 0; ox < m.OutW; ox++ {
+				winBase := rowBase + ox*m.Stride
+				best := math.Inf(-1)
+				bestIdx := -1
+				for ky := 0; ky < m.K; ky++ {
+					idx := winBase + ky*m.InW
+					for kx := 0; kx < m.K; kx++ {
+						if v := x[idx]; v > best {
+							best = v
+							bestIdx = idx
+						}
+						idx++
+					}
+				}
+				y[o] = best
+				if arg != nil {
+					arg[o] = bestIdx
+				}
+				o++
+			}
+		}
+	}
+}
+
 // forwardArg pools one example and reports the argmax input index per output.
 func (m *MaxPool2D) forwardArg(x []float64) (y []float64, arg []int) {
 	y = make([]float64, m.OutSize())
 	arg = make([]int, m.OutSize())
-	for c := 0; c < m.C; c++ {
-		inBase := c * m.InH * m.InW
-		outBase := c * m.OutH * m.OutW
-		for oy := 0; oy < m.OutH; oy++ {
-			for ox := 0; ox < m.OutW; ox++ {
-				best := math.Inf(-1)
-				bestIdx := -1
-				for ky := 0; ky < m.K; ky++ {
-					iy := oy*m.Stride + ky
-					for kx := 0; kx < m.K; kx++ {
-						ix := ox*m.Stride + kx
-						idx := inBase + iy*m.InW + ix
-						if x[idx] > best {
-							best = x[idx]
-							bestIdx = idx
-						}
-					}
-				}
-				o := outBase + oy*m.OutW + ox
-				y[o] = best
-				arg[o] = bestIdx
-			}
-		}
-	}
+	m.forwardArgInto(x, y, arg)
 	return y, arg
 }
 
-// Forward pools one example.
+// Forward pools one example. The argmax indices are not materialized.
 func (m *MaxPool2D) Forward(x []float64, _ *Trace) []float64 {
 	checkSize("maxpool2d", m.InSize(), len(x))
-	y, _ := m.forwardArg(x)
+	y := make([]float64, m.OutSize())
+	m.forwardArgInto(x, y, nil)
 	return y
 }
 
-// ForwardBatch pools each row.
+// ForwardBatch pools each row, writing straight into the output rows.
 func (m *MaxPool2D) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
-	return forwardBatchViaSingle(m, x)
+	// forwardArgInto assigns every output element, so a pooled buffer is safe.
+	out := tensor.GetMatrix(x.Rows, m.OutSize())
+	for r := 0; r < x.Rows; r++ {
+		m.forwardArgInto(x.Row(r), out.Row(r), nil)
+	}
+	return out
 }
 
-// TrainForward pools and caches argmax indices for Backward.
+// TrainForward pools and caches argmax indices for Backward. The index
+// cache is reused across batches once grown to the largest batch seen.
 func (m *MaxPool2D) TrainForward(x *tensor.Matrix) *tensor.Matrix {
 	m.rows = x.Rows
-	m.lastArg = make([]int, x.Rows*m.OutSize())
+	need := x.Rows * m.OutSize()
+	if cap(m.lastArg) < need {
+		m.lastArg = make([]int, need)
+	}
+	m.lastArg = m.lastArg[:need]
 	out := tensor.New(x.Rows, m.OutSize())
 	for r := 0; r < x.Rows; r++ {
-		y, arg := m.forwardArg(x.Row(r))
-		out.SetRow(r, y)
-		copy(m.lastArg[r*m.OutSize():], arg)
+		m.forwardArgInto(x.Row(r), out.Row(r), m.lastArg[r*m.OutSize():(r+1)*m.OutSize()])
 	}
 	return out
 }
@@ -93,7 +139,7 @@ func (m *MaxPool2D) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if m.lastArg == nil {
 		panic("nn: MaxPool2D.Backward before TrainForward")
 	}
-	dx := tensor.New(dy.Rows, m.InSize())
+	dx := tensor.GetMatrixZero(dy.Rows, m.InSize())
 	for r := 0; r < dy.Rows; r++ {
 		dyr := dy.Row(r)
 		dxr := dx.Row(r)
@@ -164,7 +210,9 @@ func (g *GlobalAvgPool) TrainForward(x *tensor.Matrix) *tensor.Matrix {
 func (g *GlobalAvgPool) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	plane := g.H * g.W
 	inv := 1 / float64(plane)
-	dx := tensor.New(dy.Rows, g.InSize())
+	// Every element of dx is assigned below, so the pooled buffer's
+	// arbitrary contents never show through.
+	dx := tensor.GetMatrix(dy.Rows, g.InSize())
 	for r := 0; r < dy.Rows; r++ {
 		dyr := dy.Row(r)
 		dxr := dx.Row(r)
@@ -243,7 +291,9 @@ func (m *MeanTokens) TrainForward(x *tensor.Matrix) *tensor.Matrix { return m.Fo
 // Backward spreads gradients evenly over tokens.
 func (m *MeanTokens) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	inv := 1 / float64(m.T)
-	dx := tensor.New(dy.Rows, m.InSize())
+	// Every element of dx is assigned below, so the pooled buffer's
+	// arbitrary contents never show through.
+	dx := tensor.GetMatrix(dy.Rows, m.InSize())
 	for r := 0; r < dy.Rows; r++ {
 		dyr := dy.Row(r)
 		dxr := dx.Row(r)

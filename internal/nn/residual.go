@@ -47,17 +47,24 @@ func (r *Residual) Forward(x []float64, tr *Trace) []float64 {
 	return tensor.VecAdd(b, s)
 }
 
-// ForwardBatch runs both paths and sums them.
+// ForwardBatch runs both paths and sums them. Consumed chain intermediates
+// go back to the workspace pool.
 func (r *Residual) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
-	b := x
-	for _, l := range r.Body {
-		b = l.ForwardBatch(b)
+	b := forwardBatchChain(r.Body, x)
+	s := forwardBatchChain(r.Shortcut, x)
+	// Same arithmetic as tensor.Add(b, s): copy b, then one pass of +=.
+	out := tensor.GetMatrix(b.Rows, b.Cols)
+	copy(out.Data, b.Data)
+	for i, v := range s.Data {
+		out.Data[i] += v
 	}
-	s := x
-	for _, l := range r.Shortcut {
-		s = l.ForwardBatch(s)
+	if b != x {
+		tensor.PutMatrix(b)
 	}
-	return tensor.Add(b, s)
+	if s != x && s != b {
+		tensor.PutMatrix(s)
+	}
+	return out
 }
 
 // TrainForward runs both paths with caching.
@@ -74,16 +81,58 @@ func (r *Residual) TrainForward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward propagates through both paths and sums the input gradients.
+// Consumed chain intermediates go back to the workspace pool; no layer
+// retains the gradient it was handed (see backwardChain).
 func (r *Residual) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	db := dy
-	for i := len(r.Body) - 1; i >= 0; i-- {
-		db = r.Body[i].Backward(db)
+	db := backwardChain(r.Body, dy)
+	ds := backwardChain(r.Shortcut, dy)
+	// Same arithmetic as tensor.Add(db, ds): copy db, then one pass of +=.
+	dx := tensor.GetMatrix(db.Rows, db.Cols)
+	copy(dx.Data, db.Data)
+	for i, v := range ds.Data {
+		dx.Data[i] += v
 	}
-	ds := dy
-	for i := len(r.Shortcut) - 1; i >= 0; i-- {
-		ds = r.Shortcut[i].Backward(ds)
+	if db != dy {
+		tensor.PutMatrix(db)
 	}
-	return tensor.Add(db, ds)
+	if ds != dy && ds != db {
+		tensor.PutMatrix(ds)
+	}
+	return dx
+}
+
+// forwardBatchChain folds ForwardBatch over layers, releasing each consumed
+// intermediate to the workspace pool. Safe because no layer retains its
+// ForwardBatch result; identity layers (Flatten) hand back their input
+// unchanged, which is caught by pointer equality. The caller's x is never
+// released.
+func forwardBatchChain(layers []Layer, x *tensor.Matrix) *tensor.Matrix {
+	cur := x
+	for _, l := range layers {
+		next := l.ForwardBatch(cur)
+		if cur != x && next != cur {
+			tensor.PutMatrix(cur)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// backwardChain folds Backward over layers in reverse, releasing each
+// consumed intermediate to the workspace pool. Safe because every layer's
+// Backward returns a buffer it does not retain, and identity layers
+// (Flatten) hand back their input unchanged, which is caught by pointer
+// equality. The caller's dy is never released.
+func backwardChain(layers []Layer, dy *tensor.Matrix) *tensor.Matrix {
+	cur := dy
+	for i := len(layers) - 1; i >= 0; i-- {
+		next := layers[i].Backward(cur)
+		if cur != dy && next != cur {
+			tensor.PutMatrix(cur)
+		}
+		cur = next
+	}
+	return cur
 }
 
 // JVP propagates value and tangent through both paths and sums them.

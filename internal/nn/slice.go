@@ -138,8 +138,8 @@ func (s *Slice) TrainForward(h *tensor.Matrix) *tensor.Matrix {
 // parameter gradients, and stops at the slice boundary: no gradient flows
 // into the frozen prefix.
 func (s *Slice) Backward(dy *tensor.Matrix) {
-	for i := len(s.net.Layers) - 1; i >= s.cut; i-- {
-		dy = s.net.Layers[i].Backward(dy)
+	if dx := backwardChain(s.net.Layers[s.cut:], dy); dx != dy {
+		tensor.PutMatrix(dx) // boundary gradient is dropped; recycle it
 	}
 }
 

@@ -180,9 +180,6 @@ func TestSlicedForwardBackwardEquivalence(t *testing.T) {
 				}
 			}
 			sl.ZeroGrad()
-			if h != x {
-				tensor.PutMatrix(h)
-			}
 			for _, f := range net.Flips() {
 				f.Harden()
 			}

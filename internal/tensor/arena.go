@@ -1,0 +1,134 @@
+package tensor
+
+import "sync"
+
+// Arena-backed float32 workspaces for the learning attack's speed tier
+// (DESIGN.md §13).
+//
+// The float64 hot loops recycle individual matrices through the sync.Pool
+// seam of workspace.go; the float32 training engine goes one step further:
+// one training run acquires one arena, bump-allocates every workspace and
+// activation cache out of contiguous slabs, and releases the whole run's
+// memory wholesale with a single PutArena32. Inside the epoch loop nothing
+// is allocated at all — the engine's per-batch buffers are carved out of
+// the arena once, on the first batch, and resliced thereafter.
+//
+// Contract: like Get/PutMatrix, allocations have arbitrary contents, and
+// after PutArena32 (or Reset) the caller must not retain any matrix, slice
+// or header obtained from the arena.
+
+// arenaHdrChunk is how many Mat headers one header chunk holds. Chunks are
+// never reallocated while live (pointers into them must stay stable), only
+// appended, so headers also cost zero allocations at steady state.
+const arenaHdrChunk = 64
+
+// Arena32 is a bump allocator over pooled float32 slabs.
+type Arena32 struct {
+	slabs [][]float32 // slabs[len-1] is the active slab
+	off   int         // next free element of the active slab
+	total int         // sum of slab capacities, for the Reset merge
+
+	hdrs   [][]Mat[float32] // Mat header chunks, stable while live
+	hc, hn int              // active chunk index / headers used in it
+}
+
+var arenaPool sync.Pool
+
+// GetArena32 returns an arena from the pool. The arena keeps its slabs
+// across uses, so a steady-state acquire/allocate/release cycle touches
+// the Go allocator not at all.
+func GetArena32() *Arena32 {
+	if v := arenaPool.Get(); v != nil {
+		return v.(*Arena32)
+	}
+	return &Arena32{}
+}
+
+// PutArena32 releases every allocation of the arena wholesale and returns
+// it to the pool. nil is ignored so deferred releases stay unconditional.
+func PutArena32(a *Arena32) {
+	if a == nil {
+		return
+	}
+	a.Reset()
+	arenaPool.Put(a)
+}
+
+// Reset reclaims all allocations at once. If the run outgrew its first
+// slab, the slabs are merged into one of the total capacity, so the next
+// run of the same shape bump-allocates from a single contiguous block.
+func (a *Arena32) Reset() {
+	if len(a.slabs) > 1 {
+		a.slabs = [][]float32{make([]float32, a.total)}
+	}
+	a.off = 0
+	a.hc, a.hn = 0, 0
+}
+
+// Vec bump-allocates a length-n float32 slice with arbitrary contents.
+// The slice is capacity-clamped so an append can never bleed into the
+// arena's neighbouring allocation.
+func (a *Arena32) Vec(n int) []float32 {
+	if len(a.slabs) == 0 || a.off+n > len(a.slabs[len(a.slabs)-1]) {
+		a.grow(n)
+	}
+	s := a.slabs[len(a.slabs)-1]
+	v := s[a.off : a.off+n : a.off+n]
+	a.off += n
+	return v
+}
+
+// VecZero is Vec with the contents cleared.
+func (a *Arena32) VecZero(n int) []float32 {
+	v := a.Vec(n)
+	zeroVec(v)
+	return v
+}
+
+// Mat bump-allocates a rows×cols float32 matrix with arbitrary contents.
+// The header itself comes from an arena chunk, so no escape to the heap.
+func (a *Arena32) Mat(rows, cols int) *Mat[float32] {
+	h := a.hdr()
+	*h = Mat[float32]{Rows: rows, Cols: cols, Data: a.Vec(rows * cols)}
+	return h
+}
+
+// MatZero is Mat with the contents cleared.
+func (a *Arena32) MatZero(rows, cols int) *Mat[float32] {
+	m := a.Mat(rows, cols)
+	zeroVec(m.Data)
+	return m
+}
+
+// grow appends a new slab big enough for an n-element request. The old
+// slab's tail is abandoned until Reset (its live allocations keep it
+// reachable); Reset merges everything back into one block.
+func (a *Arena32) grow(n int) {
+	size := 4096
+	if len(a.slabs) > 0 {
+		if d := 2 * len(a.slabs[len(a.slabs)-1]); d > size {
+			size = d
+		}
+	}
+	if n > size {
+		size = n
+	}
+	a.slabs = append(a.slabs, make([]float32, size))
+	a.off = 0
+	a.total += size
+}
+
+// hdr hands out the next stable Mat header.
+func (a *Arena32) hdr() *Mat[float32] {
+	if a.hc == len(a.hdrs) {
+		a.hdrs = append(a.hdrs, make([]Mat[float32], arenaHdrChunk))
+	}
+	chunk := a.hdrs[a.hc]
+	h := &chunk[a.hn]
+	a.hn++
+	if a.hn == len(chunk) {
+		a.hc++
+		a.hn = 0
+	}
+	return h
+}

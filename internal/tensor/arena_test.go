@@ -1,0 +1,108 @@
+package tensor
+
+import "testing"
+
+// TestArenaVecBump checks bump allocation hands out disjoint,
+// capacity-clamped slices from one slab.
+func TestArenaVecBump(t *testing.T) {
+	a := GetArena32()
+	defer PutArena32(a)
+	v1 := a.Vec(8)
+	v2 := a.Vec(8)
+	if cap(v1) != 8 || cap(v2) != 8 {
+		t.Fatalf("capacity not clamped: %d, %d", cap(v1), cap(v2))
+	}
+	for i := range v1 {
+		v1[i] = 1
+	}
+	for i := range v2 {
+		v2[i] = 2
+	}
+	for i, v := range v1 {
+		if v != 1 {
+			t.Fatalf("v1[%d] clobbered: %v", i, v)
+		}
+	}
+	// An append must reallocate, never bleed into v2's block.
+	v1 = append(v1, 9)
+	if v2[0] != 2 {
+		t.Fatal("append into v1 bled into v2")
+	}
+}
+
+// TestArenaMatShapes checks Mat headers carry the requested shape and
+// MatZero clears.
+func TestArenaMatShapes(t *testing.T) {
+	a := GetArena32()
+	defer PutArena32(a)
+	m := a.Mat(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Data[0] = 5
+	z := a.MatZero(2, 2)
+	for i, v := range z.Data {
+		if v != 0 {
+			t.Fatalf("MatZero[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestArenaGrowAndResetMerge forces multi-slab growth and checks Reset
+// merges to a single slab big enough for the whole prior run.
+func TestArenaGrowAndResetMerge(t *testing.T) {
+	a := &Arena32{}
+	total := 0
+	for i := 0; i < 10; i++ {
+		n := 3000
+		a.Vec(n)
+		total += n
+	}
+	if len(a.slabs) < 2 {
+		t.Fatalf("expected growth across slabs, got %d slab(s)", len(a.slabs))
+	}
+	a.Reset()
+	if len(a.slabs) != 1 {
+		t.Fatalf("Reset left %d slabs", len(a.slabs))
+	}
+	if len(a.slabs[0]) < total {
+		t.Fatalf("merged slab %d < prior total %d", len(a.slabs[0]), total)
+	}
+	// The merged slab now serves the same run without growing again.
+	before := len(a.slabs)
+	for i := 0; i < 10; i++ {
+		a.Vec(3000)
+	}
+	if len(a.slabs) != before {
+		t.Fatalf("merged arena grew again: %d slabs", len(a.slabs))
+	}
+}
+
+// TestArenaHeaderStability checks Mat headers stay valid as more headers
+// are carved (chunks are appended, never reallocated while live).
+func TestArenaHeaderStability(t *testing.T) {
+	a := GetArena32()
+	defer PutArena32(a)
+	first := a.Mat(2, 2)
+	first.Data[3] = 7
+	for i := 0; i < 3*arenaHdrChunk; i++ {
+		a.Mat(1, 1)
+	}
+	if first.Rows != 2 || first.Cols != 2 || first.Data[3] != 7 {
+		t.Fatal("early header invalidated by later header allocation")
+	}
+}
+
+// TestArenaPoolRoundTrip checks a pooled arena is reusable after release.
+func TestArenaPoolRoundTrip(t *testing.T) {
+	a := GetArena32()
+	a.Vec(100)
+	PutArena32(a)
+	b := GetArena32()
+	defer PutArena32(b)
+	v := b.Vec(50)
+	if len(v) != 50 {
+		t.Fatalf("reused arena Vec len %d", len(v))
+	}
+	PutArena32(nil) // nil-safe
+}

@@ -38,12 +38,23 @@ func CholeskyDecompose(a *Matrix) (*Cholesky, error) {
 
 // Solve returns x with A·x = b.
 func (c *Cholesky) Solve(b []float64) []float64 {
+	return c.SolveInto(make([]float64, c.l.Rows), b)
+}
+
+// SolveInto solves A·x = b into the caller-provided x (following the
+// ColInto convention: the destination comes first and is returned). The
+// forward-substitution intermediate lives in a pooled workspace, so the
+// solve itself allocates nothing — hot callers pass a pooled or reused x
+// and the per-call garbage of the old Solve disappears. x may alias b:
+// b's element i is consumed before anything overwrites it.
+func (c *Cholesky) SolveInto(x, b []float64) []float64 {
 	n := c.l.Rows
-	if len(b) != n {
+	if len(b) != n || len(x) != n {
 		panic("tensor: Cholesky.Solve length mismatch")
 	}
 	// Forward: L·y = b.
-	y := make([]float64, n)
+	y := GetVec(n)
+	defer PutVec(y)
 	for i := 0; i < n; i++ {
 		row := c.l.Row(i)
 		s := b[i]
@@ -53,7 +64,6 @@ func (c *Cholesky) Solve(b []float64) []float64 {
 		y[i] = s / row[i]
 	}
 	// Backward: Lᵀ·x = y.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for j := i + 1; j < n; j++ {

@@ -101,6 +101,41 @@ func TestCholeskySolve(t *testing.T) {
 	}
 }
 
+func TestCholeskySolveInto(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		b := randMat(r, n, n)
+		a := MatMul(b.T(), b)
+		a.AddInPlace(Identity(n))
+		rhs := randVec(r, n)
+		ch, err := CholeskyDecompose(a)
+		if err != nil {
+			return false
+		}
+		want := ch.Solve(rhs)
+		// Caller-buffer form must match the allocating form exactly.
+		got := ch.SolveInto(make([]float64, n), rhs)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Aliased form x == b: b is consumed before being overwritten.
+		aliased := VecClone(rhs)
+		ch.SolveInto(aliased, aliased)
+		for i := range aliased {
+			if aliased[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCholeskyRejectsIndefinite(t *testing.T) {
 	a := FromSlice(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
 	if _, err := CholeskyDecompose(a); err == nil {

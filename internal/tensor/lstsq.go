@@ -72,7 +72,11 @@ func minNormSolve(a *Matrix, b []float64) []float64 {
 		g.Set(i, i, g.At(i, i)+jitter)
 	}
 	if ch, err := CholeskyDecompose(g); err == nil {
-		w := ch.Solve(b)
+		// The Gram-system solution is a scratch intermediate (only Aᵀ·w
+		// escapes), so it lives in a pooled workspace.
+		w := GetVec(m)
+		defer PutVec(w)
+		ch.SolveInto(w, b)
 		if allFinite(w) {
 			return MatTVec(a, w)
 		}

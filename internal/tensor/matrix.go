@@ -9,26 +9,47 @@ import (
 	"math"
 )
 
-// Matrix is a dense row-major matrix of float64.
-type Matrix struct {
-	Rows, Cols int
-	Data       []float64 // len == Rows*Cols, element (i,j) at Data[i*Cols+j]
+// Float is the element width of the kernel tier. float64 is the exact
+// reference arithmetic every paper-facing result is defined in; float32 is
+// the raw-speed tier used only where DESIGN.md §13 allows numerical drift
+// (the learning attack's training loop).
+type Float interface {
+	float32 | float64
 }
 
-// New returns a zeroed Rows×Cols matrix.
+// Mat is a dense row-major matrix over either element width. All kernels
+// below are generic over Mat[T]; the float64 instantiation executes the
+// exact same IEEE operations in the exact same order as the historical
+// float64-only code, so the bit-identity guarantees are untouched.
+type Mat[T Float] struct {
+	Rows, Cols int
+	Data       []T // len == Rows*Cols, element (i,j) at Data[i*Cols+j]
+}
+
+// Matrix is the exact float64 matrix — the element type of every paper-
+// facing code path. It is an alias (not a wrapper) of Mat[float64], so the
+// generic kernels and the historical float64 API are one and the same.
+type Matrix = Mat[float64]
+
+// New returns a zeroed Rows×Cols float64 matrix.
 func New(rows, cols int) *Matrix {
+	return NewOf[float64](rows, cols)
+}
+
+// NewOf returns a zeroed Rows×Cols matrix of the given element width.
+func NewOf[T Float](rows, cols int) *Mat[T] {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+	return &Mat[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}
 }
 
 // FromSlice wraps data (not copied) as a rows×cols matrix.
-func FromSlice(rows, cols int, data []float64) *Matrix {
+func FromSlice[T Float](rows, cols int, data []T) *Mat[T] {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: data}
+	return &Mat[T]{Rows: rows, Cols: cols, Data: data}
 }
 
 // Identity returns the n×n identity matrix.
@@ -50,17 +71,31 @@ func Diag(d []float64) *Matrix {
 	return m
 }
 
+// ConvertInto copies src into dst element-wise, casting between widths
+// (same shape required). This is the one-time boundary crossing of the
+// float32 tier: prefix activations and labels demote once per training run,
+// never per minibatch.
+func ConvertInto[D, S Float](dst *Mat[D], src *Mat[S]) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: ConvertInto shape mismatch %dx%d <- %dx%d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = D(v)
+	}
+}
+
 // At returns element (i, j).
-func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+func (m *Mat[T]) At(i, j int) T { return m.Data[i*m.Cols+j] }
 
 // Set assigns element (i, j).
-func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+func (m *Mat[T]) Set(i, j int, v T) { m.Data[i*m.Cols+j] = v }
 
 // Row returns a mutable view of row i.
-func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+func (m *Mat[T]) Row(i int) []T { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // SetRow copies v into row i.
-func (m *Matrix) SetRow(i int, v []float64) {
+func (m *Mat[T]) SetRow(i int, v []T) {
 	if len(v) != m.Cols {
 		panic("tensor: SetRow length mismatch")
 	}
@@ -71,7 +106,7 @@ func (m *Matrix) SetRow(i int, v []float64) {
 // 0, 1, ... — the minibatch-assembly primitive of the learning attack,
 // which shuffles a permutation and gathers the selected examples (or their
 // cached prefix activations) into a reused workspace.
-func GatherRowsInto(dst, src *Matrix, rows []int) {
+func GatherRowsInto[T Float](dst, src *Mat[T], rows []int) {
 	if dst.Cols != src.Cols || dst.Rows != len(rows) {
 		panic(fmt.Sprintf("tensor: GatherRowsInto shape mismatch %dx%d <- %d of %dx%d",
 			dst.Rows, dst.Cols, len(rows), src.Rows, src.Cols))
@@ -82,15 +117,15 @@ func GatherRowsInto(dst, src *Matrix, rows []int) {
 }
 
 // Col returns a copy of column j.
-func (m *Matrix) Col(j int) []float64 {
-	return m.ColInto(make([]float64, m.Rows), j)
+func (m *Mat[T]) Col(j int) []T {
+	return m.ColInto(make([]T, m.Rows), j)
 }
 
 // ColInto copies column j into dst (length m.Rows) and returns dst. Hot
 // loops that walk columns repeatedly (the decompositions) use this with a
 // reused buffer instead of Col to avoid per-call allocation and to turn
 // the strided column reads into contiguous ones.
-func (m *Matrix) ColInto(dst []float64, j int) []float64 {
+func (m *Mat[T]) ColInto(dst []T, j int) []T {
 	if len(dst) != m.Rows {
 		panic("tensor: ColInto length mismatch")
 	}
@@ -101,7 +136,7 @@ func (m *Matrix) ColInto(dst []float64, j int) []float64 {
 }
 
 // SetCol copies v into column j.
-func (m *Matrix) SetCol(j int, v []float64) {
+func (m *Mat[T]) SetCol(j int, v []T) {
 	if len(v) != m.Rows {
 		panic("tensor: SetCol length mismatch")
 	}
@@ -111,14 +146,14 @@ func (m *Matrix) SetCol(j int, v []float64) {
 }
 
 // Clone returns a deep copy.
-func (m *Matrix) Clone() *Matrix {
-	c := New(m.Rows, m.Cols)
+func (m *Mat[T]) Clone() *Mat[T] {
+	c := NewOf[T](m.Rows, m.Cols)
 	copy(c.Data, m.Data)
 	return c
 }
 
 // CopyFrom copies the contents of src (same shape required).
-func (m *Matrix) CopyFrom(src *Matrix) {
+func (m *Mat[T]) CopyFrom(src *Mat[T]) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic("tensor: CopyFrom shape mismatch")
 	}
@@ -126,15 +161,15 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 }
 
 // Zero sets all elements to 0.
-func (m *Matrix) Zero() {
+func (m *Mat[T]) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
 	}
 }
 
 // T returns the transpose as a new matrix.
-func (m *Matrix) T() *Matrix {
-	t := New(m.Cols, m.Rows)
+func (m *Mat[T]) T() *Mat[T] {
+	t := NewOf[T](m.Cols, m.Rows)
 	m.TransposeInto(t)
 	return t
 }
@@ -142,7 +177,7 @@ func (m *Matrix) T() *Matrix {
 // TransposeInto writes mᵀ into dst (shape Cols×Rows), reusing dst's
 // storage — used with pooled workspaces where a transpose is genuinely
 // needed for access-pattern reasons (e.g. staging Jacobian columns).
-func (m *Matrix) TransposeInto(dst *Matrix) {
+func (m *Mat[T]) TransposeInto(dst *Mat[T]) {
 	if dst.Rows != m.Cols || dst.Cols != m.Rows {
 		panic("tensor: TransposeInto shape mismatch")
 	}
@@ -155,11 +190,11 @@ func (m *Matrix) TransposeInto(dst *Matrix) {
 }
 
 // MatMul returns a*b.
-func MatMul(a, b *Matrix) *Matrix {
+func MatMul[T Float](a, b *Mat[T]) *Mat[T] {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
+	out := NewOf[T](a.Rows, b.Cols)
 	MatMulInto(out, a, b)
 	return out
 }
@@ -168,7 +203,7 @@ func MatMul(a, b *Matrix) *Matrix {
 // computed by the cache-blocked kernel of kernels.go, sharded over the
 // worker pool of parallel.go; results are bit-for-bit identical at every
 // parallelism level because each row's accumulation order is fixed.
-func MatMulInto(dst, a, b *Matrix) {
+func MatMulInto[T Float](dst, a, b *Mat[T]) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MatMulInto shape mismatch")
 	}
@@ -180,7 +215,7 @@ func MatMulInto(dst, a, b *Matrix) {
 }
 
 // MatMulAddInto computes dst += a*b.
-func MatMulAddInto(dst, a, b *Matrix) {
+func MatMulAddInto[T Float](dst, a, b *Mat[T]) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MatMulAddInto shape mismatch")
 	}
@@ -245,7 +280,7 @@ func MatTVec(a *Matrix, x []float64) []float64 {
 }
 
 // Add returns a+b element-wise.
-func Add(a, b *Matrix) *Matrix {
+func Add[T Float](a, b *Mat[T]) *Mat[T] {
 	sameShape(a, b, "Add")
 	out := a.Clone()
 	for i, v := range b.Data {
@@ -255,7 +290,7 @@ func Add(a, b *Matrix) *Matrix {
 }
 
 // AddInPlace sets m += b.
-func (m *Matrix) AddInPlace(b *Matrix) {
+func (m *Mat[T]) AddInPlace(b *Mat[T]) {
 	sameShape(m, b, "AddInPlace")
 	for i, v := range b.Data {
 		m.Data[i] += v
@@ -263,7 +298,7 @@ func (m *Matrix) AddInPlace(b *Matrix) {
 }
 
 // Sub returns a-b element-wise.
-func Sub(a, b *Matrix) *Matrix {
+func Sub[T Float](a, b *Mat[T]) *Mat[T] {
 	sameShape(a, b, "Sub")
 	out := a.Clone()
 	for i, v := range b.Data {
@@ -273,7 +308,7 @@ func Sub(a, b *Matrix) *Matrix {
 }
 
 // Scale returns s*m as a new matrix.
-func (m *Matrix) Scale(s float64) *Matrix {
+func (m *Mat[T]) Scale(s T) *Mat[T] {
 	out := m.Clone()
 	for i := range out.Data {
 		out.Data[i] *= s
@@ -282,14 +317,14 @@ func (m *Matrix) Scale(s float64) *Matrix {
 }
 
 // ScaleInPlace sets m *= s.
-func (m *Matrix) ScaleInPlace(s float64) {
+func (m *Mat[T]) ScaleInPlace(s T) {
 	for i := range m.Data {
 		m.Data[i] *= s
 	}
 }
 
 // Hadamard returns the element-wise product a∘b.
-func Hadamard(a, b *Matrix) *Matrix {
+func Hadamard[T Float](a, b *Mat[T]) *Mat[T] {
 	sameShape(a, b, "Hadamard")
 	out := a.Clone()
 	for i, v := range b.Data {
@@ -300,7 +335,7 @@ func Hadamard(a, b *Matrix) *Matrix {
 
 // MaskRows zeroes every row i with mask[i] == false, in place, and returns m.
 // This is the "M^(i)" broadcast masking of the paper's Formula 3.
-func (m *Matrix) MaskRows(mask []bool) *Matrix {
+func (m *Mat[T]) MaskRows(mask []bool) *Mat[T] {
 	if len(mask) != m.Rows {
 		panic("tensor: MaskRows length mismatch")
 	}
@@ -316,10 +351,10 @@ func (m *Matrix) MaskRows(mask []bool) *Matrix {
 }
 
 // MaxAbs returns max_i |m.Data[i]| (0 for an empty matrix).
-func (m *Matrix) MaxAbs() float64 {
+func (m *Mat[T]) MaxAbs() float64 {
 	mx := 0.0
 	for _, v := range m.Data {
-		if a := math.Abs(v); a > mx {
+		if a := math.Abs(float64(v)); a > mx {
 			mx = a
 		}
 	}
@@ -327,35 +362,35 @@ func (m *Matrix) MaxAbs() float64 {
 }
 
 // FrobNorm returns the Frobenius norm.
-func (m *Matrix) FrobNorm() float64 {
+func (m *Mat[T]) FrobNorm() float64 {
 	s := 0.0
 	for _, v := range m.Data {
-		s += v * v
+		s += float64(v) * float64(v)
 	}
 	return math.Sqrt(s)
 }
 
 // Equal reports whether a and b have the same shape and all elements within tol.
-func Equal(a, b *Matrix, tol float64) bool {
+func Equal[T Float](a, b *Mat[T], tol float64) bool {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return false
 	}
 	for i, v := range a.Data {
-		if math.Abs(v-b.Data[i]) > tol {
+		if math.Abs(float64(v)-float64(b.Data[i])) > tol {
 			return false
 		}
 	}
 	return true
 }
 
-func sameShape(a, b *Matrix, op string) {
+func sameShape[T Float](a, b *Mat[T], op string) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 }
 
 // String renders the matrix for debugging.
-func (m *Matrix) String() string {
+func (m *Mat[T]) String() string {
 	s := fmt.Sprintf("Matrix %dx%d [", m.Rows, m.Cols)
 	for i := 0; i < m.Rows && i < 6; i++ {
 		s += fmt.Sprintf("%v", m.Row(i))

@@ -2,12 +2,14 @@ package tensor
 
 import "math"
 
-// Dot returns the inner product of two equal-length vectors.
-func Dot(a, b []float64) float64 {
+// Dot returns the inner product of two equal-length vectors. Generic over
+// the element width: the float64 instantiation is the historical exact
+// kernel, the float32 one backs the learning attack's speed tier.
+func Dot[T Float](a, b []T) T {
 	if len(a) != len(b) {
 		panic("tensor: Dot length mismatch")
 	}
-	s := 0.0
+	var s T
 	for i, v := range a {
 		s += v * b[i]
 	}

@@ -66,7 +66,9 @@ func Fit(net *nn.Network, x *tensor.Matrix, y []int, xTest *tensor.Matrix, yTest
 			}
 			logits := net.TrainForward(bx)
 			loss, grad := SoftmaxCrossEntropy(logits, by)
-			net.TrainBackward(grad)
+			if dx := net.TrainBackward(grad); dx != grad {
+				tensor.PutMatrix(dx) // input gradient is unused; recycle it
+			}
 			cfg.Optimizer.Step(params)
 			epochLoss += loss
 			batches++
@@ -105,6 +107,11 @@ func Evaluate(net *nn.Network, x *tensor.Matrix, y []int) float64 {
 			if tensor.ArgMax(logits.Row(i)) == y[start+i] {
 				correct++
 			}
+		}
+		if logits != bx {
+			// bx aliases the dataset; recycling it would hand the dataset's
+			// backing array out as a scratch buffer. Fresh logits are safe.
+			tensor.PutMatrix(logits)
 		}
 	}
 	return float64(correct) / float64(x.Rows)

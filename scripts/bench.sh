@@ -21,13 +21,22 @@ OUT="BENCH_${DATE}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+# Metadata that makes bench_compare diffs attributable: the effective
+# parallelism knobs and the Table 1 training precision (bench_test.go
+# defaults to the float32 raw-speed tier; DNNLOCK_TRAIN_PRECISION=float64
+# pins the exact reference tier).
+MAXPROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)}"
+PROCS="${DNNLOCK_PROCS:-default}"
+PRECISION="${DNNLOCK_TRAIN_PRECISION:-float32}"
+
 echo "==> go test -bench '$PATTERN' -benchmem -benchtime $BTIME ." >&2
 go test -run 'XXX' -bench "$PATTERN" -benchmem -benchtime "$BTIME" "$@" . | tee "$RAW" >&2
 
 echo "==> go test ./internal/tensor -bench . -benchmem" >&2
 go test -run 'XXX' -bench . -benchmem ./internal/tensor | tee -a "$RAW" >&2
 
-awk -v date="$DATE" -v gover="$(go version | awk '{print $3}')" '
+awk -v date="$DATE" -v gover="$(go version | awk '{print $3}')" \
+    -v maxprocs="$MAXPROCS" -v procs="$PROCS" -v precision="$PRECISION" '
 BEGIN { n = 0 }
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
@@ -41,7 +50,9 @@ BEGIN { n = 0 }
     lines[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, %s}", name, iters, metrics)
 }
 END {
-    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n  \"results\": [\n", date, gover, cpu
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n", date, gover, cpu
+    printf "  \"gomaxprocs\": \"%s\",\n  \"dnnlock_procs\": \"%s\",\n  \"train_precision\": \"%s\",\n", maxprocs, procs, precision
+    printf "  \"results\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"
 }' "$RAW" > "$OUT"

@@ -46,4 +46,15 @@ go build -o "$TRACE_TMP/dnnlock" ./cmd/dnnlock
 	-trace "$TRACE_TMP/trace.jsonl" > /dev/null
 "$TRACE_TMP/dnnlock" trace -in "$TRACE_TMP/trace.jsonl" -check > /dev/null
 
+# Bench gate (opt-in: DNNLOCK_BENCH=1): run the paper-facing benchmarks and
+# diff the fresh numbers against the most recent committed BENCH_*.json via
+# bench_compare.sh, which fails on a >10% regression. Off by default — the
+# bench suite takes minutes and perf numbers are only meaningful on a quiet
+# machine — but perf-sensitive changes should ship with this green.
+if [ "${DNNLOCK_BENCH:-0}" = "1" ]; then
+	echo "==> bench gate (DNNLOCK_BENCH=1): scripts/bench.sh + strict bench_compare"
+	BENCH_COMPARE=0 sh scripts/bench.sh
+	BENCH_COMPARE_STRICT=1 sh scripts/bench_compare.sh
+fi
+
 echo "OK"
