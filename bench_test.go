@@ -65,6 +65,7 @@ func benchCell(b *testing.B, model string, bits int) {
 	b.ReportMetric(100*last.Decryption.Fidelity, "dec_fidelity_%")
 	b.ReportMetric(100*last.Monolithic.Fidelity, "mono_fidelity_%")
 	b.ReportMetric(float64(last.Decryption.Queries), "dec_queries")
+	b.ReportMetric(float64(last.Decryption.Rounds), "oracle_rounds")
 	b.ReportMetric(100*last.OriginalAccuracy, "orig_acc_%")
 	b.ReportMetric(100*last.BaselineAccuracy, "base_acc_%")
 }
@@ -114,6 +115,11 @@ func benchDecrypt(b *testing.B, kind string, bits int, mutate func(*core.Config)
 		}
 	}
 	b.ReportMetric(float64(res.Queries), "queries")
+	b.ReportMetric(float64(res.Rounds), "oracle_rounds")
+	// The §3.5 search is white-box, so -multisect moves these two, not
+	// oracle_rounds: fewer narrowing rounds bought with more probes.
+	b.ReportMetric(float64(res.BisectRounds), "bisect_rounds")
+	b.ReportMetric(float64(res.BisectProbes), "bisect_probes")
 	for _, p := range metrics.AllProcedures {
 		b.ReportMetric(res.Breakdown.Percent(p), string(p)+"_pct")
 	}
@@ -166,6 +172,21 @@ func BenchmarkAblationFloat32Training(b *testing.B) {
 }
 func BenchmarkAblationFloat64Training(b *testing.B) {
 	benchDecrypt(b, "lenet", 6, func(c *core.Config) { c.TrainPrecision = core.Float64 })
+}
+
+// Query-planner trade-offs. BenchmarkAblationNoPlanner is the pre-planner
+// scalar probe path: identical queries, every probe its own round-trip —
+// the oracle_rounds gap to BenchmarkAblationDefault is what the planner
+// saves. The multisection and probe-cache variants are the opt-in points
+// on the rounds/queries trade-off curve (DESIGN.md §14).
+func BenchmarkAblationNoPlanner(b *testing.B) {
+	benchDecrypt(b, "mlp", 8, func(c *core.Config) { c.DisablePlanner = true })
+}
+func BenchmarkAblationMultisect4(b *testing.B) {
+	benchDecrypt(b, "mlp", 8, func(c *core.Config) { c.Multisect = 4 })
+}
+func BenchmarkAblationProbeCache(b *testing.B) {
+	benchDecrypt(b, "mlp", 8, func(c *core.Config) { c.ProbeCache = true })
 }
 
 // §3.9 variant attacks.

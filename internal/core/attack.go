@@ -14,7 +14,6 @@ import (
 	"dnnlock/internal/nn"
 	"dnnlock/internal/obs"
 	"dnnlock/internal/oracle"
-	"dnnlock/internal/tensor"
 )
 
 // Attack carries the shared state of one decryption run. The white-box
@@ -38,6 +37,15 @@ type Attack struct {
 	// degraded counts oracle-facing decisions abandoned to ⊥ because of
 	// persistent transient failures or split majority votes.
 	degraded atomic.Int64
+
+	// Query-planner state (planner.go). coal is the active cross-goroutine
+	// coalescer, non-nil only inside a withCoalescer region; memo is the
+	// opt-in probe cache (nil unless cfg.ProbeCache); crit accumulates
+	// bisection round/probe counts (cfg.critStats points at it so the
+	// search code in critical.go, which has no *Attack, can report).
+	coal atomic.Pointer[coalescer]
+	memo *probeMemo
+	crit critStats
 
 	// Observability. tracer and log are never nil (New substitutes the
 	// no-op tracer and the env-controlled default logger). root is the
@@ -68,6 +76,10 @@ func New(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg Config
 		tracer:     tracerFor(cfg),
 		log:        loggerFor(cfg),
 	}
+	if a.cfg.ProbeCache {
+		a.memo = newProbeMemo()
+	}
+	a.cfg.critStats = &a.crit
 	// Start from the identity hypothesis (all bits 0).
 	for i, pn := range spec.Neurons {
 		a.applier.apply(a.white, pn, i, false)
@@ -126,10 +138,16 @@ func (a *Attack) startRoot(name string, attrs ...obs.Attr) *obs.Span {
 func (a *Attack) trackProc(parent *obs.Span, proc metrics.Procedure, f func()) {
 	sp := parent.Child(string(proc), obs.Proc(proc))
 	q0 := a.orc.Queries()
+	r0 := a.orc.Rounds()
 	a.phase = sp
 	f()
 	a.phase = nil
 	sp.AddQueries(a.orc.Queries() - q0)
+	// Rounds are attributed only here, on phase spans: a coalesced round is
+	// shared by several detail spans, so per-detail attribution would double
+	// count. withCoalescer drains its batches before f returns, keeping the
+	// delta exact.
+	sp.AddRounds(a.orc.Rounds() - r0)
 	sp.End()
 }
 
@@ -233,65 +251,6 @@ func (a *Attack) parallelForErr(n int, seedBase int64, fn func(i int, rng *rand.
 		}
 	}
 	return nil
-}
-
-// query asks the oracle once, retrying transient failures up to
-// cfg.QueryRetries times. A clean oracle never errors, so this path adds
-// nothing to the paper's reproduction; against a degraded one it returns the
-// terminal error (budget exhaustion, device fault) for the caller to
-// propagate out of Run. sp, when non-nil, is the caller's detail span: it
-// counts every attempt and retry (it never receives the phase span itself —
-// phase query counts come from the oracle-counter delta in trackProc, and
-// double counting there would corrupt the Figure 3 rollup).
-func (a *Attack) query(sp *obs.Span, x []float64) ([]float64, error) {
-	return queryRetry(a.orc, x, a.cfg.QueryRetries, sp)
-}
-
-// queryBatch is query for a batch.
-func (a *Attack) queryBatch(sp *obs.Span, x *tensor.Matrix) (*tensor.Matrix, error) {
-	return queryBatchRetry(a.orc, x, a.cfg.QueryRetries, sp)
-}
-
-// queryRetry implements the bounded-retry policy on a bare Interface,
-// counting attempts and retries on the (nil-safe) span.
-func queryRetry(orc oracle.Interface, x []float64, retries int, sp *obs.Span) ([]float64, error) {
-	var err error
-	for t := 0; t <= retries; t++ {
-		if t > 0 {
-			sp.AddRetry()
-		}
-		sp.AddQueries(1)
-		var y []float64
-		y, err = orc.Query(x)
-		if err == nil {
-			return y, nil
-		}
-		if !errors.Is(err, oracle.ErrTransient) {
-			return nil, err
-		}
-	}
-	return nil, err
-}
-
-// queryBatchRetry is queryRetry for batches.
-func queryBatchRetry(orc oracle.Interface, x *tensor.Matrix, retries int, sp *obs.Span) (*tensor.Matrix, error) {
-	var err error
-	for t := 0; t <= retries; t++ {
-		if t > 0 {
-			sp.AddRetry()
-		}
-		sp.AddQueries(int64(x.Rows))
-		var y *tensor.Matrix
-		y, err = orc.QueryBatch(x)
-		if err == nil {
-			return y, nil
-		}
-		tensor.PutMatrix(y) // nil on error; nil-safe release keeps the path visibly balanced
-		if !errors.Is(err, oracle.ErrTransient) {
-			return nil, err
-		}
-	}
-	return nil, err
 }
 
 // fallthroughBottom converts a still-transient failure (retries exhausted)

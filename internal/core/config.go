@@ -127,6 +127,31 @@ type Config struct {
 	// oracle.ErrTransient before the attack degrades that decision to ⊥.
 	QueryRetries int
 
+	// Multisect selects k-way multisection for the critical-point zero
+	// search (searchZero / bisectSegment): each refinement round probes k−1
+	// interior points and narrows the bracket by a factor of k, cutting
+	// refinement rounds per critical point from ⌈log₂(1/tol)⌉ to
+	// ⌈log_k(1/tol)⌉ at the cost of more probes per round. Today the zero
+	// search runs on the white box, so "rounds" are measured as the
+	// round-trip template for an oracle-backed search under a remote-device
+	// latency model (ROADMAP item 2). 0 or 1 keeps the paper's bisection,
+	// bit-identical; values ≥ 2 change which witness the search converges
+	// to, so query counts may shift while fidelity is preserved.
+	Multisect int
+	// ProbeCache enables the content-addressed probe memo: oracle probes of
+	// a point already answered this run are served from the cache instead
+	// of re-queried, deduplicating repeat points across error-correction
+	// candidates and retries. Off by default because cache hits reduce the
+	// reported query counts below the paper's.
+	ProbeCache bool
+	// DisablePlanner restores the pre-planner scalar query path: every
+	// multi-point probe issues its points as sequential Query calls and no
+	// cross-goroutine coalescing happens. Results and query counts are
+	// bit-identical to the planner path on a clean oracle (pinned by
+	// TestPlannerEquivalence); only the round-trip count differs. Exists
+	// for that equivalence test and for A/B benchmarks.
+	DisablePlanner bool
+
 	// Workers is the parallelism degree across neurons / candidates (§4.1).
 	Workers int
 	// Seed drives all attack randomness.
@@ -160,6 +185,12 @@ type Config struct {
 	// obs.Default(os.Stderr): controlled by DNNLOCK_LOG, discarding when
 	// the variable is unset.
 	Logger *slog.Logger
+
+	// critStats, when non-nil, accumulates the zero-search refinement
+	// accounting (rounds and probes) that the -multisect trade-off reports.
+	// New wires it to the attack's own counters; the free-standing search
+	// helpers run unaccounted when it is nil.
+	critStats *critStats
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -351,15 +382,28 @@ type SiteReport struct {
 
 // Result is the outcome of a decryption attack.
 type Result struct {
-	Key       hpnn.Key
-	Origins   []BitOrigin
-	Queries   int64
+	Key     hpnn.Key
+	Origins []BitOrigin
+	Queries int64
+	// Rounds counts oracle round-trips (Query/QueryBatch calls) consumed by
+	// the run. Against a remote device each round pays a network latency,
+	// so rounds — not queries — dominate the wall clock of a real attack;
+	// the query planner exists to shrink this number without changing
+	// Queries.
+	Rounds    int64
 	Time      time.Duration
 	Breakdown *metrics.Breakdown
 	// QueriesByProc splits the oracle queries across the four procedures —
 	// a query-complexity companion to Figure 3.
 	QueriesByProc map[metrics.Procedure]int64
-	Sites         []SiteReport
+	// RoundsByProc splits the oracle round-trips the same way.
+	RoundsByProc map[metrics.Procedure]int64
+	// BisectRounds and BisectProbes account the critical-point zero search:
+	// refinement rounds (the quantity -multisect divides) and total probe
+	// evaluations inside them (the quantity it multiplies).
+	BisectRounds int64
+	BisectProbes int64
+	Sites        []SiteReport
 	// Equivalent reports whether the final direct-comparison check between
 	// the keyed white-box and the oracle passed.
 	Equivalent bool

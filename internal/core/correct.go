@@ -33,28 +33,33 @@ func (a *Attack) errorCorrection(groupSites, groupBits []int, rng *rand.Rand) (b
 		winner.Store(-1)
 		var mu sync.Mutex // serializes winner bookkeeping
 		errs := make([]error, len(combos))
-		a.parallelFor(len(combos), rng.Int63(), func(ci int, wrng *rand.Rand) {
-			if winner.Load() >= 0 {
-				return
-			}
-			cand := a.applier.clone(a.white)
-			for _, pi := range combos[ci] {
-				si := pool[pi]
-				pn := a.spec.Neurons[si]
-				a.applier.apply(cand, pn, si, !a.applier.read(cand, pn, si))
-			}
-			valid, err := a.keyVectorValidation(cand, groupSites, wrng)
-			if err != nil {
-				errs[ci] = err
-				return
-			}
-			if valid {
-				mu.Lock()
-				if winner.Load() < 0 {
-					winner.Store(int64(ci))
+		// Candidate validations coalesce: probe groups from concurrent
+		// candidates (and the votes inside each validation, which reuse
+		// this region) share oracle rounds.
+		a.withCoalescer(func() {
+			a.parallelFor(len(combos), rng.Int63(), func(ci int, wrng *rand.Rand) {
+				if winner.Load() >= 0 {
+					return
 				}
-				mu.Unlock()
-			}
+				cand := a.applier.clone(a.white)
+				for _, pi := range combos[ci] {
+					si := pool[pi]
+					pn := a.spec.Neurons[si]
+					a.applier.apply(cand, pn, si, !a.applier.read(cand, pn, si))
+				}
+				valid, err := a.keyVectorValidation(cand, groupSites, wrng)
+				if err != nil {
+					errs[ci] = err
+					return
+				}
+				if valid {
+					mu.Lock()
+					if winner.Load() < 0 {
+						winner.Store(int64(ci))
+					}
+					mu.Unlock()
+				}
+			})
 		})
 		if w := winner.Load(); w >= 0 {
 			for _, pi := range combos[w] {

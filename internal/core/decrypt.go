@@ -52,6 +52,7 @@ func (a *Attack) run() (*Result, error) {
 	//lint:ignore determinism telemetry timer for Result.Time; the value never feeds the numerics
 	start := time.Now()
 	startQ := a.orc.Queries()
+	startR := a.orc.Rounds()
 	root := a.startRoot("attack", obs.Int("bits", a.spec.NumBits()))
 	defer root.End() // idempotent: the success path ends it with annotations
 	rng := rand.New(rand.NewSource(a.cfg.Seed))
@@ -74,16 +75,20 @@ func (a *Attack) run() (*Result, error) {
 		Key:     a.CurrentKey(),
 		Origins: append([]BitOrigin(nil), a.origins...),
 		Queries: a.orc.Queries() - startQ,
+		Rounds:  a.orc.Rounds() - startR,
 		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:          time.Since(start),
 		Breakdown:     a.bd,
 		QueriesByProc: a.bd.QueriesByProc(),
+		RoundsByProc:  a.bd.RoundsByProc(),
 		Sites:         reports,
 		Equivalent:    eq,
 		Degraded:      int(a.degraded.Load()),
+		BisectRounds:  a.crit.rounds.Load(),
+		BisectProbes:  a.crit.probes.Load(),
 	}
-	root.End(obs.Int64("queries", res.Queries), obs.Int("degraded", res.Degraded),
-		obs.Bool("equivalent", res.Equivalent))
+	root.End(obs.Int64("queries", res.Queries), obs.Int64("rounds", res.Rounds),
+		obs.Int("degraded", res.Degraded), obs.Bool("equivalent", res.Equivalent))
 	if eqErr != nil {
 		return res, fmt.Errorf("core: final equivalence check: %w", eqErr)
 	}

@@ -142,20 +142,20 @@ func (a *Attack) probeBit(sp *obs.Span, x0, v []float64, site, idx int) (bitValu
 		votes := a.cfg.ProbeVotes
 		var tally [3]int // bitZero, bitOne, ambiguous
 		for vi := 0; vi < votes; vi++ {
-			y0, err := a.query(sp, x0)
+			// One probe group per vote: {x°, x°+εv, x°−εv} travel as a
+			// single oracle round through the planner.
+			xb := tensor.GetMatrix(3, len(x0))
+			xb.SetRow(0, x0)
+			xb.SetRow(1, xp)
+			xb.SetRow(2, xm)
+			y, err := a.multi(sp, xb)
+			tensor.PutMatrix(xb)
 			if err != nil {
 				return bitBottom, false, err
 			}
-			yp, err := a.query(sp, xp)
-			if err != nil {
-				return bitBottom, false, err
-			}
-			ym, err := a.query(sp, xm)
-			if err != nil {
-				return bitBottom, false, err
-			}
-			dp := tensor.NormInf(tensor.VecSub(yp, y0))
-			dm := tensor.NormInf(tensor.VecSub(ym, y0))
+			dp := tensor.NormInf(tensor.VecSub(y.Row(1), y.Row(0)))
+			dm := tensor.NormInf(tensor.VecSub(y.Row(2), y.Row(0)))
+			tensor.PutMatrix(y)
 			switch {
 			case dp > a.absChange() && dp > a.cfg.DecisionRatio*dm:
 				// Output moves on the +v side only: the unsigned positive

@@ -269,6 +269,7 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg
 	//lint:ignore determinism telemetry timer for Result.Time; the value never feeds the numerics
 	start := time.Now()
 	startQ := orc.Queries()
+	startR := orc.Rounds()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// The baseline is one long learning phase: a single proc-labelled span
@@ -331,13 +332,17 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg
 		Key:     key,
 		Origins: origins,
 		Queries: orc.Queries() - startQ,
+		Rounds:  orc.Rounds() - startR,
 		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:      time.Since(start),
 		Breakdown: bd,
 	}
 	ph.AddQueries(rep.Queries)
+	ph.AddRounds(rep.Rounds)
 	ph.End()
-	root.End(obs.Int("epochs", rep.Epochs), obs.Int64("queries", rep.Queries))
+	root.End(obs.Int("epochs", rep.Epochs), obs.Int64("queries", rep.Queries),
+		obs.Int64("rounds", rep.Rounds))
 	rep.QueriesByProc = bd.QueriesByProc()
+	rep.RoundsByProc = bd.RoundsByProc()
 	return rep, nil
 }

@@ -1,0 +1,493 @@
+package core
+
+// The oracle query planner: the only sanctioned path from the attack to
+// oracle.Interface (enforced by the `queryseam` dnnlint analyzer). The
+// planner exists because a remote oracle pays per round-trip, not per row:
+// QueryBatch evaluates any number of rows in one round, so every multi-point
+// probe — the three points of a second difference, the kink+background pair
+// of a validation vote — should travel together, and concurrent probes from
+// parallel validation votes or error-correction candidates should share a
+// batch. Three mechanisms, layered:
+//
+//  1. multi: a probe group issued as one QueryBatch with the rows in the
+//     exact order the scalar path would have queried them, so values and
+//     query counts are bit-identical by construction. On by default;
+//     cfg.DisablePlanner restores the sequential scalar path (the
+//     equivalence test pins the two paths against each other).
+//  2. coalescer: a cross-goroutine micro-batcher. Inside a withCoalescer
+//     region (validation votes, correction candidates), probe groups from
+//     concurrent workers are merged into one oracle batch, bounded by a row
+//     cap and a flush window. Row values are unaffected — the oracle
+//     evaluates rows independently — only the round count shrinks.
+//  3. probeMemo (opt-in, cfg.ProbeCache): a content-addressed cache serving
+//     repeat points without touching the oracle. Changes query counts, so
+//     it is never on by default.
+//
+// queryRetry/queryBatchRetry, the bounded-retry policy on a bare Interface,
+// live here too so the lint seam is one file.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnnlock/internal/obs"
+	"dnnlock/internal/oracle"
+	"dnnlock/internal/tensor"
+)
+
+// critStats accumulates critical-point search effort: rounds (sequential
+// narrowing steps, each a batch of probes that could ship together) and
+// probes (point evaluations). New points cfg.critStats at the attack's
+// instance; the search code in critical.go reports through the pointer.
+type critStats struct {
+	rounds atomic.Int64
+	probes atomic.Int64
+}
+
+// count records one narrowing round of n probes. Nil-safe: a bare Config
+// (direct searchZero calls in tests) carries no stats sink.
+func (s *critStats) count(n int64) {
+	if s == nil {
+		return
+	}
+	s.rounds.Add(1)
+	s.probes.Add(n)
+}
+
+// query asks the oracle for one point, retrying transient failures up to
+// cfg.QueryRetries times. A clean oracle never errors, so this path adds
+// nothing to the paper's reproduction; against a degraded one it returns the
+// terminal error (budget exhaustion, device fault) for the caller to
+// propagate out of Run. sp, when non-nil, is the caller's detail span: it
+// counts every attempt and retry (it never receives the phase span itself —
+// phase query counts come from the oracle-counter delta in trackProc, and
+// double counting there would corrupt the Figure 3 rollup).
+//
+// Inside a withCoalescer region the point rides a shared batch, so
+// concurrent single-point callers (directCompare across correction
+// candidates) split one round-trip.
+func (a *Attack) query(sp *obs.Span, x []float64) ([]float64, error) {
+	var key string
+	if a.memo != nil {
+		key = probeKey(x)
+		if y, ok := a.memo.get(key); ok {
+			return y, nil
+		}
+	}
+	var y []float64
+	var err error
+	if c := a.coal.Load(); c != nil {
+		y, err = c.single(sp, x)
+	} else {
+		y, err = queryRetry(a.orc, x, a.cfg.QueryRetries, sp)
+	}
+	if err == nil && a.memo != nil {
+		a.memo.put(key, y)
+	}
+	return y, err
+}
+
+// queryBatch asks the oracle for a bulk labelling batch (the learning
+// attack's random inputs). Bulk batches are already one round each and far
+// above the coalescer's row cap, so they go straight to the retry seam.
+func (a *Attack) queryBatch(sp *obs.Span, x *tensor.Matrix) (*tensor.Matrix, error) {
+	return queryBatchRetry(a.orc, x, a.cfg.QueryRetries, sp)
+}
+
+// multi issues every row of x as one probe group: one oracle round, rows
+// answered in order, result rows aligned with input rows. The returned
+// matrix is pooled and owned by the caller. The rows must be ordered exactly
+// as the scalar path would have queried them — that ordering is what makes
+// the planner bit-identical under an input-addressed noisy oracle.
+func (a *Attack) multi(sp *obs.Span, x *tensor.Matrix) (*tensor.Matrix, error) {
+	if a.cfg.DisablePlanner {
+		return a.multiScalar(sp, x)
+	}
+	if a.memo != nil {
+		return a.multiMemo(sp, x)
+	}
+	return a.multiDirect(sp, x)
+}
+
+// multiDirect sends the group to the active coalescer, or straight to the
+// retry seam as its own batch.
+func (a *Attack) multiDirect(sp *obs.Span, x *tensor.Matrix) (*tensor.Matrix, error) {
+	if c := a.coal.Load(); c != nil {
+		return c.submit(sp, x)
+	}
+	return queryBatchRetry(a.orc, x, a.cfg.QueryRetries, sp)
+}
+
+// multiScalar is the pre-planner reference path: each row is one Query call
+// in row order. Kept behind cfg.DisablePlanner so the equivalence test can
+// pin the planner against it.
+func (a *Attack) multiScalar(sp *obs.Span, x *tensor.Matrix) (*tensor.Matrix, error) {
+	if x.Rows == 0 {
+		return tensor.GetMatrix(0, 0), nil
+	}
+	var out *tensor.Matrix
+	for i := 0; i < x.Rows; i++ {
+		y, err := queryRetry(a.orc, x.Row(i), a.cfg.QueryRetries, sp)
+		if err != nil {
+			tensor.PutMatrix(out) // nil-safe before the first row lands
+			return nil, err
+		}
+		if out == nil {
+			out = tensor.GetMatrix(x.Rows, len(y))
+		}
+		out.SetRow(i, y)
+	}
+	return out, nil
+}
+
+// multiMemo is multi with the probe memo in front: cached rows are filled
+// from the memo, missing rows (deduplicated within the group) are fetched
+// in one round, and the fresh answers are cached for the next candidate.
+func (a *Attack) multiMemo(sp *obs.Span, x *tensor.Matrix) (*tensor.Matrix, error) {
+	n := x.Rows
+	if n == 0 {
+		return tensor.GetMatrix(0, 0), nil
+	}
+	keys := make([]string, n)
+	cached := make([][]float64, n)
+	uniq := make([]int, 0, n)         // representative input row per distinct missing point
+	missAt := make(map[string]int, n) // probe key -> row index into the miss batch
+	for i := 0; i < n; i++ {
+		keys[i] = probeKey(x.Row(i))
+		if y, ok := a.memo.get(keys[i]); ok {
+			cached[i] = y
+			continue
+		}
+		if _, dup := missAt[keys[i]]; !dup {
+			missAt[keys[i]] = len(uniq)
+			uniq = append(uniq, i)
+		}
+	}
+	var ym *tensor.Matrix
+	if len(uniq) > 0 {
+		xm := tensor.GetMatrix(len(uniq), x.Cols)
+		for k, i := range uniq {
+			xm.SetRow(k, x.Row(i))
+		}
+		var err error
+		ym, err = a.multiDirect(sp, xm)
+		tensor.PutMatrix(xm)
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range uniq {
+			a.memo.put(keys[i], ym.Row(k))
+		}
+	}
+	cols := 0
+	if ym != nil {
+		cols = ym.Cols
+	} else {
+		cols = len(cached[0])
+	}
+	out := tensor.GetMatrix(n, cols)
+	for i := 0; i < n; i++ {
+		if cached[i] != nil {
+			out.SetRow(i, cached[i])
+		} else {
+			out.SetRow(i, ym.Row(missAt[keys[i]]))
+		}
+	}
+	tensor.PutMatrix(ym) // nil-safe when every row was cached
+	return out, nil
+}
+
+// queryRetry implements the bounded-retry policy on a bare Interface,
+// counting attempts and retries on the (nil-safe) span.
+func queryRetry(orc oracle.Interface, x []float64, retries int, sp *obs.Span) ([]float64, error) {
+	var err error
+	for t := 0; t <= retries; t++ {
+		if t > 0 {
+			sp.AddRetry()
+		}
+		sp.AddQueries(1)
+		var y []float64
+		y, err = orc.Query(x)
+		if err == nil {
+			return y, nil
+		}
+		if !errors.Is(err, oracle.ErrTransient) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// queryBatchRetry is queryRetry for batches.
+func queryBatchRetry(orc oracle.Interface, x *tensor.Matrix, retries int, sp *obs.Span) (*tensor.Matrix, error) {
+	var err error
+	for t := 0; t <= retries; t++ {
+		if t > 0 {
+			sp.AddRetry()
+		}
+		sp.AddQueries(int64(x.Rows))
+		var y *tensor.Matrix
+		y, err = orc.QueryBatch(x)
+		if err == nil {
+			return y, nil
+		}
+		tensor.PutMatrix(y) // nil on error; nil-safe release keeps the path visibly balanced
+		if !errors.Is(err, oracle.ErrTransient) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// --- coalescer -------------------------------------------------------------
+
+const (
+	// coalMaxRows caps a merged batch. Votes contribute 3–6 rows each, so
+	// 64 rows merge ~10–20 concurrent probe groups — comfortably above the
+	// worker counts the attack runs with.
+	coalMaxRows = 64
+	// coalFlushWindow bounds how long the collector waits for more groups
+	// after the first arrives. It only matters when the in-flight-requester
+	// count is racing upward; the common flush trigger is "every currently
+	// waiting requester is aboard", which fires immediately.
+	coalFlushWindow = 100 * time.Microsecond
+)
+
+// coalResp carries one requester's slice of a merged batch. out is pooled
+// and owned by the requester.
+type coalResp struct {
+	out *tensor.Matrix
+	err error
+}
+
+// coalReq is one probe group waiting to ride a shared oracle round. rows is
+// borrowed from the requester until resp is delivered.
+type coalReq struct {
+	rows *tensor.Matrix
+	sp   *obs.Span
+	resp chan coalResp
+}
+
+// coalescer merges probe groups from concurrent goroutines into shared
+// oracle batches. One collector goroutine owns the batching; requesters
+// block on their response channel, so a request's lifetime never outlives
+// the withCoalescer region that issued it.
+type coalescer struct {
+	a       *Attack
+	reqs    chan *coalReq
+	waiting atomic.Int64 // requesters between submit-entry and response
+	done    sync.WaitGroup
+
+	batches atomic.Int64 // oracle rounds issued (coalesced batches)
+	groups  atomic.Int64 // probe groups served
+}
+
+func newCoalescer(a *Attack) *coalescer {
+	c := &coalescer{a: a, reqs: make(chan *coalReq, a.cfg.Workers)}
+	c.done.Add(1)
+	//lint:ignore nakedgo single collector goroutine, joined by stop() through the WaitGroup before withCoalescer returns
+	go c.collect()
+	return c
+}
+
+// submit sends one probe group and blocks for its slice of the merged
+// response. rows is only read until the response arrives.
+func (c *coalescer) submit(sp *obs.Span, rows *tensor.Matrix) (*tensor.Matrix, error) {
+	req := &coalReq{rows: rows, sp: sp, resp: make(chan coalResp, 1)}
+	c.waiting.Add(1)
+	c.reqs <- req
+	//lint:ignore determinism private single-producer response channel: exactly one value ever arrives, so receive order cannot vary
+	r := <-req.resp
+	c.waiting.Add(-1)
+	return r.out, r.err
+}
+
+// single is submit for one point, unpacking the 1-row group.
+func (c *coalescer) single(sp *obs.Span, x []float64) ([]float64, error) {
+	rows := tensor.GetMatrix(1, len(x))
+	rows.SetRow(0, x)
+	out, err := c.submit(sp, rows)
+	tensor.PutMatrix(rows)
+	if err != nil {
+		return nil, err
+	}
+	y := append([]float64(nil), out.Row(0)...)
+	tensor.PutMatrix(out)
+	return y, nil
+}
+
+// collect is the collector loop: gather groups until the batch is full,
+// every currently waiting requester is aboard, or the flush window expires;
+// then issue one oracle round and split the response.
+func (c *coalescer) collect() {
+	defer c.done.Done()
+	for {
+		//lint:ignore determinism batch composition is timing-dependent by design; rows are evaluated independently by the oracle, so merge boundaries cannot change any value or query count
+		first, ok := <-c.reqs
+		if !ok {
+			return
+		}
+		batch := []*coalReq{first}
+		rows := first.rows.Rows
+		timer := time.NewTimer(coalFlushWindow)
+	gather:
+		for rows < coalMaxRows && int64(len(batch)) < c.waiting.Load() {
+			//lint:ignore determinism batch composition is timing-dependent by design; rows are evaluated independently by the oracle, so merge boundaries cannot change any value or query count
+			select {
+			//lint:ignore determinism same justification: the receive only decides which requests share a batch
+			case r, ok := <-c.reqs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, r)
+				rows += r.rows.Rows
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+		c.flush(batch, rows)
+	}
+}
+
+// flush issues one merged oracle round for the gathered groups, retrying the
+// whole batch on transient failures (each requester's detail span counts its
+// own rows per attempt, mirroring what its private retries would have
+// counted), then splits the pooled response back per request.
+func (c *coalescer) flush(batch []*coalReq, rows int) {
+	c.batches.Add(1)
+	c.groups.Add(int64(len(batch)))
+	x := tensor.GetMatrix(rows, batch[0].rows.Cols)
+	at := 0
+	for _, r := range batch {
+		for i := 0; i < r.rows.Rows; i++ {
+			x.SetRow(at, r.rows.Row(i))
+			at++
+		}
+	}
+	var y *tensor.Matrix
+	var err error
+	for t := 0; t <= c.a.cfg.QueryRetries; t++ {
+		if t > 0 {
+			for _, r := range batch {
+				r.sp.AddRetry()
+			}
+		}
+		for _, r := range batch {
+			r.sp.AddQueries(int64(r.rows.Rows))
+		}
+		y, err = c.a.orc.QueryBatch(x)
+		if err == nil {
+			break
+		}
+		tensor.PutMatrix(y) // nil on error; nil-safe
+		y = nil
+		if !errors.Is(err, oracle.ErrTransient) {
+			break
+		}
+	}
+	tensor.PutMatrix(x)
+	if err != nil {
+		// The whole round failed: every rider sees the same error. Budget
+		// exhaustion is all-or-nothing at the oracle already; transient
+		// faults were retried above.
+		for _, r := range batch {
+			r.resp <- coalResp{nil, err}
+		}
+		return
+	}
+	at = 0
+	for _, r := range batch {
+		out := tensor.GetMatrix(r.rows.Rows, y.Cols)
+		for i := 0; i < r.rows.Rows; i++ {
+			copy(out.Row(i), y.Row(at))
+			at++
+		}
+		//lint:transfer out: ownership passes to the requester through the response channel
+		r.resp <- coalResp{out, nil}
+	}
+	tensor.PutMatrix(y)
+}
+
+// stop closes the intake and joins the collector. Callers guarantee every
+// submit has returned (the region's goroutines are joined first).
+func (c *coalescer) stop() {
+	close(c.reqs)
+	c.done.Wait()
+}
+
+// withCoalescer runs f with cross-goroutine micro-batching active: probe
+// groups issued by f's goroutines (through query/multi) share oracle
+// rounds. Reentrant — a region opened inside another (validation inside
+// error correction) reuses the outer coalescer. The coalescer is fully
+// drained and stopped before withCoalescer returns, so trackProc's
+// round-counter deltas stay exact.
+func (a *Attack) withCoalescer(f func()) {
+	if a.cfg.DisablePlanner || a.coal.Load() != nil {
+		f()
+		return
+	}
+	c := newCoalescer(a)
+	if !a.coal.CompareAndSwap(nil, c) {
+		c.stop()
+		f()
+		return
+	}
+	f()
+	a.coal.Store(nil)
+	c.stop()
+}
+
+// --- probe memo ------------------------------------------------------------
+
+// probeMemo is the content-addressed probe cache behind cfg.ProbeCache:
+// exact input bytes -> cached oracle response. Error-correction candidates
+// repeatedly probe the same critical points (the white-box prefix they
+// search under is mostly shared), and a cached answer costs neither a query
+// nor a round. Entries live for the attack's lifetime — runs are bounded —
+// and responses are copied both ways so no caller aliases the cache.
+type probeMemo struct {
+	mu     sync.Mutex
+	m      map[string][]float64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newProbeMemo() *probeMemo {
+	return &probeMemo{m: make(map[string][]float64)}
+}
+
+// probeKey is the exact content address of a probe point: the little-endian
+// bytes of each coordinate. Bitwise equality is the right notion here —
+// the attack re-probes literally identical vectors, not nearby ones.
+func probeKey(x []float64) string {
+	b := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+func (m *probeMemo) get(key string) ([]float64, bool) {
+	m.mu.Lock()
+	y, ok := m.m[key]
+	m.mu.Unlock()
+	if !ok {
+		m.misses.Add(1)
+		return nil, false
+	}
+	m.hits.Add(1)
+	return append([]float64(nil), y...), true
+}
+
+func (m *probeMemo) put(key string, y []float64) {
+	m.mu.Lock()
+	if _, dup := m.m[key]; !dup {
+		m.m[key] = append([]float64(nil), y...)
+	}
+	m.mu.Unlock()
+}

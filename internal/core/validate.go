@@ -115,22 +115,28 @@ func (a *Attack) keyVectorValidation(net *nn.Network, groupSites []int, rng *ran
 	neurons := rng.Perm(n)[:sample]
 
 	var votes, participants atomic.Int64
-	err := a.parallelForErr(len(neurons), rng.Int63(), func(i int, wrng *rand.Rand) error {
-		detected, ok, err := a.hyperplaneVote(net, reluSite, neurons[i], wrng)
-		if err != nil {
-			if err = a.fallthroughBottom(err); err != nil {
-				return err
+	var err error
+	// Concurrent votes coalesce: each vote's kink+background probe group
+	// rides a shared oracle batch with the other workers' groups, so the
+	// phase's round count scales with batches, not votes.
+	a.withCoalescer(func() {
+		err = a.parallelForErr(len(neurons), rng.Int63(), func(i int, wrng *rand.Rand) error {
+			detected, ok, err := a.hyperplaneVote(net, reluSite, neurons[i], wrng)
+			if err != nil {
+				if err = a.fallthroughBottom(err); err != nil {
+					return err
+				}
+				return nil // degraded vote: abstain
 			}
-			return nil // degraded vote: abstain
-		}
-		if !ok {
+			if !ok {
+				return nil
+			}
+			participants.Add(1)
+			if detected {
+				votes.Add(1)
+			}
 			return nil
-		}
-		participants.Add(1)
-		if detected {
-			votes.Add(1)
-		}
-		return nil
+		})
 	})
 	if err != nil {
 		return false, err
@@ -211,11 +217,7 @@ func (a *Attack) hyperplaneVoteSpanned(vsp *obs.Span, net *nn.Network, reluSite,
 			}
 			participated = true
 
-			kink, err := a.oracleSecondDifference(vsp, x0, v, d)
-			if err != nil {
-				return false, false, err
-			}
-			background, err := a.oracleSecondDifference(vsp, ctrl, v, d)
+			kink, background, err := a.oracleSecondDifferencePair(vsp, x0, ctrl, v, d)
 			if err != nil {
 				return false, false, err
 			}
@@ -300,48 +302,52 @@ func (a *Attack) voteDirection(net *nn.Network, x0 []float64, reluSite, j int, r
 	return tensor.VecScale(1/tensor.Norm2(dir), dir)
 }
 
-// oracleSecondDifference returns ‖O(x+δv) + O(x−δv) − 2·O(x)‖∞ on the
-// oracle, which vanishes when the oracle is affine on the probed segment.
-// Under a declared-noisy oracle the three-point probe repeats cfg.ProbeVotes
-// times and the median magnitude is used — the median is robust to a single
-// outlier draw, and with ProbeVotes=1 this is exactly one probe, issuing
-// the paper's three queries in order.
-func (a *Attack) oracleSecondDifference(sp *obs.Span, x, v []float64, d float64) (float64, error) {
+// oracleSecondDifferencePair measures the kink and background second
+// differences of one hyperplane vote as a single six-point probe group
+// {x0, x0±δv, ctrl, ctrl±δv} — one oracle round through the planner where
+// the scalar path took six. Values and query counts are unchanged: each
+// second difference vanishes when the oracle is affine on its probed
+// segment. Under a declared-noisy oracle the group repeats cfg.ProbeVotes
+// times and the per-side median magnitudes are used — the median is robust
+// to a single outlier draw, and with ProbeVotes=1 this is exactly one
+// group, issuing the paper's queries in the scalar order.
+func (a *Attack) oracleSecondDifferencePair(sp *obs.Span, x0, ctrl, v []float64, d float64) (kink, background float64, err error) {
 	votes := a.cfg.ProbeVotes
-	if votes <= 1 {
-		return a.secondDifferenceErr(sp, x, v, d)
+	if votes < 1 {
+		votes = 1
 	}
-	vals := make([]float64, 0, votes)
+	kinks := make([]float64, 0, votes)
+	bgs := make([]float64, 0, votes)
 	for vi := 0; vi < votes; vi++ {
-		s, err := a.secondDifferenceErr(sp, x, v, d)
+		x := tensor.GetMatrix(6, len(x0))
+		fillTriple(x, 0, x0, v, d)
+		fillTriple(x, 3, ctrl, v, d)
+		y, err := a.multi(sp, x)
+		tensor.PutMatrix(x)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		vals = append(vals, s)
+		kinks = append(kinks, maxAbsSecondDiff(y.Row(0), y.Row(1), y.Row(2)))
+		bgs = append(bgs, maxAbsSecondDiff(y.Row(3), y.Row(4), y.Row(5)))
+		tensor.PutMatrix(y)
 	}
-	sort.Float64s(vals)
-	return vals[len(vals)/2], nil
+	sort.Float64s(kinks)
+	sort.Float64s(bgs)
+	return kinks[len(kinks)/2], bgs[len(bgs)/2], nil
 }
 
-// secondDifferenceErr is one three-point second-difference probe on the
-// oracle with error propagation.
-func (a *Attack) secondDifferenceErr(sp *obs.Span, x, v []float64, d float64) (float64, error) {
-	xp := tensor.VecClone(x)
-	tensor.AXPY(d, v, xp)
-	xm := tensor.VecClone(x)
-	tensor.AXPY(-d, v, xm)
-	y0, err := a.query(sp, x)
-	if err != nil {
-		return 0, err
-	}
-	yp, err := a.query(sp, xp)
-	if err != nil {
-		return 0, err
-	}
-	ym, err := a.query(sp, xm)
-	if err != nil {
-		return 0, err
-	}
+// fillTriple writes the second-difference probe triple {x, x+δv, x−δv} into
+// rows at, at+1, at+2 of m — the exact order the scalar path queried them.
+func fillTriple(m *tensor.Matrix, at int, x, v []float64, d float64) {
+	m.SetRow(at, x)
+	m.SetRow(at+1, x)
+	tensor.AXPY(d, v, m.Row(at+1))
+	m.SetRow(at+2, x)
+	tensor.AXPY(-d, v, m.Row(at+2))
+}
+
+// maxAbsSecondDiff is ‖yp + ym − 2·y0‖∞.
+func maxAbsSecondDiff(y0, yp, ym []float64) float64 {
 	m := 0.0
 	for i := range y0 {
 		s := yp[i] + ym[i] - 2*y0[i]
@@ -352,7 +358,7 @@ func (a *Attack) secondDifferenceErr(sp *obs.Span, x, v []float64, d float64) (f
 			m = s
 		}
 	}
-	return m, nil
+	return m
 }
 
 // secondDifferenceOf evaluates the same probe on an arbitrary function.

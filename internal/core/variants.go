@@ -41,6 +41,7 @@ func (a *Attack) runVariant() (*Result, error) {
 	//lint:ignore determinism telemetry timer for Result.Time; the value never feeds the numerics
 	start := time.Now()
 	startQ := a.orc.Queries()
+	startR := a.orc.Rounds()
 	root := a.startRoot("attack_variant", obs.Int("bits", a.spec.NumBits()),
 		obs.Int("scheme", int(a.spec.Scheme)))
 	defer root.End() // idempotent: the success path ends it with annotations
@@ -135,15 +136,20 @@ func (a *Attack) runVariant() (*Result, error) {
 		Key:     a.CurrentKey(),
 		Origins: append([]BitOrigin(nil), a.origins...),
 		Queries: a.orc.Queries() - startQ,
+		Rounds:  a.orc.Rounds() - startR,
 		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:          time.Since(start),
 		Breakdown:     a.bd,
 		QueriesByProc: a.bd.QueriesByProc(),
+		RoundsByProc:  a.bd.RoundsByProc(),
 		Sites:         reports,
 		Equivalent:    eq,
 		Degraded:      int(a.degraded.Load()),
+		BisectRounds:  a.crit.rounds.Load(),
+		BisectProbes:  a.crit.probes.Load(),
 	}
-	root.End(obs.Int64("queries", res.Queries), obs.Bool("equivalent", res.Equivalent))
+	root.End(obs.Int64("queries", res.Queries), obs.Int64("rounds", res.Rounds),
+		obs.Bool("equivalent", res.Equivalent))
 	if eqErr != nil {
 		return res, fmt.Errorf("core: variant equivalence check: %w", eqErr)
 	}
@@ -288,15 +294,18 @@ func (a *Attack) lastLayerSlopeTest(bsp *obs.Span, specIdx int, rng *rand.Rand) 
 		eps := a.cfg.probeStep(a.cfg.Epsilon)
 		xp := tensor.VecClone(x0)
 		tensor.AXPY(eps, v, xp)
-		yp, qerr := a.query(bsp, xp)
+		// Both slope points ride one oracle round, in the scalar order
+		// (xp before x0).
+		xb := tensor.GetMatrix(2, len(x0))
+		xb.SetRow(0, xp)
+		xb.SetRow(1, x0)
+		yb, qerr := a.multi(bsp, xb)
+		tensor.PutMatrix(xb)
 		if qerr != nil {
 			return bitBottom, qerr
 		}
-		y0, qerr := a.query(bsp, x0)
-		if qerr != nil {
-			return bitBottom, qerr
-		}
-		dOracle := tensor.VecSub(yp, y0)
+		dOracle := tensor.VecSub(yb.Row(0), yb.Row(1))
+		tensor.PutMatrix(yb)
 		err := [2]float64{}
 		for b := 0; b < 2; b++ {
 			fwd := func(x []float64) []float64 {
@@ -403,13 +412,9 @@ func (a *Attack) othersMuted(net *nn.Network, x0 []float64, up hpnn.ProtectedNeu
 func (a *Attack) kinkAt(sp *obs.Span, net *nn.Network, x0 []float64, reluSite, idx int, rng *rand.Rand) (bool, error) {
 	v := a.voteDirection(net, x0, reluSite, idx, rng)
 	d := a.cfg.probeStep(a.cfg.ValidationDelta)
-	kink, err := a.oracleSecondDifference(sp, x0, v, d)
-	if err != nil {
-		return false, err
-	}
 	ctrl := tensor.VecClone(x0)
 	tensor.AXPY(3*d, v, ctrl)
-	background, err := a.oracleSecondDifference(sp, ctrl, v, d)
+	kink, background, err := a.oracleSecondDifferencePair(sp, x0, ctrl, v, d)
 	if err != nil {
 		return false, err
 	}

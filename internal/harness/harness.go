@@ -123,12 +123,16 @@ func PaperScale() Scale {
 	return sc
 }
 
-// AttackCell is one attack's four metrics in a Table 1 row.
+// AttackCell is one attack's four metrics in a Table 1 row, plus the
+// oracle round-trip count (an extension over the paper: Queries measures
+// how much the oracle answered, Rounds how often it was contacted — the
+// latency-bound cost on a real locked device).
 type AttackCell struct {
 	Accuracy float64
 	Fidelity float64
 	Seconds  float64
 	Queries  int64
+	Rounds   int64
 }
 
 // Table1Row is one row of the paper's Table 1.
@@ -141,6 +145,7 @@ type Table1Row struct {
 	Decryption       AttackCell
 	Breakdown        *metrics.Breakdown // feeds Figure 3
 	QueriesByProc    map[metrics.Procedure]int64
+	RoundsByProc     map[metrics.Procedure]int64
 	DecryptErr       error
 }
 
@@ -271,6 +276,7 @@ func (p *pipeline) runCell(w io.Writer) Table1Row {
 			Fidelity: mono.Key.Fidelity(p.key),
 			Seconds:  time.Since(monoStart).Seconds(),
 			Queries:  mono.Queries,
+			Rounds:   mono.Rounds,
 		}
 	}
 
@@ -292,11 +298,14 @@ func (p *pipeline) runCell(w io.Writer) Table1Row {
 		Fidelity: res.Key.Fidelity(p.key),
 		Seconds:  time.Since(decStart).Seconds(),
 		Queries:  res.Queries,
+		Rounds:   res.Rounds,
 	}
 	row.Breakdown = res.Breakdown
 	row.QueriesByProc = res.QueriesByProc
+	row.RoundsByProc = res.RoundsByProc
 	cell.Annotate(obs.Float("dec_fidelity", row.Decryption.Fidelity),
-		obs.Int64("dec_queries", row.Decryption.Queries))
+		obs.Int64("dec_queries", row.Decryption.Queries),
+		obs.Int64("dec_rounds", row.Decryption.Rounds))
 	if w != nil {
 		fmt.Fprintf(w, "%s\n", FormatRow(row))
 	}
@@ -409,20 +418,21 @@ func RunFigure3(rows []Table1Row) []Figure3Row {
 
 // TableHeader renders the Table 1 column header.
 func TableHeader() string {
-	return fmt.Sprintf("%-13s %5s | %8s %8s | %8s %8s %9s %9s | %8s %8s %9s %9s",
+	return fmt.Sprintf("%-13s %5s | %8s %8s | %8s %8s %9s %9s | %8s %8s %9s %9s %9s",
 		"DNN", "key",
 		"orig", "base",
 		"m.acc", "m.fid", "m.time", "m.query",
-		"d.acc", "d.fid", "d.time", "d.query")
+		"d.acc", "d.fid", "d.time", "d.query", "d.round")
 }
 
 // FormatRow renders one Table 1 row.
 func FormatRow(r Table1Row) string {
-	s := fmt.Sprintf("%-13s %5d | %7.1f%% %7.1f%% | %7.1f%% %7.1f%% %8.2fs %9d | %7.1f%% %7.1f%% %8.2fs %9d",
+	s := fmt.Sprintf("%-13s %5d | %7.1f%% %7.1f%% | %7.1f%% %7.1f%% %8.2fs %9d | %7.1f%% %7.1f%% %8.2fs %9d %9d",
 		r.Model, r.KeyBits,
 		100*r.OriginalAccuracy, 100*r.BaselineAccuracy,
 		100*r.Monolithic.Accuracy, 100*r.Monolithic.Fidelity, r.Monolithic.Seconds, r.Monolithic.Queries,
-		100*r.Decryption.Accuracy, 100*r.Decryption.Fidelity, r.Decryption.Seconds, r.Decryption.Queries)
+		100*r.Decryption.Accuracy, 100*r.Decryption.Fidelity, r.Decryption.Seconds, r.Decryption.Queries,
+		r.Decryption.Rounds)
 	if r.DecryptErr != nil {
 		s += "  !! " + r.DecryptErr.Error()
 	}
@@ -431,13 +441,15 @@ func FormatRow(r Table1Row) string {
 
 // WriteCSV emits the Table 1 rows as CSV for downstream plotting.
 func WriteCSV(rows []Table1Row, w io.Writer) {
-	fmt.Fprintln(w, "model,key_bits,orig_acc,base_acc,mono_acc,mono_fid,mono_s,mono_q,dec_acc,dec_fid,dec_s,dec_q")
+	fmt.Fprintln(w, "model,key_bits,orig_acc,base_acc,mono_acc,mono_fid,mono_s,mono_q,mono_r,dec_acc,dec_fid,dec_s,dec_q,dec_r")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s,%d,%.4f,%.4f,%.4f,%.4f,%.2f,%d,%.4f,%.4f,%.2f,%d\n",
+		fmt.Fprintf(w, "%s,%d,%.4f,%.4f,%.4f,%.4f,%.2f,%d,%d,%.4f,%.4f,%.2f,%d,%d\n",
 			r.Model, r.KeyBits,
 			r.OriginalAccuracy, r.BaselineAccuracy,
 			r.Monolithic.Accuracy, r.Monolithic.Fidelity, r.Monolithic.Seconds, r.Monolithic.Queries,
-			r.Decryption.Accuracy, r.Decryption.Fidelity, r.Decryption.Seconds, r.Decryption.Queries)
+			r.Monolithic.Rounds,
+			r.Decryption.Accuracy, r.Decryption.Fidelity, r.Decryption.Seconds, r.Decryption.Queries,
+			r.Decryption.Rounds)
 	}
 }
 

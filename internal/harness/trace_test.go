@@ -72,10 +72,13 @@ func TestRunTable1Traced(t *testing.T) {
 		if s.Name != "attack" && s.Name != "monolithic" {
 			continue
 		}
-		rolled := int64(0)
-		_, queries := trace.RollupFromSpans(s.ID)
+		rolled, rolledRounds := int64(0), int64(0)
+		_, queries, rounds := trace.RollupFromSpans(s.ID)
 		for _, q := range queries {
 			rolled += q
+		}
+		for _, n := range rounds {
+			rolledRounds += n
 		}
 		total := r.Decryption.Queries
 		if s.Name == "monolithic" {
@@ -91,6 +94,12 @@ func TestRunTable1Traced(t *testing.T) {
 			}
 			if rolled != byProc {
 				t.Fatalf("attack rollup %d != QueriesByProc sum %d", rolled, byProc)
+			}
+			// Coalesced multi-point probes mean every attributed query
+			// group shares a round-trip: rounds must be positive and
+			// strictly fewer than queries.
+			if rolledRounds <= 0 || rolledRounds >= rolled {
+				t.Fatalf("attack rollup rounds = %d, want in (0, %d)", rolledRounds, rolled)
 			}
 		}
 	}

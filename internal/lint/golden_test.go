@@ -21,6 +21,7 @@ func TestDeterminismGolden(t *testing.T) { runGolden(t, Determinism, "determinis
 func TestFloatCmpGolden(t *testing.T)    { runGolden(t, FloatCmp, "floatcmp") }
 func TestNakedGoGolden(t *testing.T)     { runGolden(t, NakedGo, "nakedgo") }
 func TestPkgDocGolden(t *testing.T)      { runGolden(t, PkgDoc, "pkgdoc") }
+func TestQuerySeamGolden(t *testing.T)   { runGolden(t, QuerySeam, "queryseam") }
 
 type wantMarker struct {
 	file string

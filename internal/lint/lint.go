@@ -34,7 +34,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in report order.
-var All = []*Analyzer{PoolPair, Determinism, FloatCmp, NakedGo, PkgDoc}
+var All = []*Analyzer{PoolPair, Determinism, FloatCmp, NakedGo, PkgDoc, QuerySeam}
 
 // ByName resolves a comma-separated analyzer list against All.
 func ByName(names string) ([]*Analyzer, error) {

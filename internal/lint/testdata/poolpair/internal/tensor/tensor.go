@@ -8,7 +8,9 @@ type Matrix struct {
 	Data       []float64
 }
 
-func New(rows, cols int) *Matrix { return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)} }
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
 
 func GetMatrix(rows, cols int) *Matrix { return New(rows, cols) }
 

@@ -1,0 +1,33 @@
+// Package core hosts queryseam golden fixtures: raw oracle calls outside
+// the planner seam are findings.
+package core
+
+import "dnnlock/internal/oracle"
+
+// memo is a local type whose Query method shares the guarded name but not
+// the guarded package: calls to it are clean.
+type memo struct{}
+
+func (memo) Query(x []float64) []float64 { return x }
+
+func rawInterfaceCalls(orc oracle.Interface, x []float64) {
+	orc.Query(x)                   // want "raw oracle.Query call"
+	orc.QueryBatch([][]float64{x}) // want "raw oracle.QueryBatch call"
+}
+
+func rawConcreteCall(p oracle.Probe, x []float64) {
+	p.Query(x) // want "raw oracle.Query call"
+}
+
+func packageLevelHelperIsFine(x []float64) []float64 {
+	return oracle.Query(x)
+}
+
+func localMethodIsFine(m memo, x []float64) []float64 {
+	return m.Query(x)
+}
+
+func suppressedRawCall(orc oracle.Interface, x []float64) {
+	//lint:ignore queryseam fixture: suppression on the preceding line
+	orc.Query(x)
+}

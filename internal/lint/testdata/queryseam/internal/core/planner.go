@@ -1,0 +1,9 @@
+package core
+
+import "dnnlock/internal/oracle"
+
+// planner.go is the sanctioned seam: raw oracle calls here are the point.
+func sanctionedSeam(orc oracle.Interface, x []float64) {
+	orc.Query(x)
+	orc.QueryBatch([][]float64{x})
+}

@@ -1,0 +1,18 @@
+// Package oracle is the queryseam fixture oracle: its Query/QueryBatch
+// methods are the guarded seam.
+package oracle
+
+// Interface mirrors the real oracle surface.
+type Interface interface {
+	Query(x []float64) ([]float64, error)
+	QueryBatch(x [][]float64) ([][]float64, error)
+}
+
+// Probe is a concrete implementation; method calls on it are guarded too.
+type Probe struct{}
+
+func (Probe) Query(x []float64) ([]float64, error)          { return x, nil }
+func (Probe) QueryBatch(x [][]float64) ([][]float64, error) { return x, nil }
+
+// Query at package level is a helper, not a method: not part of the seam.
+func Query(x []float64) []float64 { return x }

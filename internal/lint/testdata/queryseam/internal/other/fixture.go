@@ -1,0 +1,9 @@
+// Package other is outside internal/core: the seam does not apply here
+// (the harness and the CLI talk to the oracle legitimately).
+package other
+
+import "dnnlock/internal/oracle"
+
+func rawCallOutsideCore(orc oracle.Interface, x []float64) {
+	orc.Query(x)
+}

@@ -39,6 +39,7 @@ type Breakdown struct {
 	mu      sync.Mutex
 	times   map[Procedure]time.Duration
 	queries map[Procedure]int64
+	rounds  map[Procedure]int64
 }
 
 // NewBreakdown returns an empty breakdown.
@@ -46,6 +47,7 @@ func NewBreakdown() *Breakdown {
 	return &Breakdown{
 		times:   make(map[Procedure]time.Duration),
 		queries: make(map[Procedure]int64),
+		rounds:  make(map[Procedure]int64),
 	}
 }
 
@@ -64,6 +66,15 @@ func (b *Breakdown) AddQueries(proc Procedure, n int64) {
 	b.mu.Unlock()
 }
 
+// AddRounds accumulates n oracle round-trips under proc. Rounds count
+// Query/QueryBatch calls rather than rows, so they are the latency-side
+// companion to AddQueries' per-inference accounting.
+func (b *Breakdown) AddRounds(proc Procedure, n int64) {
+	b.mu.Lock()
+	b.rounds[proc] += n
+	b.mu.Unlock()
+}
+
 // Queries returns the oracle queries accumulated under proc.
 func (b *Breakdown) Queries(proc Procedure) int64 {
 	b.mu.Lock()
@@ -77,6 +88,24 @@ func (b *Breakdown) QueriesByProc() map[Procedure]int64 {
 	defer b.mu.Unlock()
 	out := make(map[Procedure]int64, len(b.queries))
 	for p, n := range b.queries {
+		out[p] = n
+	}
+	return out
+}
+
+// Rounds returns the oracle round-trips accumulated under proc.
+func (b *Breakdown) Rounds(proc Procedure) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rounds[proc]
+}
+
+// RoundsByProc returns a copy of the per-procedure round-trip counts.
+func (b *Breakdown) RoundsByProc() map[Procedure]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[Procedure]int64, len(b.rounds))
+	for p, n := range b.rounds {
 		out[p] = n
 	}
 	return out
@@ -108,25 +137,29 @@ func (b *Breakdown) Total() time.Duration {
 }
 
 // Snapshot is a self-consistent copy of a breakdown: times, query counts,
-// and their totals all observed under one lock acquisition.
+// round counts, and their totals all observed under one lock acquisition.
 type Snapshot struct {
 	Times   map[Procedure]time.Duration
 	Queries map[Procedure]int64
+	Rounds  map[Procedure]int64
 	Total   time.Duration
 	TotalQ  int64
+	TotalR  int64
 }
 
-// Snapshot copies the accumulated times and query counts under one lock
-// acquisition. Every rendering path (String, Percentages, the trace
-// summary) derives from a Snapshot, so concurrent Add/AddQueries calls —
-// e.g. a tracer rolling spans up while the harness prints a progress line —
-// can never produce a torn view (shares above 100, queries without times).
+// Snapshot copies the accumulated times, query counts, and round counts
+// under one lock acquisition. Every rendering path (String, Percentages,
+// the trace summary) derives from a Snapshot, so concurrent Add/AddQueries
+// calls — e.g. a tracer rolling spans up while the harness prints a
+// progress line — can never produce a torn view (shares above 100, queries
+// without times).
 func (b *Breakdown) Snapshot() Snapshot {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := Snapshot{
 		Times:   make(map[Procedure]time.Duration, len(b.times)),
 		Queries: make(map[Procedure]int64, len(b.queries)),
+		Rounds:  make(map[Procedure]int64, len(b.rounds)),
 	}
 	for p, d := range b.times {
 		s.Times[p] = d
@@ -135,6 +168,10 @@ func (b *Breakdown) Snapshot() Snapshot {
 	for p, n := range b.queries {
 		s.Queries[p] = n
 		s.TotalQ += n
+	}
+	for p, n := range b.rounds {
+		s.Rounds[p] = n
+		s.TotalR += n
 	}
 	return s
 }
@@ -152,6 +189,15 @@ func (s Snapshot) Procedures() []Procedure {
 	for p := range s.Queries {
 		if !isStandard(p) {
 			if _, dup := s.Times[Procedure(p)]; !dup {
+				extra = append(extra, string(p))
+			}
+		}
+	}
+	for p := range s.Rounds {
+		if !isStandard(p) {
+			_, inTimes := s.Times[Procedure(p)]
+			_, inQueries := s.Queries[Procedure(p)]
+			if !inTimes && !inQueries {
 				extra = append(extra, string(p))
 			}
 		}

@@ -25,6 +25,7 @@ type SpanRecord struct {
 	StartNS int64          `json:"start_ns"` // offset from tracer start
 	DurNS   int64          `json:"dur_ns"`
 	Queries int64          `json:"queries,omitempty"`
+	Rounds  int64          `json:"rounds,omitempty"`
 	Retries int64          `json:"retries,omitempty"`
 	Proc    string         `json:"proc,omitempty"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
@@ -39,13 +40,15 @@ type EventRecord struct {
 }
 
 // SummaryRecord is the Breakdown snapshot emitted when a rollup-anchoring
-// span ends: the per-procedure times and query counts Figure 3 renders.
+// span ends: the per-procedure times, query counts, and round counts
+// Figure 3 renders.
 type SummaryRecord struct {
 	Type    string           `json:"type"` // "summary"
 	Span    uint64           `json:"span"` // the anchoring span's id
 	Name    string           `json:"name"`
 	TimesNS map[string]int64 `json:"times_ns"`
 	Queries map[string]int64 `json:"queries"`
+	Rounds  map[string]int64 `json:"rounds,omitempty"`
 	TotalNS int64            `json:"total_ns"`
 }
 
@@ -85,6 +88,7 @@ func (t *Tracer) export(s *Span, dur time.Duration, events []Event, late []Attr)
 		StartNS: s.start.Sub(t.start).Nanoseconds(),
 		DurNS:   dur.Nanoseconds(),
 		Queries: s.queries.Load(),
+		Rounds:  s.rounds.Load(),
 		Retries: s.retries.Load(),
 		Proc:    string(s.proc),
 		Attrs:   attrMap(s.attrs, late),
@@ -108,6 +112,7 @@ func (t *Tracer) export(s *Span, dur time.Duration, events []Event, late []Attr)
 			Name:    s.name,
 			TimesNS: make(map[string]int64, len(snap.Times)),
 			Queries: make(map[string]int64, len(snap.Queries)),
+			Rounds:  make(map[string]int64, len(snap.Rounds)),
 			TotalNS: snap.Total.Nanoseconds(),
 		}
 		for p, d := range snap.Times {
@@ -115,6 +120,9 @@ func (t *Tracer) export(s *Span, dur time.Duration, events []Event, late []Attr)
 		}
 		for p, n := range snap.Queries {
 			sum.Queries[string(p)] = n
+		}
+		for p, n := range snap.Rounds {
+			sum.Rounds[string(p)] = n
 		}
 	}
 

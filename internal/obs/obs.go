@@ -124,6 +124,7 @@ type Span struct {
 	bd     *metrics.Breakdown // rollup target for proc-labelled descendants
 
 	queries atomic.Int64
+	rounds  atomic.Int64
 	retries atomic.Int64
 
 	mu     sync.Mutex
@@ -186,6 +187,16 @@ func (s *Span) AddQueries(n int64) {
 	s.queries.Add(n)
 }
 
+// AddRounds adds n to the span's oracle round-trip counter. Nil-safe,
+// atomic. Together with AddQueries this makes *Span satisfy
+// oracle.Counter.
+func (s *Span) AddRounds(n int64) {
+	if s == nil {
+		return
+	}
+	s.rounds.Add(n)
+}
+
 // AddRetry counts one transient-failure retry. Nil-safe, atomic.
 func (s *Span) AddRetry() {
 	if s == nil {
@@ -200,6 +211,14 @@ func (s *Span) Queries() int64 {
 		return 0
 	}
 	return s.queries.Load()
+}
+
+// Rounds returns the span's oracle round-trip counter (0 for nil).
+func (s *Span) Rounds() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rounds.Load()
 }
 
 // Event records a point annotation. Nil-safe.
@@ -250,6 +269,7 @@ func (s *Span) End(attrs ...Attr) {
 			if p.bd != nil {
 				p.bd.Add(s.proc, dur)
 				p.bd.AddQueries(s.proc, s.queries.Load())
+				p.bd.AddRounds(s.proc, s.rounds.Load())
 				break
 			}
 		}
@@ -282,6 +302,6 @@ func Float(k string, v float64) Attr { return Attr{Key: k, Val: v} }
 func Bool(k string, v bool) Attr { return Attr{Key: k, Val: v} }
 
 // Proc labels a span as one of the Figure 3 procedures; when the span ends,
-// its duration and query count roll up into the nearest ancestor span's
-// Breakdown under this procedure.
+// its duration, query count, and round count roll up into the nearest
+// ancestor span's Breakdown under this procedure.
 func Proc(p metrics.Procedure) Attr { return Attr{Key: procKey, Val: string(p)} }

@@ -75,13 +75,14 @@ func (t *Trace) subtree(root uint64, kids map[uint64][]SpanRecord) []SpanRecord 
 	return out
 }
 
-// RollupFromSpans recomputes the per-procedure durations and query counts
-// from the proc-labelled spans under root — the projection the summary
-// record claims to be. Integer sums of the same values the live rollup
-// added, so agreement is exact, not approximate.
-func (t *Trace) RollupFromSpans(root uint64) (times map[string]int64, queries map[string]int64) {
+// RollupFromSpans recomputes the per-procedure durations, query counts,
+// and round counts from the proc-labelled spans under root — the
+// projection the summary record claims to be. Integer sums of the same
+// values the live rollup added, so agreement is exact, not approximate.
+func (t *Trace) RollupFromSpans(root uint64) (times, queries, rounds map[string]int64) {
 	times = map[string]int64{}
 	queries = map[string]int64{}
+	rounds = map[string]int64{}
 	kids := t.children()
 	for _, s := range t.subtree(root, kids) {
 		if s.Proc == "" || s.ID == root {
@@ -89,8 +90,9 @@ func (t *Trace) RollupFromSpans(root uint64) (times map[string]int64, queries ma
 		}
 		times[s.Proc] += s.DurNS
 		queries[s.Proc] += s.Queries
+		rounds[s.Proc] += s.Rounds
 	}
-	return times, queries
+	return times, queries, rounds
 }
 
 // Check verifies a trace's internal consistency for every anchor:
@@ -109,7 +111,7 @@ func (t *Trace) Check(minCover float64) error {
 		return fmt.Errorf("trace holds no rollup anchors (no summary records)")
 	}
 	for _, a := range anchors {
-		times, queries := t.RollupFromSpans(a.Span.ID)
+		times, queries, rounds := t.RollupFromSpans(a.Span.ID)
 		for proc, ns := range a.Summary.TimesNS {
 			if times[proc] != ns {
 				return fmt.Errorf("anchor %d (%s): summary says %s took %v, span rollup says %v",
@@ -126,6 +128,18 @@ func (t *Trace) Check(minCover float64) error {
 			if queries[proc] != n {
 				return fmt.Errorf("anchor %d (%s): summary says %s used %d queries, span rollup says %d",
 					a.Span.ID, a.Span.Name, proc, n, queries[proc])
+			}
+		}
+		for proc, n := range a.Summary.Rounds {
+			if rounds[proc] != n {
+				return fmt.Errorf("anchor %d (%s): summary says %s used %d rounds, span rollup says %d",
+					a.Span.ID, a.Span.Name, proc, n, rounds[proc])
+			}
+		}
+		for proc, n := range rounds {
+			if a.Summary.Rounds[proc] != n {
+				return fmt.Errorf("anchor %d (%s): span rollup has %s (%d rounds) missing from the summary",
+					a.Span.ID, a.Span.Name, proc, n)
 			}
 		}
 		var sum int64
@@ -146,7 +160,8 @@ func (t *Trace) Check(minCover float64) error {
 }
 
 // BreakdownTable renders each anchor's summary as the Figure 3 table: one
-// row per procedure with its share, duration, and query count.
+// row per procedure with its share, duration, query count, and round
+// count.
 func (t *Trace) BreakdownTable(w io.Writer) {
 	for _, a := range t.Anchors() {
 		fmt.Fprintf(w, "%s (span %d, %s", a.Span.Name, a.Span.ID, time.Duration(a.Span.DurNS).Round(time.Microsecond))
@@ -164,8 +179,9 @@ func (t *Trace) BreakdownTable(w io.Writer) {
 			if total > 0 {
 				pct = 100 * float64(ns) / float64(total)
 			}
-			fmt.Fprintf(w, "  %-22s %6.1f%%  %12v  %9d queries\n",
-				proc, pct, time.Duration(ns).Round(time.Microsecond), a.Summary.Queries[proc])
+			fmt.Fprintf(w, "  %-22s %6.1f%%  %12v  %9d queries  %7d rounds\n",
+				proc, pct, time.Duration(ns).Round(time.Microsecond),
+				a.Summary.Queries[proc], a.Summary.Rounds[proc])
 		}
 	}
 }

@@ -27,6 +27,7 @@ func buildTrace(t *testing.T) *Trace {
 		} {
 			ph := sp.Child(string(proc), Proc(proc))
 			ph.AddQueries(10)
+			ph.AddRounds(4)
 			time.Sleep(200 * time.Microsecond)
 			ph.End()
 		}
@@ -52,9 +53,17 @@ func TestCheckAgainstLiveRollup(t *testing.T) {
 	if len(anchors) != 1 {
 		t.Fatalf("anchors = %d, want 1", len(anchors))
 	}
-	times, queries := trace.RollupFromSpans(anchors[0].Span.ID)
+	times, queries, rounds := trace.RollupFromSpans(anchors[0].Span.ID)
 	if got := queries[string(metrics.ProcKeyBitInference)]; got != 20 {
 		t.Fatalf("rollup queries = %d, want 20", got)
+	}
+	if got := rounds[string(metrics.ProcKeyBitInference)]; got != 8 {
+		t.Fatalf("rollup rounds = %d, want 8", got)
+	}
+	for proc, n := range anchors[0].Summary.Rounds {
+		if rounds[proc] != n {
+			t.Fatalf("summary rounds/%s = %d, span rollup = %d", proc, n, rounds[proc])
+		}
 	}
 	for proc, ns := range anchors[0].Summary.TimesNS {
 		if times[proc] != ns {
@@ -81,6 +90,12 @@ func TestCheckCatchesCorruption(t *testing.T) {
 	})
 	tamper("summary queries wrong", func(tr *Trace) {
 		tr.Summaries[0].Queries[string(metrics.ProcLearningAttack)]--
+	})
+	tamper("summary rounds wrong", func(tr *Trace) {
+		tr.Summaries[0].Rounds[string(metrics.ProcLearningAttack)]--
+	})
+	tamper("rounds missing from summary", func(tr *Trace) {
+		delete(tr.Summaries[0].Rounds, string(metrics.ProcKeyVectorValidation))
 	})
 	tamper("procedure missing from summary", func(tr *Trace) {
 		delete(tr.Summaries[0].TimesNS, string(metrics.ProcKeyVectorValidation))
@@ -112,6 +127,9 @@ func TestBreakdownTable(t *testing.T) {
 	}
 	if !strings.Contains(s, "20 queries") {
 		t.Fatalf("table missing query counts:\n%s", s)
+	}
+	if !strings.Contains(s, "8 rounds") {
+		t.Fatalf("table missing round counts:\n%s", s)
 	}
 	// Figure 3 order: inference before learning before validation.
 	if strings.Index(s, "key_bit_inference") > strings.Index(s, "learning_attack") {

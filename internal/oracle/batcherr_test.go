@@ -1,0 +1,150 @@
+package oracle
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dnnlock/internal/rot"
+	"dnnlock/internal/tensor"
+)
+
+// Mid-batch fault semantics: a failed QueryBatch must say which row hit the
+// fault (BatchError.Row — rows before it completed, their results are
+// discarded with the pooled buffer), keep the query/round accounting
+// consistent, and never leave the caller owning a pooled matrix.
+
+func TestBatchErrorUnwrapsCause(t *testing.T) {
+	for _, cause := range []error{ErrTransient, ErrBudgetExhausted} {
+		be := &BatchError{Row: 7, Err: cause}
+		if !errors.Is(be, cause) {
+			t.Fatalf("errors.Is(%v, %v) = false; retry policy would misclassify the fault", be, cause)
+		}
+	}
+	be := &BatchError{Row: 3, Err: ErrTransient}
+	if msg := be.Error(); !strings.Contains(msg, "row 3") || strings.Count(msg, "oracle:") != 2 {
+		// One prefix from BatchError, one from the wrapped sentinel.
+		t.Fatalf("BatchError message = %q", msg)
+	}
+}
+
+// TestBatchErrorOnDeviceFault drives QueryBatch against a device that fails
+// (nothing bound): the error must carry the first failing row, the caller
+// must own no buffer, and the round must still be accounted — the
+// round-trip happened even though it failed.
+func TestBatchErrorOnDeviceFault(t *testing.T) {
+	dead := FromDevice(rot.Provision("dead-device", nil, []byte("s")))
+	xb := tensor.New(6, 4)
+	//lint:ignore poolpair the batch fails by construction: out must be nil, which the next line asserts
+	out, err := dead.QueryBatch(xb)
+	if out != nil {
+		t.Fatal("failed batch returned a buffer; the pooled matrix must be released on the error path")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T (%v), want *BatchError", err, err)
+	}
+	if be.Row != 0 {
+		t.Fatalf("first failing row = %d, want 0 (no row can precede an unbound device's failure)", be.Row)
+	}
+	if !errors.Is(err, rot.ErrNotBound) {
+		t.Fatalf("cause not visible through BatchError: %v", err)
+	}
+	if dead.Rounds() != 1 {
+		t.Fatalf("failed batch recorded %d rounds, want 1", dead.Rounds())
+	}
+}
+
+// TestBudgetedBatchMidRunExhaustion: a batch that no longer fits the budget
+// is rejected whole — zero rows complete, the device sees nothing, and the
+// budget stays spent for good (no refund, no partial service).
+func TestBudgetedBatchMidRunExhaustion(t *testing.T) {
+	inner, _ := newTestOracle(61)
+	o := Budgeted(inner, 5)
+	mustQuery(t, o, []float64{1, 0, -1, 0.5})
+	mustQuery(t, o, []float64{0, 1, 0, -0.5})
+
+	xb := tensor.New(4, 4) // 2 spent + 4 > 5: must be rejected whole
+	//lint:ignore poolpair the batch is rejected by construction: y must be nil, which the next line asserts
+	y, err := o.QueryBatch(xb)
+	if y != nil {
+		t.Fatal("rejected batch returned a buffer")
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if inner.Queries() != 2 {
+		t.Fatalf("rejected batch leaked %d device queries", inner.Queries()-2)
+	}
+	if inner.Rounds() != 2 {
+		t.Fatalf("rejected batch leaked a device round: %d", inner.Rounds())
+	}
+	// The failed reservation burned the budget: even a batch that would have
+	// fit the original remainder is now refused.
+	small := tensor.New(1, 4)
+	//lint:ignore poolpair exhausted budget rejects the batch: no buffer is returned
+	if _, err := o.QueryBatch(small); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("post-exhaustion batch: err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestFlakyBatchDropIsAllOrNothing: a dropped batch is one failed call — no
+// rows complete, no queries or rounds reach the device, and the error is
+// retryable. A retry of the same batch draws a fresh decision and succeeds.
+func TestFlakyBatchDropIsAllOrNothing(t *testing.T) {
+	inner, _ := newTestOracle(62)
+	o := Flaky(inner, 0.5, 17)
+	xb := tensor.New(3, 4)
+	var firstErr error
+	drops := 0
+	for i := 0; i < 64; i++ {
+		//lint:ignore poolpair served batches are released in the branch below; dropped batches return nil
+		y, err := o.QueryBatch(xb)
+		if err == nil {
+			tensor.PutMatrix(y)
+			continue
+		}
+		if y != nil {
+			t.Fatal("dropped batch returned a buffer")
+		}
+		if !errors.Is(err, ErrTransient) {
+			t.Fatalf("dropped batch err = %v, want ErrTransient", err)
+		}
+		drops++
+		firstErr = err
+	}
+	if drops == 0 || drops == 64 {
+		t.Fatalf("rate-0.5 flaky oracle dropped %d/64 batches", drops)
+	}
+	_ = firstErr
+	// Only served batches consumed queries and rounds: 3 rows and 1 round
+	// per success, nothing per drop.
+	served := int64(64 - drops)
+	if inner.Queries() != 3*served {
+		t.Fatalf("device saw %d queries, want %d (3 per served batch)", inner.Queries(), 3*served)
+	}
+	if inner.Rounds() != served {
+		t.Fatalf("device saw %d rounds, want %d", inner.Rounds(), served)
+	}
+}
+
+// TestRoundsCounting pins the round metric's definition: one per Query and
+// one per QueryBatch, regardless of row count, and ResetCounter zeroes it.
+func TestRoundsCounting(t *testing.T) {
+	o, _ := newTestOracle(63)
+	x := []float64{1, 2, 3, 4}
+	mustQuery(t, o, x)
+	mustQuery(t, o, x)
+	yb := mustQueryBatch(t, o, tensor.New(5, 4))
+	tensor.PutMatrix(yb)
+	if o.Queries() != 7 {
+		t.Fatalf("Queries = %d, want 7", o.Queries())
+	}
+	if o.Rounds() != 3 {
+		t.Fatalf("Rounds = %d, want 3 (two singles + one batch)", o.Rounds())
+	}
+	o.ResetCounter()
+	if o.Rounds() != 0 || o.Queries() != 0 {
+		t.Fatal("ResetCounter left counters non-zero")
+	}
+}

@@ -30,6 +30,7 @@ import (
 type wrapper struct{ inner Interface }
 
 func (w *wrapper) Queries() int64 { return w.inner.Queries() }
+func (w *wrapper) Rounds() int64  { return w.inner.Rounds() }
 func (w *wrapper) ResetCounter()  { w.inner.ResetCounter() }
 func (w *wrapper) Softmax() bool  { return w.inner.Softmax() }
 

@@ -40,8 +40,14 @@ type Interface interface {
 	QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error)
 	// Queries returns the number of device queries consumed so far.
 	Queries() int64
-	// ResetCounter zeroes the query counter (used between experiment
-	// phases). It does not refill any query budget.
+	// Rounds returns the number of oracle round-trips consumed so far:
+	// each Query and each QueryBatch call is one round, regardless of how
+	// many rows it carries. Rounds is the metric that dominates a remote
+	// attack (latency per round-trip), where Queries models the device's
+	// per-inference cost.
+	Rounds() int64
+	// ResetCounter zeroes the query and round counters (used between
+	// experiment phases). It does not refill any query budget.
 	ResetCounter()
 	// Softmax reports whether responses are probabilities rather than
 	// logits.
@@ -59,6 +65,24 @@ var (
 	ErrTransient = errors.New("oracle: transient device failure")
 )
 
+// BatchError reports a QueryBatch failure with the index of the first row
+// that failed. Rows before Row were evaluated successfully (their results
+// are discarded along with the pooled output buffer); rows at and after Row
+// may not have been attempted. Coalesced batches use Row to attribute a
+// mid-batch fault to the request that hit it.
+type BatchError struct {
+	Row int
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("oracle: batch row %d: %v", e.Row, e.Err)
+}
+
+// Unwrap exposes the underlying cause so errors.Is sees ErrTransient and
+// ErrBudgetExhausted through the batch wrapper.
+func (e *BatchError) Unwrap() error { return e.Err }
+
 // Oracle wraps a provisioned device and counts queries. Safe for concurrent
 // use. The adversary model (§2.3) lets the end-user observe either the
 // logits or the softmax output vector; softmax mode models the latter.
@@ -66,6 +90,7 @@ type Oracle struct {
 	dev     *rot.Device
 	softmax bool
 	queries atomic.Int64
+	rounds  atomic.Int64
 }
 
 var _ Interface = (*Oracle)(nil)
@@ -100,6 +125,7 @@ func (o *Oracle) Softmax() bool { return o.softmax }
 // attack path must be able to survive a degraded device.
 func (o *Oracle) Query(x []float64) ([]float64, error) {
 	o.queries.Add(1)
+	o.rounds.Add(1)
 	return o.evalRow(x)
 }
 
@@ -115,13 +141,17 @@ func (o *Oracle) Query(x []float64) ([]float64, error) {
 // matrix, not nil, so callers may PutMatrix or iterate it unconditionally.
 func (o *Oracle) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
 	o.queries.Add(int64(x.Rows))
+	o.rounds.Add(1)
 	if x.Rows == 0 {
 		return tensor.GetMatrix(0, 0), nil
 	}
 	// First row sizes the output matrix.
-	y0, err := o.evalRow(x.Row(0))
+	y0, err := o.dev.Evaluate(x.Row(0))
 	if err != nil {
-		return nil, err
+		return nil, &BatchError{Row: 0, Err: err}
+	}
+	if o.softmax {
+		y0 = tensor.Softmax(y0)
 	}
 	out := tensor.GetMatrix(x.Rows, len(y0))
 	out.SetRow(0, y0)
@@ -135,7 +165,7 @@ func (o *Oracle) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
 			y, err := o.dev.Evaluate(x.Row(i))
 			if err != nil {
 				tensor.PutMatrix(out)
-				return nil, fmt.Errorf("oracle: %w", err)
+				return nil, &BatchError{Row: i, Err: err}
 			}
 			if o.softmax {
 				tensor.SoftmaxInto(out.Row(i), y)
@@ -147,6 +177,7 @@ func (o *Oracle) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
+	errRows := make([]int, workers)
 	chunk := (rest + workers - 1) / workers
 	for w, lo := 0, 1; lo < x.Rows; w, lo = w+1, lo+chunk {
 		hi := lo + chunk
@@ -160,7 +191,7 @@ func (o *Oracle) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
 			for i := lo; i < hi; i++ {
 				y, err := o.dev.Evaluate(x.Row(i))
 				if err != nil {
-					errs[w] = err
+					errs[w], errRows[w] = err, i
 					return
 				}
 				if o.softmax {
@@ -172,13 +203,20 @@ func (o *Oracle) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			// Surface on the caller's goroutine, like the serial path. The
-			// pooled buffer goes back first: an error exit owns nothing.
-			tensor.PutMatrix(out)
-			return nil, fmt.Errorf("oracle: %w", err)
+	// Workers cover disjoint ascending row ranges, so the lowest-index
+	// failure across workers is the first failing row of the batch —
+	// deterministic regardless of goroutine scheduling.
+	first := -1
+	for w, err := range errs {
+		if err != nil && (first == -1 || errRows[w] < errRows[first]) {
+			first = w
 		}
+	}
+	if first != -1 {
+		// Surface on the caller's goroutine, like the serial path. The
+		// pooled buffer goes back first: an error exit owns nothing.
+		tensor.PutMatrix(out)
+		return nil, &BatchError{Row: errRows[first], Err: errs[first]}
 	}
 	return out, nil
 }
@@ -198,5 +236,13 @@ func (o *Oracle) evalRow(x []float64) ([]float64, error) {
 // Queries returns the total number of queries so far.
 func (o *Oracle) Queries() int64 { return o.queries.Load() }
 
-// ResetCounter zeroes the query counter (used between experiment phases).
-func (o *Oracle) ResetCounter() { o.queries.Store(0) }
+// Rounds returns the total number of oracle round-trips so far (one per
+// Query or QueryBatch call).
+func (o *Oracle) Rounds() int64 { return o.rounds.Load() }
+
+// ResetCounter zeroes the query and round counters (used between
+// experiment phases).
+func (o *Oracle) ResetCounter() {
+	o.queries.Store(0)
+	o.rounds.Store(0)
+}

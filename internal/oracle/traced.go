@@ -11,6 +11,9 @@ import "dnnlock/internal/tensor"
 // from concurrent attack workers).
 type Counter interface {
 	AddQueries(n int64)
+	// AddRounds receives one increment per oracle round-trip (one Query
+	// or QueryBatch call), the companion metric to AddQueries.
+	AddRounds(n int64)
 }
 
 // Traced decorates an Interface so every query is mirrored onto a Counter
@@ -35,21 +38,28 @@ func Trace(inner Interface, c Counter) Interface {
 	return &Traced{inner: inner, c: c}
 }
 
-// Query counts one query on the attached Counter and delegates.
+// Query counts one query and one round on the attached Counter and
+// delegates.
 func (t *Traced) Query(x []float64) ([]float64, error) {
 	t.c.AddQueries(1)
+	t.c.AddRounds(1)
 	return t.inner.Query(x)
 }
 
-// QueryBatch bulk-counts one query per input row and delegates.
+// QueryBatch bulk-counts one query per input row plus one round and
+// delegates.
 func (t *Traced) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
 	t.c.AddQueries(int64(x.Rows))
+	t.c.AddRounds(1)
 	return t.inner.QueryBatch(x)
 }
 
 // Queries reports the inner oracle's cumulative count; the decorator adds
 // no second source of truth.
 func (t *Traced) Queries() int64 { return t.inner.Queries() }
+
+// Rounds reports the inner oracle's cumulative round-trip count.
+func (t *Traced) Rounds() int64 { return t.inner.Rounds() }
 
 // ResetCounter resets the inner oracle's counter. The attached Counter is
 // not reset: a span accumulates for its own lifetime.

@@ -11,9 +11,13 @@ import (
 )
 
 // tallyCounter is a Counter that just accumulates.
-type tallyCounter struct{ n atomic.Int64 }
+type tallyCounter struct {
+	n atomic.Int64
+	r atomic.Int64
+}
 
 func (c *tallyCounter) AddQueries(n int64) { c.n.Add(n) }
+func (c *tallyCounter) AddRounds(n int64)  { c.r.Add(n) }
 
 func TestTracedMirrorsCounts(t *testing.T) {
 	o, _ := newTestOracle(70)
@@ -31,12 +35,21 @@ func TestTracedMirrorsCounts(t *testing.T) {
 	if got := c.n.Load(); got != 6 {
 		t.Fatalf("counter saw %d queries, want 6", got)
 	}
+	if got := c.r.Load(); got != 2 {
+		t.Fatalf("counter saw %d rounds, want 2 (one Query + one QueryBatch)", got)
+	}
 	if got := tr.Queries(); got != 6 {
 		t.Fatalf("inner counter saw %d queries, want 6", got)
+	}
+	if got := tr.Rounds(); got != 2 {
+		t.Fatalf("inner counter saw %d rounds, want 2", got)
 	}
 	tr.ResetCounter()
 	if tr.Queries() != 0 {
 		t.Fatal("ResetCounter did not reach the inner oracle")
+	}
+	if tr.Rounds() != 0 {
+		t.Fatal("ResetCounter must zero the round counter too")
 	}
 	if c.n.Load() != 6 {
 		t.Fatal("ResetCounter must not reset the attached Counter")

@@ -65,18 +65,26 @@ function delta(old, new,    pct, tag) {
         bns[name] = metric(line, "ns/op")
         bb[name]  = metric(line, "B/op")
         ba[name]  = metric(line, "allocs/op")
+        br[name]  = metric(line, "oracle_rounds")
         next
     }
     ns = metric(line, "ns/op"); bo = metric(line, "B/op"); al = metric(line, "allocs/op")
+    rd = metric(line, "oracle_rounds")
     if (!(name in seen)) {
         printf "%-34s %14s ns/op  (new benchmark, no baseline)\n", name, ns
         next
     }
     done[name] = 1
-    printf "%-34s ns/op %14s -> %14s %s   B/op %10s -> %10s %s   allocs %8s -> %8s %s\n", \
+    printf "%-34s ns/op %14s -> %14s %s   B/op %10s -> %10s %s   allocs %8s -> %8s %s", \
         name, bns[name], ns, delta(bns[name], ns), \
         bb[name], bo, delta(bb[name], bo), \
         ba[name], al, delta(ba[name], al)
+    # Oracle round-trips are a first-class perf metric: more rounds means a
+    # slower attack against any real (latency-bound) locked device, so a
+    # >10% increase is flagged exactly like an ns/op regression.
+    if (br[name] != "" || rd != "")
+        printf "   rounds %8s -> %8s %s", br[name], rd, delta(br[name], rd)
+    printf "\n"
 }
 END {
     for (name in seen) if (!(name in done))

@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> dnnlint ./... (pool, determinism, floatcmp, nakedgo, pkgdoc invariants)"
+echo "==> dnnlint ./... (pool, determinism, floatcmp, nakedgo, pkgdoc, queryseam invariants)"
 go run ./cmd/dnnlint ./...
 
 echo "==> go build ./..."
@@ -45,6 +45,12 @@ go build -o "$TRACE_TMP/dnnlock" ./cmd/dnnlock
 "$TRACE_TMP/dnnlock" table1 -model mlp -keysizes 6 -scale tiny \
 	-trace "$TRACE_TMP/trace.jsonl" > /dev/null
 "$TRACE_TMP/dnnlock" trace -in "$TRACE_TMP/trace.jsonl" -check > /dev/null
+
+# Planner smoke (DESIGN.md §14): the opt-in query-planner knobs must keep a
+# Table-1 cell at 100% fidelity — k-way multisection changes which critical
+# points the white-box search lands on, never the recovered key.
+echo "==> planner smoke (table1 -multisect 4)"
+"$TRACE_TMP/dnnlock" table1 -model mlp -keysizes 6 -scale tiny -multisect 4 > /dev/null
 
 # Bench gate (opt-in: DNNLOCK_BENCH=1): run the paper-facing benchmarks and
 # diff the fresh numbers against the most recent committed BENCH_*.json via
