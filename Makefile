@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare robust table1 vet lint check clean
+.PHONY: build test race bench bench-compare robust table1 vet lint lint-fix check clean
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,19 @@ vet:
 	$(GO) vet ./...
 
 ## lint: repo-specific analyzers (pool discipline, determinism, float
-## equality, goroutine sites, package docs) — see DESIGN.md §10
+## equality, goroutine sites, package docs, query seams, error flow, span
+## lifecycles, goroutine lifecycles) — see DESIGN.md §10, §15
 lint:
 	$(GO) run ./cmd/dnnlint ./...
+
+## lint-fix: preview the autofixer's rewrites as a unified diff (dry run);
+## FIX=1 applies them in place. See DESIGN.md §15.
+lint-fix:
+ifeq ($(FIX),1)
+	$(GO) run ./cmd/dnnlint -fix ./...
+else
+	$(GO) run ./cmd/dnnlint -diff ./...
+endif
 
 ## race: static checks + race-detector pass over the concurrent internals
 race:

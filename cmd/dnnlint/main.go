@@ -1,27 +1,40 @@
 // Command dnnlint runs the repository's custom static-analysis suite: the
-// pool-ownership, determinism, float-comparison, naked-goroutine, and
-// package-doc analyzers of internal/lint, which machine-enforce the
-// invariants the parallel runtime, the frozen-prefix cache, and the
-// documentation pass rely on (DESIGN.md §10).
+// pool-ownership, determinism, float-comparison, naked-goroutine,
+// package-doc, query-seam, error-flow, span-lifecycle, and
+// goroutine-lifecycle analyzers of internal/lint, which machine-enforce
+// the invariants the parallel runtime, the oracle accounting, and the
+// trace tree rely on (DESIGN.md §10, §15).
 //
 // Usage:
 //
-//	dnnlint [-analyzers=poolpair,determinism,floatcmp,nakedgo,pkgdoc] [pattern ...]
+//	dnnlint [-analyzers=...] [-json] [-fix | -diff] [pattern ...]
 //
 // Patterns are package directories relative to the working directory; a
 // trailing /... lints the subtree. With no pattern, ./... is assumed. The
 // whole module containing the first pattern is loaded (so cross-package
 // types resolve); patterns select which packages' findings are reported.
 //
+// -json emits the findings as a JSON array of
+// {analyzer, file, line, col, message, fixable} records for scripts.
+// -fix applies every suggested fix (gofmt-formatted) and rewrites the
+// files in place; -diff previews the same rewrites as a unified diff
+// without touching anything. Fixes are only attached where they are
+// unconditionally safe (see internal/lint), so -fix needs no confirmation.
+//
 // Exit status: 0 clean, 1 findings reported, 2 load or type-check failure.
+// Under -fix, findings that were fixed no longer count against the exit
+// status; only unfixable ones do. Under -diff, pending fixes count, so a
+// dry run still fails CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"dnnlock/internal/lint"
@@ -35,7 +48,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dnnlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	analyzerList := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	applyFix := fs.Bool("fix", false, "apply suggested fixes in place")
+	diffFix := fs.Bool("diff", false, "preview suggested fixes as a unified diff")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *applyFix && *diffFix {
+		fmt.Fprintln(stderr, "dnnlint: -fix and -diff are mutually exclusive")
 		return 2
 	}
 	analyzers := lint.All
@@ -70,12 +90,110 @@ func run(args []string, stdout, stderr io.Writer) int {
 			selected = append(selected, d)
 		}
 	}
+
+	switch {
+	case *jsonOut:
+		return emitJSON(stdout, stderr, selected)
+	case *applyFix, *diffFix:
+		return emitFixes(prog, stdout, stderr, selected, *applyFix)
+	}
 	for _, d := range selected {
 		fmt.Fprintln(stdout, rel(d))
 	}
 	if len(selected) > 0 {
 		fmt.Fprintf(stderr, "dnnlint: %d finding(s)\n", len(selected))
 		return 1
+	}
+	return 0
+}
+
+// jsonDiagnostic is the machine-readable record scripts/check.sh consumes.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
+}
+
+func emitJSON(stdout, stderr io.Writer, diags []lint.Diagnostic) int {
+	records := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		records = append(records, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relName(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+			Fixable:  d.Fix != nil,
+		})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fmt.Fprintln(stderr, "dnnlint:", err)
+		return 2
+	}
+	if len(records) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// emitFixes applies (or previews) every suggested fix, then reports the
+// findings no fix could address.
+func emitFixes(prog *lint.Program, stdout, stderr io.Writer, diags []lint.Diagnostic, write bool) int {
+	byFile := map[string][]lint.Diagnostic{}
+	var unfixed []lint.Diagnostic
+	for _, d := range diags {
+		if d.Fix != nil {
+			byFile[d.Pos.Filename] = append(byFile[d.Pos.Filename], d)
+		} else {
+			unfixed = append(unfixed, d)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	fixed := 0
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "dnnlint:", err)
+			return 2
+		}
+		out, n, err := lint.ApplyFixes(prog.Fset, file, src, byFile[file])
+		if err != nil {
+			fmt.Fprintln(stderr, "dnnlint:", err)
+			return 2
+		}
+		fixed += n
+		if write {
+			if err := os.WriteFile(file, out, 0o644); err != nil {
+				fmt.Fprintln(stderr, "dnnlint:", err)
+				return 2
+			}
+		} else {
+			fmt.Fprint(stdout, lint.UnifiedDiff(relName(file), src, out))
+		}
+	}
+	if write {
+		fmt.Fprintf(stderr, "dnnlint: applied %d fix(es) in %d file(s)\n", fixed, len(files))
+	} else if fixed > 0 {
+		fmt.Fprintf(stderr, "dnnlint: %d fix(es) available in %d file(s); run with -fix to apply\n", fixed, len(files))
+	}
+	for _, d := range unfixed {
+		fmt.Fprintln(stdout, rel(d))
+	}
+	if len(unfixed) > 0 {
+		fmt.Fprintf(stderr, "dnnlint: %d finding(s) with no automatic fix\n", len(unfixed))
+		return 1
+	}
+	if !write && fixed > 0 {
+		return 1 // a dry run with pending fixes still fails CI
 	}
 	return 0
 }
@@ -107,10 +225,15 @@ func matchesAny(file string, patterns []string) bool {
 // rel renders a diagnostic with a working-directory-relative path when
 // possible, keeping CI logs and editor jump-to-error short.
 func rel(d lint.Diagnostic) string {
+	d.Pos.Filename = relName(d.Pos.Filename)
+	return d.String()
+}
+
+func relName(file string) string {
 	if wd, err := os.Getwd(); err == nil {
-		if r, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			d.Pos.Filename = r
+		if r, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
 	}
-	return d.String()
+	return file
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -42,5 +45,121 @@ func TestRunRepoIsClean(t *testing.T) {
 	code := run([]string{"../../..."}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "../../internal/lint/testdata/spanpair/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var recs []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+		Fixable  bool   `json:"fixable"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(recs) == 0 {
+		t.Fatal("no JSON records emitted")
+	}
+	fixable := false
+	for _, r := range recs {
+		if r.Analyzer != "spanpair" {
+			t.Errorf("unexpected analyzer %q in record %+v", r.Analyzer, r)
+		}
+		if r.File == "" || r.Line == 0 || r.Message == "" {
+			t.Errorf("incomplete record %+v", r)
+		}
+		fixable = fixable || r.Fixable
+	}
+	if !fixable {
+		t.Error("no record marked fixable; the defer-End fix should be offered")
+	}
+}
+
+func TestRunJSONCleanTree(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-analyzers=poolpair", "../../internal/lint/testdata/pkgdoc/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean tree emitted %q, want []", got)
+	}
+}
+
+func TestRunDiffPreviewDoesNotWrite(t *testing.T) {
+	fixture := "../../internal/lint/testdata/spanpair/internal/attack/fixture.go"
+	before, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-diff", "../../internal/lint/testdata/spanpair/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (pending fixes); stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "+++ ") || !strings.Contains(out, "defer sp.End()") {
+		t.Errorf("diff preview lacks the inserted defer:\n%s", out)
+	}
+	after, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("-diff modified the fixture on disk")
+	}
+}
+
+func TestRunFixRewritesInPlace(t *testing.T) {
+	dir := t.TempDir()
+	src := "../../internal/lint/testdata/spanpair"
+	if err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(src, path)
+		dst := filepath.Join(dir, rel)
+		if d.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-fix", dir + "/..."}, &stdout, &stderr)
+	// Unfixable findings (discarded, blanked spans) remain, so still 1.
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "applied") {
+		t.Errorf("no applied-fixes summary: %s", stderr.String())
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "internal/attack/fixture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "defer sp.End()") {
+		t.Error("fix did not insert the deferred End")
+	}
+
+	// The fixed tree must no longer report the path leaks it repaired.
+	var stdout2, stderr2 bytes.Buffer
+	run([]string{dir + "/..."}, &stdout2, &stderr2)
+	if strings.Contains(stdout2.String(), "not ended on this return path") {
+		t.Errorf("path-leak findings survived -fix:\n%s", stdout2.String())
 	}
 }

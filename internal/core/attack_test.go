@@ -109,7 +109,9 @@ func TestRelearnBySiteFixesBits(t *testing.T) {
 	a.setBit(b0, !key[b0], 0.1, OriginLearning)
 	a.setBit(b1, !key[b1], 0.1, OriginLearning)
 	rng := rand.New(rand.NewSource(408))
-	a.relearnBySite([]int{b0, b1}, rng)
+	if err := a.relearnBySite([]int{b0, b1}, rng); err != nil {
+		t.Fatalf("relearnBySite: %v", err)
+	}
 	cur := a.CurrentKey()
 	if cur[b0] != key[b0] || cur[b1] != key[b1] {
 		t.Fatalf("relearn failed: %v vs %v", cur, key)

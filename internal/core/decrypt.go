@@ -100,11 +100,14 @@ func (a *Attack) run() (*Result, error) {
 
 // runSite attacks the protected bits of one flip site: algebraic inference,
 // learning fallback, then the validation / correction loop over the pending
-// group (Algorithm 2 lines 4–10). On error the site span is left unended —
-// the run aborts and the trace simply truncates.
+// group (Algorithm 2 lines 4–10). The site span always ends — the success
+// paths end it explicitly with annotations, and the deferred End (a no-op
+// after an explicit one) covers the error returns, so an aborted run still
+// exports the partial site record instead of truncating the trace.
 func (a *Attack) runSite(site int, bits []int, pending *sitePending, rng *rand.Rand) (SiteReport, error) {
 	rep := SiteReport{Site: site, Bits: len(bits)}
 	ssp := a.root.Child("site", obs.Int("site", site), obs.Int("bits", len(bits)))
+	defer ssp.End()
 
 	// Phase 1: algebraic inference (Algorithm 1) on every bit, in
 	// parallel across neurons (§4.1).

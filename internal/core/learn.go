@@ -285,6 +285,9 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg
 	root.SetBreakdown(bd)
 	defer root.End()
 	ph := root.Child(string(metrics.ProcLearningAttack), obs.Proc(metrics.ProcLearningAttack))
+	// Ended explicitly on success after its counters land; the defer (End is
+	// idempotent) covers the error return so the phase record still exports.
+	defer ph.End()
 
 	net := white.CloneForKeys()
 	// All bits participate; group by site.

@@ -398,6 +398,7 @@ func (c *coalescer) flush(batch []*coalReq, rows int) {
 		for _, r := range batch {
 			r.resp <- coalResp{nil, err}
 		}
+		//lint:ignore poolpair y is nil here: every failing retry iteration above Put-and-niled it, and err != nil excludes the break-on-success path the path-insensitive solver also sees
 		return
 	}
 	at = 0

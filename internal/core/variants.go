@@ -49,83 +49,12 @@ func (a *Attack) runVariant() (*Result, error) {
 	bySite := a.spec.SiteBits()
 
 	var reports []SiteReport
-	var pendingBits, pendingSites []int
+	var pending sitePending
 	for _, site := range a.orderedSites() {
-		bits := bySite[site]
-		rep := SiteReport{Site: site, Bits: len(bits)}
-		ssp := root.Child("site", obs.Int("site", site), obs.Int("bits", len(bits)))
-
-		inferred := make([]bitValue, len(bits))
-		var inferErr error
-		a.trackProc(ssp, metrics.ProcKeyBitInference, func() {
-			inferErr = a.parallelForErr(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) error {
-				var err error
-				inferred[i], err = a.hypothesisTestBit(bits[i], wrng)
-				return err
-			})
-		})
-		if inferErr != nil {
-			return nil, fmt.Errorf("core: variant site %d hypothesis tests: %w", site, inferErr)
+		rep, err := a.runVariantSite(root, site, bySite[site], &pending, rng)
+		if err != nil {
+			return nil, err
 		}
-		for i, v := range inferred {
-			switch v {
-			case bitZero, bitOne:
-				a.setBit(bits[i], v == bitOne, 1, OriginAlgebraic)
-				rep.Algebraic++
-			default:
-				// Undecided: default to 0 with no confidence; the
-				// validation / correction loop repairs mistakes.
-				a.setBit(bits[i], false, 0, OriginUnknown)
-			}
-		}
-		a.log.Debug("variant site tested", "site", site, "bits", len(bits),
-			"decided", rep.Algebraic)
-
-		pendingBits = append(pendingBits, bits...)
-		pendingSites = append(pendingSites, site)
-		if _, mode := a.validationProbe(pendingSites); mode == modeDefer {
-			ssp.End(obs.Bool("deferred", true))
-			reports = append(reports, rep)
-			continue
-		}
-		valid := false
-		for round := 0; round <= a.cfg.MaxCorrectionRounds; round++ {
-			var valErr error
-			a.trackProc(ssp, metrics.ProcKeyVectorValidation, func() {
-				rep.ValidationRuns++
-				valid, valErr = a.keyVectorValidation(a.white, pendingSites, rng)
-			})
-			if valErr != nil {
-				return nil, fmt.Errorf("core: variant site %d key_vector_validation: %w", site, valErr)
-			}
-			if valid {
-				break
-			}
-			fixed := false
-			var corrErr error
-			a.trackProc(ssp, metrics.ProcErrorCorrection, func() {
-				fixed, corrErr = a.errorCorrection(pendingSites, a.decidedBits(), rng)
-			})
-			if corrErr != nil {
-				return nil, fmt.Errorf("core: variant site %d error_correction: %w", site, corrErr)
-			}
-			if fixed {
-				// The committed candidate already passed validation inside
-				// errorCorrection.
-				rep.Corrected++
-				valid = true
-				break
-			}
-			if round == a.cfg.MaxCorrectionRounds {
-				return nil, fmt.Errorf("core: variant site %d failed validation", site)
-			}
-		}
-		if !valid {
-			return nil, fmt.Errorf("core: variant site %d failed validation", site)
-		}
-		pendingBits = pendingBits[:0]
-		pendingSites = pendingSites[:0]
-		ssp.End(obs.Int("decided", rep.Algebraic), obs.Int("corrected", rep.Corrected))
 		reports = append(reports, rep)
 	}
 
@@ -157,6 +86,90 @@ func (a *Attack) runVariant() (*Result, error) {
 		return res, fmt.Errorf("core: recovered variant key is not functionally equivalent to the oracle")
 	}
 	return res, nil
+}
+
+// runVariantSite attacks the protected bits of one flip site of the
+// variant scheme: hypothesis tests on every bit, then the validation /
+// correction loop over the pending group. Mirrors runSite, including its
+// span discipline: the success paths end the site span with annotations,
+// and the deferred End (idempotent) covers the error returns so an aborted
+// run still exports the partial site record.
+func (a *Attack) runVariantSite(root *obs.Span, site int, bits []int, pending *sitePending, rng *rand.Rand) (SiteReport, error) {
+	rep := SiteReport{Site: site, Bits: len(bits)}
+	ssp := root.Child("site", obs.Int("site", site), obs.Int("bits", len(bits)))
+	defer ssp.End()
+
+	inferred := make([]bitValue, len(bits))
+	var inferErr error
+	a.trackProc(ssp, metrics.ProcKeyBitInference, func() {
+		inferErr = a.parallelForErr(len(bits), rng.Int63(), func(i int, wrng *rand.Rand) error {
+			var err error
+			inferred[i], err = a.hypothesisTestBit(bits[i], wrng)
+			return err
+		})
+	})
+	if inferErr != nil {
+		return rep, fmt.Errorf("core: variant site %d hypothesis tests: %w", site, inferErr)
+	}
+	for i, v := range inferred {
+		switch v {
+		case bitZero, bitOne:
+			a.setBit(bits[i], v == bitOne, 1, OriginAlgebraic)
+			rep.Algebraic++
+		default:
+			// Undecided: default to 0 with no confidence; the
+			// validation / correction loop repairs mistakes.
+			a.setBit(bits[i], false, 0, OriginUnknown)
+		}
+	}
+	a.log.Debug("variant site tested", "site", site, "bits", len(bits),
+		"decided", rep.Algebraic)
+
+	pending.bits = append(pending.bits, bits...)
+	pending.sites = append(pending.sites, site)
+	if _, mode := a.validationProbe(pending.sites); mode == modeDefer {
+		ssp.End(obs.Bool("deferred", true))
+		return rep, nil
+	}
+	valid := false
+	for round := 0; round <= a.cfg.MaxCorrectionRounds; round++ {
+		var valErr error
+		a.trackProc(ssp, metrics.ProcKeyVectorValidation, func() {
+			rep.ValidationRuns++
+			valid, valErr = a.keyVectorValidation(a.white, pending.sites, rng)
+		})
+		if valErr != nil {
+			return rep, fmt.Errorf("core: variant site %d key_vector_validation: %w", site, valErr)
+		}
+		if valid {
+			break
+		}
+		fixed := false
+		var corrErr error
+		a.trackProc(ssp, metrics.ProcErrorCorrection, func() {
+			fixed, corrErr = a.errorCorrection(pending.sites, a.decidedBits(), rng)
+		})
+		if corrErr != nil {
+			return rep, fmt.Errorf("core: variant site %d error_correction: %w", site, corrErr)
+		}
+		if fixed {
+			// The committed candidate already passed validation inside
+			// errorCorrection.
+			rep.Corrected++
+			valid = true
+			break
+		}
+		if round == a.cfg.MaxCorrectionRounds {
+			return rep, fmt.Errorf("core: variant site %d failed validation", site)
+		}
+	}
+	if !valid {
+		return rep, fmt.Errorf("core: variant site %d failed validation", site)
+	}
+	pending.bits = pending.bits[:0]
+	pending.sites = pending.sites[:0]
+	ssp.End(obs.Int("decided", rep.Algebraic), obs.Int("corrected", rep.Corrected))
+	return rep, nil
 }
 
 // hypothesisTestBit decides one variant key bit by candidate-hyperplane

@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// The CFG tests drive the builder through every statement kind the repo
+// uses and check path behavior through the solver rather than by asserting
+// on block layout: a fact is generated at the gen() marker, killed at the
+// kill() marker, and the test asks whether the fact can reach the function
+// exit. That is exactly how the analyzers consume the graph, so the tests
+// stay valid under any block-splitting strategy.
+
+// buildCFGFor parses one function body and builds its CFG.
+func buildCFGFor(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n" +
+		"func gen()\nfunc kill()\nfunc other()\nfunc cond() bool\nfunc vals() []int\nfunc ch() chan int\n" +
+		"type T struct{}\nfunc (T) Fatalf(string, ...any)\n" +
+		"func f(n int, t T, c chan int, v any) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfgtest.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("func f not found")
+	return nil
+}
+
+// markerNodes finds every CFG element containing a call to the named marker.
+func markerNodes(g *CFG, name string) []ast.Node {
+	var out []ast.Node
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// markerNode finds the first CFG element containing a call to the marker.
+func markerNode(g *CFG, name string) ast.Node {
+	if ns := markerNodes(g, name); len(ns) > 0 {
+		return ns[0]
+	}
+	return nil
+}
+
+// outstandingAtExit reports whether a fact generated at gen() can reach the
+// function exit without passing kill().
+func outstandingAtExit(t *testing.T, body string) bool {
+	t.Helper()
+	g := buildCFGFor(t, body)
+	prob := &FlowProblem{CFG: g, Facts: 1, May: true,
+		Gen: map[ast.Node][]int{}, Kill: map[ast.Node][]int{}}
+	gns := markerNodes(g, "gen")
+	if len(gns) == 0 {
+		t.Fatal("no gen() marker in body")
+	}
+	for _, gn := range gns {
+		prob.Gen[gn] = []int{0}
+	}
+	for _, kn := range markerNodes(g, "kill") {
+		prob.Kill[kn] = []int{0}
+	}
+	return prob.Solve().In[g.Exit].Has(0)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	if outstandingAtExit(t, "gen()\nkill()") {
+		t.Error("straight-line kill did not discharge the fact")
+	}
+	if !outstandingAtExit(t, "gen()\nother()") {
+		t.Error("fact should reach exit with no kill")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	if outstandingAtExit(t, "gen()\nif cond() {\n\tkill()\n} else {\n\tkill()\n}") {
+		t.Error("kill on both arms should discharge")
+	}
+	if !outstandingAtExit(t, "gen()\nif cond() {\n\tkill()\n}") {
+		t.Error("kill on one arm only: the else path must leak")
+	}
+	// A return with the fact outstanding reaches Exit (that is what a
+	// leak-on-return is), but the fact must not flow past the return into
+	// the code after the if.
+	{
+		g := buildCFGFor(t, "if cond() {\n\tgen()\n\treturn\n}\nother()")
+		prob := &FlowProblem{CFG: g, Facts: 1, May: true,
+			Gen: map[ast.Node][]int{}, Kill: map[ast.Node][]int{}}
+		prob.Gen[markerNode(g, "gen")] = []int{0}
+		res := prob.Solve()
+		blk, idx := g.FindNode(markerNode(g, "other").Pos())
+		if res.Before(blk, idx).Has(0) {
+			t.Error("fact leaked past a return into the fall-through code")
+		}
+		if !res.In[g.Exit].Has(0) {
+			t.Error("fact outstanding at a return must reach Exit")
+		}
+	}
+	if outstandingAtExit(t, "if v := cond(); v {\n\tgen()\n\tkill()\n}") {
+		t.Error("if with init statement mis-built")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	if outstandingAtExit(t, "for i := 0; i < n; i++ {\n\tgen()\n\tkill()\n}") {
+		t.Error("balanced loop body should be clean")
+	}
+	if !outstandingAtExit(t, "for i := 0; i < n; i++ {\n\tgen()\n}") {
+		t.Error("fact generated in loop must reach exit through the loop exit")
+	}
+	if !outstandingAtExit(t, "for i := 0; i < n; i++ {\n\tgen()\n\tif cond() {\n\t\tcontinue\n\t}\n\tkill()\n}") {
+		t.Error("continue skipping the kill must leak around the back edge")
+	}
+	if !outstandingAtExit(t, "for i := 0; i < n; i++ {\n\tgen()\n\tif cond() {\n\t\tbreak\n\t}\n\tkill()\n}") {
+		t.Error("break skipping the kill must leak to the loop join")
+	}
+}
+
+func TestCFGInfiniteLoop(t *testing.T) {
+	// for {} without a break never reaches the closing brace: the
+	// falls-off block (if any) must be unreachable.
+	g := buildCFGFor(t, "for {\n\tother()\n}")
+	if g.FallsOff != nil && g.FallsOff.Reachable {
+		t.Error("infinite loop must not have a reachable fall-through edge")
+	}
+	if !outstandingAtExit(t, "gen()\nfor {\n\tif cond() {\n\t\tbreak\n\t}\n}\nother()") {
+		t.Error("break out of for{} must continue to the code after the loop")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	if outstandingAtExit(t, "for _, x := range vals() {\n\t_ = x\n\tgen()\n\tkill()\n}") {
+		t.Error("balanced range body should be clean")
+	}
+	// A range can run zero times: a kill only inside the body does not
+	// cover a fact generated before the loop.
+	if !outstandingAtExit(t, "gen()\nfor range vals() {\n\tkill()\n}") {
+		t.Error("zero-iteration range edge missing")
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	if !outstandingAtExit(t, "L:\nfor i := 0; i < n; i++ {\n\tgen()\n\tfor j := 0; j < n; j++ {\n\t\tbreak L\n\t}\n\tkill()\n}") {
+		t.Error("labeled break must exit the outer loop, skipping the kill")
+	}
+	if !outstandingAtExit(t, "L:\nfor i := 0; i < n; i++ {\n\tgen()\n\tfor j := 0; j < n; j++ {\n\t\tcontinue L\n\t}\n\tkill()\n}") {
+		t.Error("labeled continue must restart the outer loop, skipping the kill")
+	}
+	if outstandingAtExit(t, "L:\nfor i := 0; i < n; i++ {\n\tgen()\n\tfor j := 0; j < n; j++ {\n\t\tcontinue L\n\t}\n\tkill()\n}\nkill()") {
+		t.Error("kill after the labeled loop must cover the continue path")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	if !outstandingAtExit(t, "gen()\nif cond() {\n\tgoto Skip\n}\nkill()\nSkip:\nother()") {
+		t.Error("goto must skip the kill")
+	}
+	if outstandingAtExit(t, "goto Fwd\nFwd:\ngen()\nkill()") {
+		t.Error("forward goto mis-built")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	if !outstandingAtExit(t, "switch n {\ncase 1:\n\tgen()\ncase 2:\n\tkill()\n}") {
+		t.Error("gen in one case must leak: the kill case is a different path")
+	}
+	if outstandingAtExit(t, "switch n {\ncase 1:\n\tgen()\n\tfallthrough\ncase 2:\n\tkill()\n}") {
+		t.Error("fallthrough must carry the fact into the next case's kill")
+	}
+	if outstandingAtExit(t, "gen()\nswitch n {\ncase 1:\n\tkill()\ndefault:\n\tkill()\n}") {
+		t.Error("kill in every case incl. default should discharge")
+	}
+	if !outstandingAtExit(t, "gen()\nswitch n {\ncase 1:\n\tkill()\ncase 2:\n\tkill()\n}") {
+		t.Error("switch without default can match nothing: fact must survive")
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	if !outstandingAtExit(t, "gen()\nswitch v.(type) {\ncase int:\n\tkill()\n}") {
+		t.Error("type switch without default can match nothing")
+	}
+	if outstandingAtExit(t, "gen()\nswitch x := v.(type) {\ncase int:\n\t_ = x\n\tkill()\ndefault:\n\tkill()\n}") {
+		t.Error("type switch with default covering all paths should discharge")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	if !outstandingAtExit(t, "gen()\nselect {\ncase <-c:\n\tkill()\ncase c <- 1:\n\tother()\n}") {
+		t.Error("select arm without the kill must leak")
+	}
+	if outstandingAtExit(t, "gen()\nselect {\ncase <-c:\n\tkill()\ncase c <- 1:\n\tkill()\n}") {
+		t.Error("kill in every select arm should discharge")
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	g := buildCFGFor(t, "for i := 0; i < n; i++ {\n\tdefer other()\n}\nif cond() {\n\tdefer kill()\n}")
+	if len(g.Defers) != 2 {
+		t.Errorf("got %d defers, want 2 (defer-in-loop and conditional defer)", len(g.Defers))
+	}
+}
+
+func TestCFGTerminalCalls(t *testing.T) {
+	if outstandingAtExit(t, "gen()\npanic(\"x\")") {
+		t.Error("panic terminates the path: the fact must not reach exit")
+	}
+	if outstandingAtExit(t, "gen()\nt.Fatalf(\"x\")") {
+		t.Error("Fatalf terminates the path")
+	}
+	if !outstandingAtExit(t, "gen()\nif cond() {\n\tpanic(\"x\")\n}") {
+		t.Error("only one arm panics: the other path must still leak")
+	}
+}
+
+func TestCFGUnreachableNodesKept(t *testing.T) {
+	g := buildCFGFor(t, "return\nother()")
+	n := markerNode(g, "other")
+	if n == nil {
+		t.Fatal("statement after return was dropped from the graph")
+	}
+	blk, _ := g.FindNode(n.Pos())
+	if blk.Reachable {
+		t.Error("statement after return must be in an unreachable block")
+	}
+}
+
+func TestCFGMustReach(t *testing.T) {
+	// Must-analysis: the fact holds at exit only if EVERY path generates it.
+	build := func(body string) (*CFG, *FlowProblem) {
+		g := buildCFGFor(t, body)
+		prob := &FlowProblem{CFG: g, Facts: 1, May: false,
+			Gen: map[ast.Node][]int{}, Kill: map[ast.Node][]int{}}
+		for _, gn := range markerNodes(g, "gen") {
+			prob.Gen[gn] = []int{0}
+		}
+		return g, prob
+	}
+	g, prob := build("if cond() {\n\tgen()\n} else {\n\tgen()\n}")
+	if !prob.Solve().In[g.Exit].Has(0) {
+		t.Error("gen on both arms must-reaches exit")
+	}
+	g, prob = build("if cond() {\n\tgen()\n}")
+	if prob.Solve().In[g.Exit].Has(0) {
+		t.Error("gen on one arm only does not must-reach exit")
+	}
+}
+
+func TestFlowBefore(t *testing.T) {
+	g := buildCFGFor(t, "gen()\nother()\nkill()")
+	prob := &FlowProblem{CFG: g, Facts: 1, May: true,
+		Gen: map[ast.Node][]int{}, Kill: map[ast.Node][]int{}}
+	prob.Gen[markerNode(g, "gen")] = []int{0}
+	prob.Kill[markerNode(g, "kill")] = []int{0}
+	res := prob.Solve()
+	blk, idx := g.FindNode(markerNode(g, "other").Pos())
+	if !res.Before(blk, idx).Has(0) {
+		t.Error("fact must hold between gen and kill")
+	}
+	kblk, kidx := g.FindNode(markerNode(g, "kill").Pos())
+	if got := res.Before(kblk, kidx); !got.Has(0) {
+		t.Error("fact must hold just before the kill")
+	}
+	if !res.In[g.Exit].Empty() {
+		t.Error("fact must be discharged at exit")
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	s := NewBitSet(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	for _, i := range []int{0, 64, 129} {
+		if !s.Has(i) {
+			t.Errorf("bit %d lost", i)
+		}
+	}
+	s.ClearBit(64)
+	if s.Has(64) {
+		t.Error("ClearBit failed")
+	}
+	o := NewBitSet(130)
+	o.Fill()
+	if !o.Has(129) || o.Empty() {
+		t.Error("Fill missed the top bit")
+	}
+	c := s.Copy()
+	if c.UnionWith(o); !c.Has(64) {
+		t.Error("union failed")
+	}
+	if c.IntersectWith(s); c.Has(64) {
+		t.Error("intersect failed")
+	}
+}
+
+// TestCFGRepoSmoke builds a CFG for every function in the repository and
+// solves a trivial dataflow problem on each: construction must succeed and
+// the fixpoint must terminate on all real control flow (nested loops,
+// selects, labeled jumps, the works).
+func TestCFGRepoSmoke(t *testing.T) {
+	prog, err := Load("../..")
+	if err != nil {
+		t.Fatalf("loading repository module: %v", err)
+	}
+	funcs, blocks := 0, 0
+	for _, u := range prog.Units {
+		for _, f := range u.Files {
+			for _, region := range functionRegions(f) {
+				g := BuildCFG(region)
+				funcs++
+				blocks += len(g.Blocks)
+				if g.Entry == nil || g.Exit == nil {
+					t.Fatalf("%s: CFG missing entry/exit", prog.Fset.Position(region.Pos()))
+				}
+				prob := &FlowProblem{CFG: g, Facts: 4, May: true,
+					Gen: map[ast.Node][]int{}, Kill: map[ast.Node][]int{}}
+				for _, b := range g.Blocks {
+					for _, n := range b.Nodes {
+						prob.Gen[n] = []int{int(n.Pos()) % 4}
+					}
+				}
+				prob.Solve() // must terminate
+			}
+		}
+	}
+	if funcs < 500 {
+		t.Errorf("CFG smoke covered only %d functions; expected the whole repo", funcs)
+	}
+	t.Logf("built %d CFGs (%d blocks)", funcs, blocks)
+}

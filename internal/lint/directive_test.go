@@ -38,7 +38,7 @@ func TestParseDirective(t *testing.T) {
 }
 
 func TestSuppressedCoversLineAndLineAbove(t *testing.T) {
-	prog := &Program{directives: map[string]map[int][]directive{
+	prog := &Program{directives: map[string]map[int][]*directive{
 		"f.go": {10: {{kind: dirIgnore, analyzer: "floatcmp"}}},
 	}}
 	if !prog.suppressed("floatcmp", token.Position{Filename: "f.go", Line: 10}) {

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// SuggestedFix is a mechanical rewrite attached to a Diagnostic. Analyzers
+// only attach one when the rewrite is unconditionally safe — spanpair's
+// `defer sp.End()` insertion relies on End being idempotent, errflow's
+// wrap-and-return relies on the enclosing signature being a bare error —
+// so `dnnlint -fix` can apply every offered fix without judgement calls.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the source bytes in [Pos, End) with NewText. A pure
+// insertion sets End == Pos. Positions are in the Program's FileSet.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// ApplyFixes applies every suggested fix in diags that touches filename to
+// src and returns the gofmt-formatted result, together with the number of
+// fixes applied. Edits are applied back-to-front so earlier offsets stay
+// valid; overlapping edits (two fixes rewriting the same bytes) are an
+// error rather than a silent misapplication.
+func ApplyFixes(fset *token.FileSet, filename string, src []byte, diags []Diagnostic) ([]byte, int, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	var edits []edit
+	applied := 0
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		hit := false
+		for _, e := range d.Fix.Edits {
+			p := fset.Position(e.Pos)
+			if p.Filename != filename {
+				continue
+			}
+			end := p.Offset
+			if e.End.IsValid() && e.End > e.Pos {
+				end = fset.Position(e.End).Offset
+			}
+			if p.Offset < 0 || end > len(src) || end < p.Offset {
+				return nil, 0, fmt.Errorf("lint: fix edit out of range in %s (%d..%d of %d bytes)", filename, p.Offset, end, len(src))
+			}
+			edits = append(edits, edit{start: p.Offset, end: end, text: e.NewText})
+			hit = true
+		}
+		if hit {
+			applied++
+		}
+	}
+	if len(edits) == 0 {
+		return src, 0, nil
+	}
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].start != edits[j].start {
+			return edits[i].start < edits[j].start
+		}
+		return edits[i].end < edits[j].end
+	})
+	for i := 1; i < len(edits); i++ {
+		if edits[i].start < edits[i-1].end {
+			return nil, 0, fmt.Errorf("lint: overlapping fix edits in %s at byte %d", filename, edits[i].start)
+		}
+	}
+	out := make([]byte, 0, len(src)+256)
+	prev := 0
+	for _, e := range edits {
+		out = append(out, src[prev:e.start]...)
+		out = append(out, e.text...)
+		prev = e.end
+	}
+	out = append(out, src[prev:]...)
+	formatted, err := format.Source(out)
+	if err != nil {
+		return nil, 0, fmt.Errorf("lint: fixed %s does not parse (fix bug): %w", filename, err)
+	}
+	return formatted, applied, nil
+}
+
+// UnifiedDiff renders a unified diff (3 lines of context) between the old
+// and new contents of one file, for `dnnlint -diff` dry runs. Returns ""
+// when the contents are identical.
+func UnifiedDiff(name string, oldSrc, newSrc []byte) string {
+	if bytes.Equal(oldSrc, newSrc) {
+		return ""
+	}
+	a := splitLines(oldSrc)
+	b := splitLines(newSrc)
+	ops := diffOps(a, b)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", name, name)
+	const ctx = 3
+	for i := 0; i < len(ops); {
+		if ops[i].kind == opKeep {
+			i++
+			continue
+		}
+		// Open a hunk around this change, absorbing nearby changes separated
+		// by at most 2*ctx kept lines.
+		start := i
+		end := i
+		for j := i + 1; j < len(ops); j++ {
+			if ops[j].kind != opKeep {
+				end = j
+			} else if j-end > 2*ctx {
+				break
+			}
+		}
+		hs := start
+		for hs > 0 && start-hs < ctx && ops[hs-1].kind == opKeep {
+			hs--
+		}
+		he := end
+		for he < len(ops)-1 && he-end < ctx && ops[he+1].kind == opKeep {
+			he++
+		}
+		aStart, aLen, bStart, bLen := hunkRange(ops, hs, he)
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart, aLen, bStart, bLen)
+		for _, op := range ops[hs : he+1] {
+			switch op.kind {
+			case opKeep:
+				sb.WriteString(" " + op.text + "\n")
+			case opDel:
+				sb.WriteString("-" + op.text + "\n")
+			case opIns:
+				sb.WriteString("+" + op.text + "\n")
+			}
+		}
+		i = he + 1
+	}
+	return sb.String()
+}
+
+const (
+	opKeep = iota
+	opDel
+	opIns
+)
+
+type diffOp struct {
+	kind  int
+	text  string
+	aLine int // 1-based line in old (keep/del)
+	bLine int // 1-based line in new (keep/ins)
+}
+
+// diffOps computes a line-level edit script via LCS, trimming the common
+// prefix and suffix first so the quadratic table only covers the changed
+// middle.
+func diffOps(a, b []string) []diffOp {
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(a)-pre && suf < len(b)-pre && a[len(a)-1-suf] == b[len(b)-1-suf] {
+		suf++
+	}
+	am := a[pre : len(a)-suf]
+	bm := b[pre : len(b)-suf]
+
+	// LCS table over the middle.
+	n, m := len(am), len(bm)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if am[i] == bm[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	var ops []diffOp
+	aLine, bLine := 1, 1
+	emit := func(kind int, text string) {
+		op := diffOp{kind: kind, text: text, aLine: aLine, bLine: bLine}
+		switch kind {
+		case opKeep:
+			aLine++
+			bLine++
+		case opDel:
+			aLine++
+		case opIns:
+			bLine++
+		}
+		ops = append(ops, op)
+	}
+	for _, line := range a[:pre] {
+		emit(opKeep, line)
+	}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case am[i] == bm[j]:
+			emit(opKeep, am[i])
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			emit(opDel, am[i])
+			i++
+		default:
+			emit(opIns, bm[j])
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		emit(opDel, am[i])
+	}
+	for ; j < m; j++ {
+		emit(opIns, bm[j])
+	}
+	for _, line := range a[len(a)-suf:] {
+		emit(opKeep, line)
+	}
+	return ops
+}
+
+// hunkRange computes the @@ header numbers for ops[hs..he].
+func hunkRange(ops []diffOp, hs, he int) (aStart, aLen, bStart, bLen int) {
+	aStart, bStart = ops[hs].aLine, ops[hs].bLine
+	for _, op := range ops[hs : he+1] {
+		switch op.kind {
+		case opKeep:
+			aLen++
+			bLen++
+		case opDel:
+			aLen++
+		case opIns:
+			bLen++
+		}
+	}
+	return aStart, aLen, bStart, bLen
+}
+
+func splitLines(src []byte) []string {
+	s := string(src)
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

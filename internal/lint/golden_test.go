@@ -22,6 +22,9 @@ func TestFloatCmpGolden(t *testing.T)    { runGolden(t, FloatCmp, "floatcmp") }
 func TestNakedGoGolden(t *testing.T)     { runGolden(t, NakedGo, "nakedgo") }
 func TestPkgDocGolden(t *testing.T)      { runGolden(t, PkgDoc, "pkgdoc") }
 func TestQuerySeamGolden(t *testing.T)   { runGolden(t, QuerySeam, "queryseam") }
+func TestErrFlowGolden(t *testing.T)     { runGolden(t, ErrFlow, "errflow") }
+func TestSpanPairGolden(t *testing.T)    { runGolden(t, SpanPair, "spanpair") }
+func TestGoLifeGolden(t *testing.T)      { runGolden(t, GoLife, "golife") }
 
 type wantMarker struct {
 	file string

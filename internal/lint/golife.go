@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLife enforces goroutine lifecycle hygiene at the repo's sanctioned `go`
+// sites (the ones nakedgo exempts): every spawned goroutine must have a
+// provable termination edge, so an attack run cannot strand workers that
+// outlive their phase and skew the wall-clock and query accounting the
+// harness reports. The witnesses accepted, in order of strength:
+//
+//   - a loop-free body (it runs to its return; WaitGroup-signalled workers
+//     fall out of this case, since the Done is just a deferred call),
+//   - condition- or range-bounded loops over non-channel operands,
+//   - a range over a channel that some function in the same package
+//     close()s (the pool drains and the range ends),
+//   - an unconditional `for` whose body can exit (return/break/goto) and
+//     blocks on a terminating receive: a comma-ok or plain receive from a
+//     package-closed channel, or from a Done() call (context-style).
+//
+// Anything else — a range over a never-closed channel, an infinite loop
+// with no closing signal — is reported. A deliberate process-lifetime
+// worker pool is the one legitimate exception, and must say so with a
+// //lint:ignore golife directive. Test files are skipped: test goroutines
+// die with the process.
+var GoLife = &Analyzer{
+	Name: "golife",
+	Doc:  "spawned goroutines must have a provable termination edge",
+	Run:  runGoLife,
+}
+
+func runGoLife(p *Pass) {
+	closed := p.closedChannelObjs()
+	decls := p.funcDeclBodies()
+	for _, f := range p.Unit.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := p.goBody(g, decls)
+			if body == nil {
+				p.Report(g.Pos(), "goroutine calls a function outside this package: termination cannot be proven here")
+				return true
+			}
+			p.checkGoroutineBody(g, body, closed)
+			return true
+		})
+	}
+}
+
+// goBody resolves the spawned function's body: a literal directly, a named
+// function or method through its declaration in the same package.
+func (p *Pass) goBody(g *ast.GoStmt, decls map[types.Object]*ast.BlockStmt) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := p.Unit.Info.Uses[fun]; obj != nil {
+			return decls[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj := p.Unit.Info.Uses[fun.Sel]; obj != nil {
+			return decls[obj]
+		}
+	}
+	return nil
+}
+
+// checkGoroutineBody scans the loops directly in the goroutine's body (a
+// nested closure is its own goroutine site if spawned) for missing
+// termination witnesses.
+func (p *Pass) checkGoroutineBody(g *ast.GoStmt, body *ast.BlockStmt, closed map[types.Object]bool) {
+	walkRegion(body, func(n ast.Node) {
+		switch loop := n.(type) {
+		case *ast.RangeStmt:
+			t := p.exprType(loop.X)
+			if t == nil {
+				return
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return // slice/map/int range: bounded
+			}
+			obj := p.chanOperandObj(loop.X)
+			if obj == nil || !closed[obj] {
+				p.Report(g.Pos(), "goroutine ranges over channel %s that no function in this package closes: no provable termination",
+					exprString(loop.X))
+			}
+		case *ast.ForStmt:
+			if loop.Cond != nil {
+				return // condition-bounded
+			}
+			if !p.loopCanTerminate(loop, closed) {
+				p.Report(g.Pos(), "goroutine loops forever with no exit on a closed-channel or Done() receive: no provable termination")
+			}
+		}
+	})
+}
+
+// loopCanTerminate reports whether an unconditional for-loop has both an
+// exit statement and a blocking receive that a closer can release: a
+// receive (plain or comma-ok) from a package-closed channel or from a
+// Done() call.
+func (p *Pass) loopCanTerminate(loop *ast.ForStmt, closed map[types.Object]bool) bool {
+	hasExit, hasSignal := false, false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			hasExit = true
+		case *ast.BranchStmt:
+			hasExit = true // break or goto out of the loop
+		case *ast.UnaryExpr:
+			if v.Op != token.ARROW {
+				return true
+			}
+			if call, ok := astUnparen(v.X).(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+					hasSignal = true // ctx.Done()-style
+				}
+				return true
+			}
+			if obj := p.chanOperandObj(v.X); obj != nil && closed[obj] {
+				hasSignal = true
+			}
+		}
+		return !(hasExit && hasSignal)
+	})
+	return hasExit && hasSignal
+}
+
+// closedChannelObjs indexes every object passed to the close builtin
+// anywhere in this package: channel-typed variables, struct fields, and
+// slice elements (indexed closes resolve to the slice variable).
+func (p *Pass) closedChannelObjs() map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range p.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "close" {
+				return true
+			}
+			if _, isBuiltin := p.Unit.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if obj := p.chanOperandObj(call.Args[0]); obj != nil {
+				out[obj] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// chanOperandObj resolves a channel expression to the variable or field
+// object anchoring it, unwrapping parens and indexing: ch, c.reqs,
+// done[i] all resolve (the last to the slice variable).
+func (p *Pass) chanOperandObj(e ast.Expr) types.Object {
+	switch v := astUnparen(e).(type) {
+	case *ast.Ident:
+		if obj := p.Unit.Info.Uses[v]; obj != nil {
+			return obj
+		}
+		return p.Unit.Info.Defs[v]
+	case *ast.SelectorExpr:
+		return p.Unit.Info.Uses[v.Sel]
+	case *ast.IndexExpr:
+		return p.chanOperandObj(v.X)
+	}
+	return nil
+}
+
+// funcDeclBodies maps each function/method object declared in the unit to
+// its body.
+func (p *Pass) funcDeclBodies() map[types.Object]*ast.BlockStmt {
+	out := map[types.Object]*ast.BlockStmt{}
+	for _, f := range p.Unit.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := p.Unit.Info.Defs[fd.Name]; obj != nil {
+				out[obj] = fd.Body
+			}
+		}
+	}
+	return out
+}
+
+func (p *Pass) exprType(e ast.Expr) types.Type {
+	tv, ok := p.Unit.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func astUnparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

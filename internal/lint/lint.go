@@ -2,9 +2,21 @@
 // invariants: pooled workspaces must be released (poolpair), the kernel
 // packages must stay bit-reproducible (determinism, floatcmp), all
 // parallelism must route through the tensor worker pool so DNNLOCK_PROCS
-// stays authoritative (nakedgo), and every internal package must carry a
-// godoc package comment (pkgdoc). See DESIGN.md §10 for the invariant each
-// analyzer encodes and why Algorithm 2's hyperplane matching depends on it.
+// stays authoritative (nakedgo), every internal package must carry a godoc
+// package comment (pkgdoc), every oracle probe must route through the
+// counted seam (queryseam), oracle-seam errors must be checked or
+// propagated on every path (errflow), trace spans must be ended on every
+// path (spanpair), and every goroutine must have a provable termination
+// edge (golife). See DESIGN.md §10 and §15 for the invariant each analyzer
+// encodes and why Algorithm 2's hyperplane matching depends on it.
+//
+// The path-sensitive analyzers (poolpair, errflow, spanpair) run on a
+// shared intraprocedural control-flow graph and forward dataflow solver
+// (cfg.go): facts are generated at an acquisition or binding, killed at a
+// release, read, or escape, and any fact still live at a reachable exit is
+// a diagnostic positioned at that exit. Mechanical findings carry a
+// SuggestedFix (fix.go) that cmd/dnnlint applies under -fix or previews
+// under -diff.
 //
 // The suite is pure standard library (go/ast, go/parser, go/types,
 // go/token) and is driven by a shared module loader (load.go). Diagnostics
@@ -15,7 +27,9 @@
 // on the offending line or the line directly above; the reason is
 // mandatory. Pool ownership handoffs (storing a pooled matrix into a
 // longer-lived structure for a later, collective release) are declared with
-// //lint:transfer on the storing line.
+// //lint:transfer on the storing line. Both directive kinds are themselves
+// audited: one that no longer matches any finding is reported as stale
+// (analyzer "directive"), gated on the analyzer it names actually running.
 package lint
 
 import (
@@ -34,7 +48,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in report order.
-var All = []*Analyzer{PoolPair, Determinism, FloatCmp, NakedGo, PkgDoc, QuerySeam}
+var All = []*Analyzer{PoolPair, Determinism, FloatCmp, NakedGo, PkgDoc, QuerySeam, ErrFlow, SpanPair, GoLife}
 
 // ByName resolves a comma-separated analyzer list against All.
 func ByName(names string) ([]*Analyzer, error) {
@@ -59,11 +73,13 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Diagnostic is one finding, positioned for editors and CI logs.
+// Diagnostic is one finding, positioned for editors and CI logs. Fix, when
+// non-nil, is a mechanical rewrite `dnnlint -fix` can apply.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fix      *SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -82,6 +98,12 @@ type Pass struct {
 // Report records a diagnostic at pos unless an ignore directive for this
 // analyzer covers the line.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix is Report with an attached mechanical fix (applied by
+// `dnnlint -fix`, previewed by `dnnlint -diff`).
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.prog.suppressed(p.analyzer.Name, position) {
 		return
@@ -90,21 +112,26 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 		Analyzer: p.analyzer.Name,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 
 // TransferAnnotated reports whether a //lint:transfer directive covers the
-// line of pos (same line or the line directly above).
+// line of pos (same line or the line directly above), marking any matching
+// directive used so the stale-suppression check can tell live transfers
+// from rotted ones.
 func (p *Pass) TransferAnnotated(pos token.Pos) bool {
 	position := p.Fset.Position(pos)
+	found := false
 	for _, line := range []int{position.Line, position.Line - 1} {
 		for _, d := range p.prog.directives[position.Filename][line] {
 			if d.kind == dirTransfer {
-				return true
+				d.used = true
+				found = true
 			}
 		}
 	}
-	return false
+	return found
 }
 
 // IsTestFile reports whether pos lies in a _test.go file.
@@ -113,10 +140,14 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 }
 
 // Run executes the given analyzers over every unit and returns the
-// surviving diagnostics sorted by position. Malformed //lint: directives
-// are themselves reported (analyzer "directive"): a suppression without a
-// reason, or naming an unknown analyzer, is treated as a finding so typos
-// cannot silently disable a check.
+// surviving diagnostics sorted by position. //lint: directives are policed
+// alongside the analyzers (reported under analyzer "directive"): a
+// malformed suppression — no reason, or an unknown analyzer name — is a
+// finding so typos cannot silently disable a check, and a suppression that
+// matched nothing this run is a finding too, so stale exemptions cannot
+// outlive the code they excused. Unused-checks are gated on the analyzers
+// actually run: an //lint:ignore errflow line is only stale when errflow
+// itself ran and found nothing to suppress there.
 func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, u := range prog.Units {
@@ -124,11 +155,22 @@ func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
 			a.Run(&Pass{Unit: u, Fset: prog.Fset, analyzer: a, prog: prog, out: &out})
 		}
 	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	for _, file := range sortedKeys(prog.directives) {
 		for _, line := range sortedIntKeys(prog.directives[file]) {
 			for _, d := range prog.directives[file][line] {
-				if d.kind == dirMalformed {
+				switch {
+				case d.kind == dirMalformed:
 					out = append(out, Diagnostic{Analyzer: "directive", Pos: d.pos, Message: d.reason})
+				case d.kind == dirIgnore && !d.used && ran[d.analyzer]:
+					out = append(out, Diagnostic{Analyzer: "directive", Pos: d.pos,
+						Message: fmt.Sprintf("unused //lint:ignore %s: no %s finding here any more; remove the stale directive", d.analyzer, d.analyzer)})
+				case d.kind == dirTransfer && !d.used && ran["poolpair"]:
+					out = append(out, Diagnostic{Analyzer: "directive", Pos: d.pos,
+						Message: "unused //lint:transfer: no tracked pooled-buffer store on this line any more; remove the stale directive"})
 				}
 			}
 		}
@@ -160,6 +202,7 @@ type directive struct {
 	analyzer string // for ignore
 	reason   string
 	pos      token.Position
+	used     bool // matched a finding (ignore) or a tracked store (transfer)
 }
 
 // scanDirectives extracts //lint: comments from a freshly parsed file.
@@ -174,10 +217,10 @@ func (prog *Program) scanDirectives(fset *token.FileSet, f *ast.File) {
 			d := parseDirective(text, pos)
 			m := prog.directives[pos.Filename]
 			if m == nil {
-				m = map[int][]directive{}
+				m = map[int][]*directive{}
 				prog.directives[pos.Filename] = m
 			}
-			m[pos.Line] = append(m[pos.Line], d)
+			m[pos.Line] = append(m[pos.Line], &d)
 		}
 	}
 }
@@ -218,16 +261,19 @@ func knownAnalyzer(name string) bool {
 }
 
 // suppressed reports whether an ignore directive for analyzer covers the
-// diagnostic line (same line or the line directly above).
+// diagnostic line (same line or the line directly above), marking matching
+// directives used for the stale-suppression check.
 func (prog *Program) suppressed(analyzer string, pos token.Position) bool {
+	found := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		for _, d := range prog.directives[pos.Filename][line] {
 			if d.kind == dirIgnore && d.analyzer == analyzer {
-				return true
+				d.used = true
+				found = true
 			}
 		}
 	}
-	return false
+	return found
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -38,7 +38,8 @@ type Program struct {
 	Fset       *token.FileSet
 	Units      []*Unit
 	TypeErrors []error
-	directives map[string]map[int][]directive // filename -> line -> directives
+	directives map[string]map[int][]*directive // filename -> line -> directives
+	cfgs       map[*ast.BlockStmt]*CFG        // shared CFG cache across analyzers
 }
 
 // Load parses and type-checks every package of the module containing dir
@@ -51,7 +52,7 @@ func Load(dir string) (*Program, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	prog := &Program{Fset: fset, directives: map[string]map[int][]directive{}}
+	prog := &Program{Fset: fset, directives: map[string]map[int][]*directive{}}
 	ld := &moduleLoader{
 		fset:    fset,
 		root:    root,

@@ -15,13 +15,13 @@ import (
 // explicitly leave the function: returned to the caller, or stored into a
 // longer-lived structure on a line annotated //lint:transfer.
 //
-// The analysis is per-function and structural rather than a full CFG: a
-// deferred Put covers every exit; otherwise each return after the
-// acquisition needs a release or transfer that is either lexically on the
-// way (in a block enclosing the acquisition) or inside the same branch as
-// the return. This catches the real bug class — a pooled buffer leaked on
-// an early return or error path — while accepting the repo's conditional
-// ownership idioms.
+// The analysis runs on the shared control-flow graph (cfg.go): the
+// acquisition generates an obligation, releases and escapes discharge it,
+// and the may-reach solver reports any return or fall-through exit an
+// outstanding obligation can reach. A deferred Put still covers every exit
+// (it runs whichever way the function leaves), which keeps the repo's
+// conditional ownership idiom — defer inside a branch that owns the buffer
+// — accepted without path enumeration.
 var PoolPair = &Analyzer{
 	Name: "poolpair",
 	Doc:  "pooled tensor workspaces must be released or explicitly transferred on all paths",
@@ -76,22 +76,161 @@ type acquisition struct {
 	objs []types.Object // obj plus aliases
 }
 
-// event is a release or escape of a tracked variable.
-type event struct {
-	pos      token.Pos
-	deferred bool
-	block    *ast.BlockStmt // innermost block holding the event
-}
-
 func analyzeRegion(p *Pass, body *ast.BlockStmt) {
 	acqs := collectAcquisitions(p, body)
 	if len(acqs) == 0 {
 		return
 	}
-	returns := regionReturns(body)
-	for _, acq := range acqs {
-		checkAcquisition(p, body, acq, returns)
+	g := p.cfgOf(body)
+	deferred := make([]bool, len(acqs))
+	for i, acq := range acqs {
+		aliasClosure(p, body, acq)
+		deferred[i] = p.deferredRelease(body, acq)
 	}
+
+	// Obligation i is outstanding from its acquisition until a node that
+	// releases or escapes the buffer. Event collection also carries the
+	// analyzer's store reports (a store into a longer-lived structure must
+	// be //lint:transfer-annotated whether or not a defer later covers it).
+	prob := &FlowProblem{CFG: g, Facts: len(acqs), May: true,
+		Gen: map[ast.Node][]int{}, Kill: map[ast.Node][]int{}}
+	hasEvent := make([]bool, len(acqs))
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			for i, acq := range acqs {
+				if p.nodeDischarges(n, body, acq) {
+					prob.Kill[n] = append(prob.Kill[n], i)
+					hasEvent[i] = true
+				}
+			}
+		}
+	}
+	for i, acq := range acqs {
+		blk, idx := g.FindNode(acq.call.Pos())
+		if blk == nil {
+			continue
+		}
+		n := blk.Nodes[idx]
+		prob.Gen[n] = append(prob.Gen[n], i)
+	}
+	res := prob.Solve()
+
+	for i, acq := range acqs {
+		if deferred[i] {
+			continue // a deferred Put covers every exit
+		}
+		if !hasEvent[i] {
+			p.Report(acq.call.Pos(), "result of %s is never released: missing tensor.PutMatrix/PutVec/PutArena32, return, or //lint:transfer", acq.name)
+			continue
+		}
+		p.reportLeakPaths(g, res, prob, i, acq)
+	}
+}
+
+// reportLeakPaths reports every reachable exit — each return statement and
+// the fall-through edge — that the outstanding obligation can reach.
+func (p *Pass) reportLeakPaths(g *CFG, res *FlowResult, prob *FlowProblem, i int, acq *acquisition) {
+	for _, blk := range g.Blocks {
+		if !blk.Reachable {
+			continue
+		}
+		for idx, n := range blk.Nodes {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				continue
+			}
+			if !res.Before(blk, idx).Has(i) || killsFact(prob.Kill[n], i) {
+				continue
+			}
+			p.Report(ret.Pos(), "%s acquired at line %d may leak on this return path: no release or transfer before it",
+				acq.name, p.Fset.Position(acq.call.Pos()).Line)
+		}
+	}
+	if g.FallsOff != nil && g.FallsOff.Reachable && res.Out[g.FallsOff].Has(i) {
+		p.Report(acq.call.Pos(), "result of %s is not released on the fall-through path to the end of the function", acq.name)
+	}
+}
+
+func killsFact(kills []int, i int) bool {
+	for _, k := range kills {
+		if k == i {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeDischarges reports whether one CFG element releases or escapes the
+// tracked buffer. The scan descends into nested function literals: a
+// closure that releases an outer buffer (a deferred cleanup, a worker body)
+// discharges the obligation at the statement that creates the closure.
+// Stores into longer-lived structures are escapes too, but must carry
+// //lint:transfer — the report fires here, at collection time.
+func (p *Pass) nodeDischarges(n ast.Node, body *ast.BlockStmt, acq *acquisition) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := c.(type) {
+		case *ast.CallExpr:
+			if p.putLike(v) && p.mentions(v.Args, acq.objs) {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				if p.escapingExpr(res, acq.objs) {
+					found = true
+					break
+				}
+			}
+		case *ast.SendStmt:
+			if p.escapingExpr(v.Value, acq.objs) {
+				p.TransferAnnotated(v.Pos()) // mark a covering //lint:transfer used
+				found = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				id, ok := rhs.(*ast.Ident)
+				if !ok || !p.isTracked(id, acq.objs) || i >= len(v.Lhs) {
+					continue
+				}
+				if !p.localLHS(v.Lhs[i], body) {
+					if !p.TransferAnnotated(v.Pos()) {
+						p.Report(v.Pos(), "%s obtained from %s is stored outside the function without //lint:transfer",
+							exprString(v.Rhs[i]), acq.name)
+					}
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// deferredRelease reports whether any defer in the region (including defers
+// declared inside nested closures) releases the tracked buffer; a deferred
+// Put runs whichever way the function exits, so it covers every path.
+func (p *Pass) deferredRelease(body *ast.BlockStmt, acq *acquisition) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(d.Call, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok && p.putLike(call) && p.mentions(call.Args, acq.objs) {
+				found = true
+			}
+			return !found
+		})
+		return true
+	})
+	return found
 }
 
 // collectAcquisitions finds pool Gets whose statement lives directly in this
@@ -178,110 +317,6 @@ func (p *Pass) trackAssigned(out []*acquisition, st *ast.AssignStmt, call *ast.C
 		}
 	}
 	return out
-}
-
-// checkAcquisition gathers the variable's release/escape events across the
-// whole region (nested literals included — deferred closures commonly do
-// the releasing) and verifies every exit after the acquisition is covered.
-func checkAcquisition(p *Pass, body *ast.BlockStmt, acq *acquisition, returns []*ast.ReturnStmt) {
-	aliasClosure(p, body, acq)
-	var releases, escapes []event
-	deferDepth := 0
-	var blocks []*ast.BlockStmt
-	var visit func(n ast.Node)
-	visit = func(n ast.Node) {
-		switch v := n.(type) {
-		case nil:
-			return
-		case *ast.DeferStmt:
-			deferDepth++
-			visit(v.Call)
-			deferDepth--
-			return
-		case *ast.BlockStmt:
-			blocks = append(blocks, v)
-			for _, st := range v.List {
-				visit(st)
-			}
-			blocks = blocks[:len(blocks)-1]
-			return
-		case *ast.CallExpr:
-			if p.putLike(v) && p.mentions(v.Args, acq.objs) {
-				releases = append(releases, event{pos: v.Pos(), deferred: deferDepth > 0, block: innermost(blocks, body)})
-			}
-		case *ast.ReturnStmt:
-			for _, res := range v.Results {
-				if p.escapingExpr(res, acq.objs) {
-					escapes = append(escapes, event{pos: v.Pos(), block: innermost(blocks, body)})
-					break
-				}
-			}
-		case *ast.AssignStmt:
-			for i, rhs := range v.Rhs {
-				id, ok := rhs.(*ast.Ident)
-				if !ok || !p.isTracked(id, acq.objs) || i >= len(v.Lhs) {
-					continue
-				}
-				if !p.localLHS(v.Lhs[i], body) {
-					if p.TransferAnnotated(v.Pos()) {
-						escapes = append(escapes, event{pos: v.Pos(), block: innermost(blocks, body)})
-					} else {
-						p.Report(v.Pos(), "%s obtained from %s is stored outside the function without //lint:transfer",
-							exprString(v.Rhs[i]), acq.name)
-						escapes = append(escapes, event{pos: v.Pos(), block: innermost(blocks, body)})
-					}
-				}
-			}
-		case *ast.SendStmt:
-			if p.escapingExpr(v.Value, acq.objs) {
-				escapes = append(escapes, event{pos: v.Pos(), block: innermost(blocks, body)})
-			}
-		}
-		walkChildren(n, visit)
-	}
-	visit(body)
-
-	for _, r := range releases {
-		if r.deferred {
-			return // a deferred Put covers every exit
-		}
-	}
-	events := append(releases, escapes...)
-	if len(events) == 0 {
-		p.Report(acq.call.Pos(), "result of %s is never released: missing tensor.PutMatrix/PutVec/PutArena32, return, or //lint:transfer", acq.name)
-		return
-	}
-	getEnd := acq.call.End()
-	for _, ret := range returns {
-		if ret.Pos() <= getEnd {
-			continue
-		}
-		if !covered(events, getEnd, ret.Pos(), ret.End()) {
-			p.Report(ret.Pos(), "%s acquired at line %d may leak on this return path: no release or transfer before it",
-				acq.name, p.Fset.Position(acq.call.Pos()).Line)
-		}
-	}
-	if fallsOffEnd(body) && !covered(events, getEnd, body.End(), body.End()) {
-		p.Report(acq.call.Pos(), "result of %s is not released on the fall-through path to the end of the function", acq.name)
-	}
-}
-
-// covered reports whether some event releases/escapes the value on the way
-// to an exit at [exitPos, exitEnd]: the event must be after the
-// acquisition, not after the exit, and either on the unconditional spine
-// (its block encloses the acquisition) or inside the same branch as the
-// exit (its block encloses the exit).
-func covered(events []event, getEnd, exitPos, exitEnd token.Pos) bool {
-	for _, e := range events {
-		if e.pos <= getEnd || e.pos > exitEnd {
-			continue
-		}
-		if e.block == nil || (e.block.Pos() <= getEnd && getEnd <= e.block.End()) ||
-			(e.block.Pos() <= exitPos && exitPos <= e.block.End()) {
-			return true
-		}
-	}
-	return false
 }
 
 // aliasClosure adds plain local aliases (w := v) of the tracked variable so
@@ -447,42 +482,6 @@ func (p *Pass) localLHS(lhs ast.Expr, body *ast.BlockStmt) bool {
 	return body.Pos() <= obj.Pos() && obj.Pos() <= body.End()
 }
 
-// regionReturns collects the return statements belonging to this region
-// (returns inside nested function literals exit the literal, not us).
-func regionReturns(body *ast.BlockStmt) []*ast.ReturnStmt {
-	var out []*ast.ReturnStmt
-	walkRegion(body, func(n ast.Node) {
-		if r, ok := n.(*ast.ReturnStmt); ok {
-			out = append(out, r)
-		}
-	})
-	return out
-}
-
-// fallsOffEnd conservatively reports whether control can reach the closing
-// brace of the body: true unless the final statement is a return or a
-// panic call.
-func fallsOffEnd(body *ast.BlockStmt) bool {
-	if len(body.List) == 0 {
-		return true
-	}
-	switch last := body.List[len(body.List)-1].(type) {
-	case *ast.ReturnStmt:
-		return false
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return false
-			}
-		}
-	case *ast.ForStmt:
-		if last.Cond == nil {
-			return false // for {} without condition only exits via return/panic
-		}
-	}
-	return true
-}
-
 // walkRegion visits every node in the region, skipping nested function
 // literals.
 func walkRegion(body *ast.BlockStmt, fn func(ast.Node)) {
@@ -525,15 +524,6 @@ func walkChildren(n ast.Node, visit func(ast.Node)) {
 		}
 		return false
 	})
-}
-
-// innermost returns the innermost block currently on the walk stack, or the
-// region body when at the top level.
-func innermost(blocks []*ast.BlockStmt, body *ast.BlockStmt) *ast.BlockStmt {
-	if len(blocks) == 0 {
-		return body
-	}
-	return blocks[len(blocks)-1]
 }
 
 func exprString(e ast.Expr) string {

@@ -6,11 +6,26 @@ import (
 
 // TestLintRepoIsClean runs the full analyzer suite over the real source
 // tree. This is the machine-enforced version of the invariants DESIGN.md
-// §8–10 state in prose: if a change leaks a pooled workspace, compares
-// floats with ==, ranges a map inside a kernel package, or spawns an
-// unsanctioned goroutine, this test (and `make lint` / scripts/check.sh)
-// fails with the exact position.
+// §8–10 and §15 state in prose: if a change leaks a pooled workspace,
+// compares floats with ==, ranges a map inside a kernel package, spawns an
+// unsanctioned goroutine, drops an oracle-seam error, leaks a span on an
+// error path, or starts a goroutine with no termination witness, this test
+// (and `make lint` / scripts/check.sh) fails with the exact position.
 func TestLintRepoIsClean(t *testing.T) {
+	// Pin the expanded suite: if an analyzer fell out of All, this test
+	// would keep passing while silently checking less.
+	want := []string{"poolpair", "determinism", "floatcmp", "nakedgo",
+		"pkgdoc", "queryseam", "errflow", "spanpair", "golife"}
+	have := map[string]bool{}
+	for _, a := range All {
+		have[a.Name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("analyzer %q missing from lint.All", name)
+		}
+	}
+
 	prog, err := Load("../..")
 	if err != nil {
 		t.Fatalf("loading repository module: %v", err)

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The stale-suppression golden tests run over testdata/suppress, which
+// pairs every directive kind with a used and an unused instance. The
+// // want marker harness cannot express these findings (the diagnostic
+// lands on the directive's own comment line), so the expectations are
+// pinned here by message.
+
+func loadSuppressFixture(t *testing.T) *Program {
+	t.Helper()
+	dir := filepath.Join("testdata", "suppress")
+	prog, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	for _, te := range prog.TypeErrors {
+		t.Errorf("fixture type error: %v", te)
+	}
+	return prog
+}
+
+func messagesOf(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func assertFindings(t *testing.T, diags []Diagnostic, wants []string) {
+	t.Helper()
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(wants),
+			strings.Join(messagesOf(diags), "\n"))
+	}
+	for i, w := range wants {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want it to mention %q", i, diags[i].Message, w)
+		}
+		if diags[i].Analyzer != "directive" {
+			t.Errorf("diagnostic %d filed under %q, want \"directive\"", i, diags[i].Analyzer)
+		}
+	}
+}
+
+// With the full suite running, every stale directive is reported — and
+// only the stale ones: the used ignore and the used transfer stay silent.
+func TestStaleSuppressionsReported(t *testing.T) {
+	diags := loadSuppressFixture(t).Run(All)
+	assertFindings(t, diags, []string{
+		"unused //lint:ignore poolpair",
+		"unused //lint:ignore determinism",
+		"unused //lint:transfer",
+	})
+}
+
+// With only poolpair running, the stale determinism ignore must stay
+// silent: determinism produced no findings because it never ran, not
+// because the directive is dead.
+func TestStaleSuppressionGatedOnRunSet(t *testing.T) {
+	diags := loadSuppressFixture(t).Run([]*Analyzer{PoolPair})
+	assertFindings(t, diags, []string{
+		"unused //lint:ignore poolpair",
+		"unused //lint:transfer",
+	})
+}
+
+// With only floatcmp running, nothing fires: no floatcmp directives exist,
+// the poolpair directives are unjudgeable without poolpair, and transfer
+// bookkeeping belongs to poolpair too.
+func TestStaleSuppressionSilentWithoutOwners(t *testing.T) {
+	diags := loadSuppressFixture(t).Run([]*Analyzer{FloatCmp})
+	assertFindings(t, diags, nil)
+}

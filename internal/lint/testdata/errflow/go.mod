@@ -1,0 +1,3 @@
+module dnnlock
+
+go 1.22

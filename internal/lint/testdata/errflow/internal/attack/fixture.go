@@ -1,0 +1,132 @@
+// Package attack exercises the errflow analyzer: every shape that drops,
+// loses, or forgets an oracle-seam error is marked, and the checked /
+// propagated / deferred shapes stay silent.
+package attack
+
+import (
+	"dnnlock/internal/core"
+	"dnnlock/internal/oracle"
+)
+
+func sink(err error) { _ = err }
+
+func work() {}
+
+// Dropped outright: the error never lands anywhere.
+func dropped(o *oracle.Oracle, x []float64) {
+	o.Query(x) // want "error result of oracle.Query is discarded: check it or propagate it"
+}
+
+// Dropped through the blank identifier.
+func blanked(o *oracle.Oracle, x []float64) []float64 {
+	y, _ := o.Query(x) // want "error result of oracle.Query is assigned to _: check it or propagate it"
+	return y
+}
+
+// An entry-point error is no different.
+func entryDropped() {
+	core.Run(8)        // want "error result of core.Run is discarded: check it or propagate it"
+	core.Monolithic(8) // want "error result of core.Monolithic is discarded: check it or propagate it"
+}
+
+// One path returns before the error is ever read.
+func leakOnReturn(o *oracle.Oracle, x []float64, cond bool) []float64 {
+	y, err := o.Query(x)
+	if cond {
+		return nil // want `error from oracle.Query \(line \d+\) is not checked on this return path`
+	}
+	if err != nil {
+		return nil
+	}
+	return y
+}
+
+// The second query clobbers an error nobody looked at.
+func overwritten(o *oracle.Oracle, x []float64) []float64 {
+	a, err := o.Query(x)
+	b, err := o.Query(x) // want `error from oracle.Query \(line \d+\) is overwritten before it is checked`
+	if err != nil {
+		return nil
+	}
+	return append(a, b...)
+}
+
+// Only one branch reads the error; the other falls off the end with it
+// outstanding.
+func fallsOff(o *oracle.Oracle, x []float64, cond bool) { // no marker here; the report lands on the call line
+	_, err := o.Query(x) // want "error from oracle.Query is never checked before the function ends"
+	if cond {
+		sink(err)
+	}
+}
+
+// Checked on every path: clean.
+func checked(o *oracle.Oracle, x []float64) []float64 {
+	y, err := o.Query(x)
+	if err != nil {
+		return nil
+	}
+	return y
+}
+
+// Propagated: a return that carries the error is a read.
+func propagated(o *oracle.Oracle, x []float64) ([]float64, error) {
+	return o.Query(x)
+}
+
+func propagatedVar(o *oracle.Oracle, x []float64) error {
+	_, err := o.Query(x)
+	return err
+}
+
+// A bare return propagates the named result implicitly.
+func namedResult(o *oracle.Oracle, x []float64) (err error) {
+	_, err = o.Query(x)
+	return
+}
+
+// A deferred closure inspecting the error covers every exit.
+func deferredCheck(o *oracle.Oracle, x []float64, cond bool) {
+	var err error
+	defer func() {
+		sink(err)
+	}()
+	_, err = o.Query(x)
+	if cond {
+		return
+	}
+	work()
+}
+
+// An error bound inside a closure to a captured variable is the outer
+// function's obligation, and the outer function returns it: clean.
+func captured(o *oracle.Oracle, x []float64, run func(func())) error {
+	var err error
+	run(func() {
+		_, err = o.Query(x)
+	})
+	return err
+}
+
+// Wrapping before the check still reads the error.
+func wrapped(o *oracle.Oracle, x []float64) error {
+	_, err := o.Query(x)
+	err = wrapErr(err)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func wrapErr(err error) error { return err }
+
+// A switch on the error is a read on every arm.
+func switched(o *oracle.Oracle, x []float64) int {
+	_, err := o.Query(x)
+	switch err {
+	case nil:
+		return 0
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,9 @@
+// Package core stubs the attack entry points of the real
+// dnnlock/internal/core for the errflow golden tests.
+package core
+
+type Result struct{}
+
+func Run(bits int) (*Result, error) { return nil, nil }
+
+func Monolithic(bits int) (*Result, error) { return nil, nil }

@@ -1,0 +1,9 @@
+// Package oracle stubs the query surface of the real dnnlock/internal/oracle
+// for the errflow golden tests: same import path, same names, no behavior.
+package oracle
+
+type Oracle struct{}
+
+func (o *Oracle) Query(x []float64) ([]float64, error) { return x, nil }
+
+func (o *Oracle) QueryBatch(n int) ([][]float64, error) { return nil, nil }

@@ -1,0 +1,154 @@
+// Package worker exercises the golife analyzer: goroutines with a provable
+// termination edge stay silent; never-closed ranges, signal-free infinite
+// loops, and unresolvable bodies are marked.
+package worker
+
+import "fmt"
+
+func work() {}
+
+// Loop-free body: terminates trivially (the WaitGroup idiom lands here —
+// the Done is just a deferred call in a straight-line body).
+func spawnOneShot(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+// Bounded loop: condition-driven.
+func spawnBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}
+
+// Range over a slice: bounded.
+func spawnSliceRange(xs []int) {
+	go func() {
+		for range xs {
+			work()
+		}
+	}()
+}
+
+// Range over a channel this package closes: the range ends when the
+// producer closes it.
+func spawnDrain() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	close(ch)
+}
+
+// Range over a channel nobody closes: the goroutine can never exit.
+func spawnStuckDrain(ch chan int) {
+	go func() { // want "goroutine ranges over channel ch that no function in this package closes: no provable termination"
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Infinite loop with a comma-ok receive from a closed channel and an exit:
+// the close releases the receive and the ok=false arm returns.
+func spawnCollector() {
+	reqs := make(chan int)
+	go func() {
+		for {
+			v, ok := <-reqs
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+	close(reqs)
+}
+
+// Infinite loop parked on a Done() receive (context-style).
+type ctxLike struct{ done chan struct{} }
+
+func (c *ctxLike) Done() <-chan struct{} { return c.done }
+
+func spawnUntilDone(c *ctxLike, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-c.Done():
+				return
+			case v := <-tick:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Infinite loop with neither an exit nor a closing signal.
+func spawnSpinner() {
+	go func() { // want "goroutine loops forever with no exit on a closed-channel or Done\\(\\) receive: no provable termination"
+		for {
+			work()
+		}
+	}()
+}
+
+// An exit alone is not enough: the receive it waits on must be releasable.
+func spawnStuckReceive(ch chan int) {
+	go func() { // want "goroutine loops forever with no exit on a closed-channel or Done\\(\\) receive: no provable termination"
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// A named method in this package is resolved to its declaration, and the
+// close is matched on the field object — the planner's collector pattern:
+// the loop receives from p.reqs, stop() closes p.reqs, both anchor to the
+// same field.
+type pool struct{ reqs chan int }
+
+func (p *pool) collect() {
+	for {
+		v, ok := <-p.reqs
+		if !ok {
+			return
+		}
+		_ = v
+	}
+}
+
+func (p *pool) start() {
+	go p.collect()
+}
+
+func (p *pool) stop() {
+	close(p.reqs)
+}
+
+// Witnesses are anchored to objects, not values: a channel passed into a
+// named function is the callee's parameter object, which nothing closes —
+// the close in the caller closes the caller's variable.
+func pump(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func spawnNamed(ch chan int) {
+	go pump(ch) // want "goroutine ranges over channel ch that no function in this package closes: no provable termination"
+}
+
+// A call into another package cannot be proven here.
+func spawnExternal() {
+	go fmt.Println("x") // want "goroutine calls a function outside this package: termination cannot be proven here"
+}

@@ -1,0 +1,14 @@
+package worker
+
+import "testing"
+
+// Test goroutines die with the process: golife skips test files entirely,
+// so this spinner produces no finding.
+func TestSpinnerAllowed(t *testing.T) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+	t.Log("spawned")
+}

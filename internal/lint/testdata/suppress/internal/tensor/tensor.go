@@ -1,0 +1,9 @@
+// Package tensor stubs the workspace pool for the stale-suppression golden
+// tests: same import path and names as the real dnnlock/internal/tensor.
+package tensor
+
+type Matrix struct{ Rows, Cols int }
+
+func GetMatrix(rows, cols int) *Matrix { return &Matrix{rows, cols} }
+
+func PutMatrix(ms ...*Matrix) {}

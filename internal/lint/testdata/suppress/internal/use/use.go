@@ -1,0 +1,51 @@
+// Package use exercises directive bookkeeping: a suppression or transfer
+// that matches a finding is consumed silently; one that matches nothing is
+// itself a finding, gated on the analyzer it names actually running.
+package use
+
+import "dnnlock/internal/tensor"
+
+type holder struct{ m *tensor.Matrix }
+
+var global holder
+
+// A real poolpair leak, deliberately quieted: the ignore is used.
+func suppressedLeak() {
+	//lint:ignore poolpair fixture: deliberate leak kept quiet
+	m := tensor.GetMatrix(1, 1)
+	_ = m
+}
+
+// Clean code under a leftover suppression: the ignore is stale.
+func cleanButAnnotated() {
+	//lint:ignore poolpair stale: the leak this excused was fixed
+	m := tensor.GetMatrix(1, 1)
+	tensor.PutMatrix(m)
+}
+
+// A stale ignore for an analyzer that did not run must stay silent until
+// that analyzer runs (the gating test drives both cases).
+func wrongAnalyzerAnnotated() {
+	//lint:ignore determinism stale: nothing nondeterministic here
+	m := tensor.GetMatrix(2, 2)
+	tensor.PutMatrix(m)
+}
+
+// A live transfer: the store is a tracked pooled-buffer handoff.
+func storesBuffer() {
+	//lint:transfer released collectively by drain()
+	global.m = tensor.GetMatrix(3, 3)
+}
+
+// A stale transfer: nothing pooled is stored on this line.
+func plainStore() {
+	//lint:transfer leftover from a refactor
+	global.m = nil
+}
+
+func drain() {
+	if global.m != nil {
+		tensor.PutMatrix(global.m)
+		global.m = nil
+	}
+}

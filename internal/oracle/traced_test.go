@@ -85,7 +85,6 @@ func TestTracedSpanConcurrent(t *testing.T) {
 	x := []float64{0.4, -0.2, 0.7, 0.1}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		//lint:ignore nakedgo test-local goroutines joined by the WaitGroup below
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {

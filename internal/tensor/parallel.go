@@ -69,6 +69,7 @@ func grabPool(width int) chan func() {
 		parQueue = make(chan func(), 128)
 	}
 	for ; parWorkers < width-1; parWorkers++ {
+		//lint:ignore golife deliberate process-lifetime worker pool: parQueue is never closed, workers die with the process (see doc comment above)
 		go func() {
 			//lint:ignore determinism work-distribution queue: each task writes a disjoint shard and completion is gated on a WaitGroup, so arrival order cannot affect results
 			for task := range parQueue {

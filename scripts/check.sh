@@ -16,8 +16,20 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> dnnlint ./... (pool, determinism, floatcmp, nakedgo, pkgdoc, queryseam invariants)"
+echo "==> dnnlint ./... (pool, determinism, floatcmp, nakedgo, pkgdoc, queryseam, errflow, spanpair, golife invariants)"
 go run ./cmd/dnnlint ./...
+
+# Machine-readable lint contract (DESIGN.md §15): a clean tree must emit an
+# empty JSON array under -json — this is the record format CI dashboards
+# and the -fix/-diff tooling key off, so the shape is pinned here, not just
+# the exit code.
+echo "==> dnnlint -json contract (clean tree emits [])"
+LINT_JSON="$(go run ./cmd/dnnlint -json ./...)"
+if [ "$(printf '%s' "$LINT_JSON" | tr -d '[:space:]')" != "[]" ]; then
+	echo "dnnlint -json: expected an empty array on a clean tree, got:" >&2
+	printf '%s\n' "$LINT_JSON" >&2
+	exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
