@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare robust table1 vet lint lint-fix check clean
+.PHONY: build test race bench bench-compare robust farm table1 vet lint lint-fix check clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,12 @@ bench-compare:
 ## (DESIGN.md §11); tiny scale by default, seconds on one core
 robust:
 	$(GO) run ./cmd/dnnlock robust -model mlp -bits 8 -scale tiny
+
+## farm: price the attack over a simulated device farm — RTT x bandwidth x
+## loss x fleet mix, predicted wall-clock per point (DESIGN.md §16); tiny
+## scale, 1000 simulated devices by default
+farm:
+	$(GO) run ./cmd/dnnlock farm -model mlp -bits 8 -scale tiny
 
 ## table1: Table 1 sweep with a JSONL span trace, then render + verify it
 ## (DESIGN.md §12, EXPERIMENTS.md); tiny scale by default

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"testing"
+	"time"
 
 	"dnnlock/internal/core"
 	"dnnlock/internal/harness"
@@ -74,6 +75,44 @@ func BenchmarkTable1MLP(b *testing.B)          { benchCell(b, "mlp", 8) }
 func BenchmarkTable1LeNet(b *testing.B)        { benchCell(b, "lenet", 4) }
 func BenchmarkTable1ResNet(b *testing.B)       { benchCell(b, "resnet", 4) }
 func BenchmarkTable1VTransformer(b *testing.B) { benchCell(b, "vtransformer", 4) }
+
+// benchFarm prices one farm sweep point per architecture: the tiny-scale
+// decryption attack over a 1000-device mixed fleet behind a 20ms / 10Mbit /
+// 1%-loss channel, reporting the predicted attack wall-clock on the
+// simulated channel as farm_wallclock_s. Workers=1 keeps the attack's round
+// ordering serial, so the virtual-clock horizon is exactly reproducible run
+// to run and bench_compare can gate it like oracle_rounds.
+func benchFarm(b *testing.B, model string, bits int) {
+	sc := harness.TinyScale()
+	sc.AttackCfg.Workers = 1
+	sw := harness.FarmSweep{
+		Devices:    1000,
+		RTTs:       []time.Duration{20 * time.Millisecond},
+		Bandwidths: []float64{1.25e6},
+		Losses:     []float64{0.01},
+		MixNames:   []string{"mixed"},
+	}
+	var last harness.FarmRow
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunFarm(sc, model, bits, sw, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+		if last.Err != nil {
+			b.Fatal(last.Err)
+		}
+	}
+	b.ReportMetric(last.SimSeconds, "farm_wallclock_s")
+	b.ReportMetric(100*last.Fidelity, "fid_%")
+	b.ReportMetric(float64(last.Rounds), "oracle_rounds")
+	b.ReportMetric(float64(last.Lost), "lost_rounds")
+}
+
+func BenchmarkFarmMLP(b *testing.B)          { benchFarm(b, "mlp", 8) }
+func BenchmarkFarmLeNet(b *testing.B)        { benchFarm(b, "lenet", 4) }
+func BenchmarkFarmResNet(b *testing.B)       { benchFarm(b, "resnet", 4) }
+func BenchmarkFarmVTransformer(b *testing.B) { benchFarm(b, "vtransformer", 4) }
 
 // attackSetup locks a fresh tiny network of the given kind and returns the
 // attack inputs (no training: the attack itself is data-free).

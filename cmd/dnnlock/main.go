@@ -11,6 +11,7 @@
 //	dnnlock table1 -model mlp [-scale tiny|quick|paper] [-keysizes 16,32] [-f32] [-multisect k] [-probe-cache] [-cellworkers n] [-csv rows.csv] [-trace out.jsonl] [-pprof :6060] [-v]
 //	dnnlock trace  -in out.jsonl [-check] [-cover 0.5] [-depth 3]
 //	dnnlock robust -model mlp -bits 8 [-scale tiny|quick|paper] [-sigmas 0,1e-4,1e-3] [-qbits 24,16,10] [-csv rows.csv]
+//	dnnlock farm   -model mlp -bits 8 [-scale tiny|quick|paper] [-devices 1000] [-rtts 1ms,20ms,100ms] [-bws 0,10,1] [-loss 0,0.01] [-mixes clean,mixed] [-csv rows.csv]
 //	dnnlock verify -in locked.json -keyfile key.txt -candidate recovered.txt
 //	dnnlock info   -in locked.json
 //
@@ -28,6 +29,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dnnlock/internal/core"
 	"dnnlock/internal/dataset"
@@ -59,6 +61,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "robust":
 		err = cmdRobust(os.Args[2:])
+	case "farm":
+		err = cmdFarm(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "verify":
@@ -74,13 +78,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dnnlock <lock|attack|bench|table1|trace|robust|info|verify> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dnnlock <lock|attack|bench|table1|trace|robust|farm|info|verify> [flags]
   lock    build, HPNN-lock, and train a model; save model + key
   attack  run the DNN decryption attack (or -monolithic) on a saved model
   bench   regenerate the paper's Table 1 / Figure 3
   table1  Table 1 sweep with observability: -trace out.jsonl -pprof :6060 -v
   trace   render a JSONL trace: Figure-3 breakdown table + flame summary
   robust  sweep the decryption attack across noisy/quantized oracles
+  farm    price the attack over a simulated device farm: RTT x bandwidth x loss x fleet mix
   info    describe a saved model
   verify  check a candidate key against the device key (fidelity + equivalence)`)
 }
@@ -482,6 +487,72 @@ func cmdRobust(args []string) error {
 			return err
 		}
 		harness.WriteRobustnessCSV(rows, f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cmdFarm sweeps the decryption attack over the simulated device farm
+// (internal/farm): each grid point builds a heterogeneous fleet behind an
+// event-driven channel simulator and reports the predicted attack
+// wall-clock on that channel next to the attack's CPU time.
+func cmdFarm(args []string) error {
+	fs := flag.NewFlagSet("farm", flag.ExitOnError)
+	model := fs.String("model", "mlp", "architecture: mlp, lenet, resnet, vtransformer")
+	bits := fs.Int("bits", 8, "key size in bits")
+	scaleName := fs.String("scale", "tiny", "scale: tiny, quick, paper")
+	devices := fs.Int("devices", 1000, "simulated fleet size per sweep point")
+	rttFlag := fs.String("rtts", "1ms,20ms,100ms", "comma-separated base round-trip times (Go durations)")
+	bwFlag := fs.String("bws", "0,10,1", "comma-separated bandwidths in Mbit/s (0 = unconstrained)")
+	lossFlag := fs.String("loss", "0,0.01", "comma-separated per-round channel loss probabilities")
+	mixFlag := fs.String("mixes", "clean,mixed", "comma-separated fleet mixes: clean, edge, mixed")
+	csvPath := fs.String("csv", "", "also write sweep rows to this CSV file")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Seed = *seed
+	sw := harness.FarmSweep{Devices: *devices, MixNames: strings.Split(*mixFlag, ",")}
+	for _, tok := range strings.Split(*rttFlag, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("bad -rtts: %v", err)
+		}
+		sw.RTTs = append(sw.RTTs, d)
+	}
+	for _, tok := range strings.Split(*bwFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad -bws: %v", err)
+		}
+		// Mbit/s on the flag, bytes/second inside the simulator.
+		sw.Bandwidths = append(sw.Bandwidths, v*1e6/8)
+	}
+	for _, tok := range strings.Split(*lossFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad -loss: %v", err)
+		}
+		sw.Losses = append(sw.Losses, v)
+	}
+	fmt.Printf("farm sweep: scale=%s model=%s bits=%d devices=%d rtts=%s bws=%sMbit loss=%s mixes=%s\n",
+		sc.Name, *model, *bits, sw.Devices, *rttFlag, *bwFlag, *lossFlag, *mixFlag)
+	rows, err := harness.RunFarm(sc, *model, *bits, sw, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		harness.WriteFarmCSV(rows, f)
 		if err := f.Close(); err != nil {
 			return err
 		}

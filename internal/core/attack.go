@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/metrics"
@@ -139,6 +140,7 @@ func (a *Attack) trackProc(parent *obs.Span, proc metrics.Procedure, f func()) {
 	sp := parent.Child(string(proc), obs.Proc(proc))
 	q0 := a.orc.Queries()
 	r0 := a.orc.Rounds()
+	s0 := simElapsed(a.orc)
 	a.phase = sp
 	f()
 	a.phase = nil
@@ -146,9 +148,22 @@ func (a *Attack) trackProc(parent *obs.Span, proc metrics.Procedure, f func()) {
 	// Rounds are attributed only here, on phase spans: a coalesced round is
 	// shared by several detail spans, so per-detail attribution would double
 	// count. withCoalescer drains its batches before f returns, keeping the
-	// delta exact.
+	// delta exact. Simulated channel time (farm transports) follows the same
+	// delta discipline.
 	sp.AddRounds(a.orc.Rounds() - r0)
+	sp.AddSimNS(int64(simElapsed(a.orc) - s0))
 	sp.End()
+}
+
+// simElapsed reads the oracle stack's simulated clock when the channel is
+// simulated (oracle.Clocked), else 0. Phases take deltas of it the same way
+// they take deltas of Rounds; for a direct oracle every delta is 0 and the
+// sim accounting stays absent rather than zero-filled.
+func simElapsed(orc oracle.Interface) time.Duration {
+	if c, ok := orc.(oracle.Clocked); ok {
+		return c.SimElapsed()
+	}
+	return 0
 }
 
 // event records a point annotation on the current phase span (or the root

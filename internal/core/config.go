@@ -390,14 +390,23 @@ type Result struct {
 	// so rounds — not queries — dominate the wall clock of a real attack;
 	// the query planner exists to shrink this number without changing
 	// Queries.
-	Rounds    int64
-	Time      time.Duration
+	Rounds int64
+	Time   time.Duration
+	// SimTime is the simulated channel wall-clock consumed by the run when
+	// the oracle stack is channel-simulated (oracle.Clocked — a
+	// farm.Transport); zero against a direct oracle. This is the predicted
+	// cost of the attack over a real network, the metric `dnnlock farm`
+	// sweeps.
+	SimTime   time.Duration
 	Breakdown *metrics.Breakdown
 	// QueriesByProc splits the oracle queries across the four procedures —
 	// a query-complexity companion to Figure 3.
 	QueriesByProc map[metrics.Procedure]int64
 	// RoundsByProc splits the oracle round-trips the same way.
 	RoundsByProc map[metrics.Procedure]int64
+	// SimByProc splits the simulated channel time across the procedures
+	// (empty for runs against a direct oracle).
+	SimByProc map[metrics.Procedure]time.Duration
 	// BisectRounds and BisectProbes account the critical-point zero search:
 	// refinement rounds (the quantity -multisect divides) and total probe
 	// evaluations inside them (the quantity it multiplies).

@@ -53,6 +53,7 @@ func (a *Attack) run() (*Result, error) {
 	start := time.Now()
 	startQ := a.orc.Queries()
 	startR := a.orc.Rounds()
+	startS := simElapsed(a.orc)
 	root := a.startRoot("attack", obs.Int("bits", a.spec.NumBits()))
 	defer root.End() // idempotent: the success path ends it with annotations
 	rng := rand.New(rand.NewSource(a.cfg.Seed))
@@ -78,9 +79,11 @@ func (a *Attack) run() (*Result, error) {
 		Rounds:  a.orc.Rounds() - startR,
 		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:          time.Since(start),
+		SimTime:       simElapsed(a.orc) - startS,
 		Breakdown:     a.bd,
 		QueriesByProc: a.bd.QueriesByProc(),
 		RoundsByProc:  a.bd.RoundsByProc(),
+		SimByProc:     a.bd.SimByProc(),
 		Sites:         reports,
 		Equivalent:    eq,
 		Degraded:      int(a.degraded.Load()),

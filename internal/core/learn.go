@@ -270,6 +270,7 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg
 	start := time.Now()
 	startQ := orc.Queries()
 	startR := orc.Rounds()
+	startS := simElapsed(orc)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// The baseline is one long learning phase: a single proc-labelled span
@@ -338,14 +339,17 @@ func Monolithic(white *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg
 		Rounds:  orc.Rounds() - startR,
 		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:      time.Since(start),
+		SimTime:   simElapsed(orc) - startS,
 		Breakdown: bd,
 	}
 	ph.AddQueries(rep.Queries)
 	ph.AddRounds(rep.Rounds)
+	ph.AddSimNS(int64(rep.SimTime))
 	ph.End()
 	root.End(obs.Int("epochs", rep.Epochs), obs.Int64("queries", rep.Queries),
 		obs.Int64("rounds", rep.Rounds))
 	rep.QueriesByProc = bd.QueriesByProc()
 	rep.RoundsByProc = bd.RoundsByProc()
+	rep.SimByProc = bd.SimByProc()
 	return rep, nil
 }

@@ -42,6 +42,7 @@ func (a *Attack) runVariant() (*Result, error) {
 	start := time.Now()
 	startQ := a.orc.Queries()
 	startR := a.orc.Rounds()
+	startS := simElapsed(a.orc)
 	root := a.startRoot("attack_variant", obs.Int("bits", a.spec.NumBits()),
 		obs.Int("scheme", int(a.spec.Scheme)))
 	defer root.End() // idempotent: the success path ends it with annotations
@@ -68,9 +69,11 @@ func (a *Attack) runVariant() (*Result, error) {
 		Rounds:  a.orc.Rounds() - startR,
 		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
 		Time:          time.Since(start),
+		SimTime:       simElapsed(a.orc) - startS,
 		Breakdown:     a.bd,
 		QueriesByProc: a.bd.QueriesByProc(),
 		RoundsByProc:  a.bd.RoundsByProc(),
+		SimByProc:     a.bd.SimByProc(),
 		Sites:         reports,
 		Equivalent:    eq,
 		Degraded:      int(a.degraded.Load()),

@@ -1,0 +1,89 @@
+package farm
+
+import "container/heap"
+
+// The event engine: a binary min-heap of timestamped events on a virtual
+// clock, decoupled from real time entirely. Handlers are pure state
+// transitions over simulator data (device pipeline slots, round state) and
+// may schedule follow-up events; they never block, touch real clocks, or
+// perform I/O, so pumping the queue to a fixed point is cheap and
+// deterministic for a given schedule order. The Transport serializes all
+// access under its own mutex — the engine itself carries no lock.
+
+// Time is a point on the farm's virtual clock, in nanoseconds since the
+// simulation epoch. It is the unit of every latency, transfer, and service
+// figure in this package; the harness converts final horizons back to
+// time.Duration for reporting.
+type Time int64
+
+// event is one scheduled state transition. seq breaks timestamp ties in
+// schedule order, so simultaneous events fire FIFO and the pump order is
+// reproducible.
+type event struct {
+	at   Time
+	seq  uint64
+	fire func(now Time)
+}
+
+// eventQueue is the binary heap ordering events by (timestamp, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// sim is the event scheduler. fired tracks the highest timestamp any event
+// has fired at — a diagnostic high-water mark, not a gate: a new round may
+// legitimately schedule its send leg earlier than already-fired events
+// (concurrent rounds overlap on the virtual clock), and the heap simply
+// orders whatever is pending.
+type sim struct {
+	q     eventQueue
+	seq   uint64
+	fired Time
+}
+
+// schedule enqueues fire to run at the virtual instant at.
+func (s *sim) schedule(at Time, fire func(now Time)) {
+	s.seq++
+	heap.Push(&s.q, &event{at: at, seq: s.seq, fire: fire})
+}
+
+// step fires the earliest pending event, reporting false on an empty queue.
+func (s *sim) step() bool {
+	if len(s.q) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.q).(*event)
+	if e.at > s.fired {
+		s.fired = e.at
+	}
+	e.fire(e.at)
+	return true
+}
+
+// runUntil pumps events in timestamp order until done reports true. Every
+// round's event chain is self-propelling (each handler schedules the next
+// leg), so the target condition is always reachable from the pending queue;
+// a drained queue before then is a simulator bug, not a caller error.
+func (s *sim) runUntil(done func() bool) {
+	for !done() {
+		if !s.step() {
+			panic("farm: event queue drained before the awaited delivery")
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package farm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEventQueueOrdering: events fire in timestamp order regardless of
+// schedule order, FIFO among equal timestamps.
+func TestEventQueueOrdering(t *testing.T) {
+	var s sim
+	var got []int
+	s.schedule(30, func(Time) { got = append(got, 3) })
+	s.schedule(10, func(Time) { got = append(got, 1) })
+	s.schedule(20, func(Time) { got = append(got, 20) })
+	s.schedule(20, func(Time) { got = append(got, 21) }) // same instant, later schedule
+	s.schedule(5, func(Time) { got = append(got, 0) })
+	for s.step() {
+	}
+	want := []int{0, 1, 20, 21, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+	if s.fired != 30 {
+		t.Fatalf("high-water = %d, want 30", s.fired)
+	}
+}
+
+// TestEventChainPropagation: a handler scheduling follow-up events is the
+// round-trip idiom; runUntil pumps through the chain.
+func TestEventChainPropagation(t *testing.T) {
+	var s sim
+	done := false
+	var doneAt Time
+	s.schedule(10, func(now Time) {
+		s.schedule(now+5, func(now Time) {
+			s.schedule(now+7, func(now Time) {
+				done = true
+				doneAt = now
+			})
+		})
+	})
+	s.runUntil(func() bool { return done })
+	if doneAt != 22 {
+		t.Fatalf("chain completed at %d, want 22", doneAt)
+	}
+}
+
+// TestDeviceWindowBacklog: a window-1 device serializes arrivals; a
+// window-2 device runs two at once.
+func TestDeviceWindowBacklog(t *testing.T) {
+	d1 := &Device{freeAt: make([]Time, 1)}
+	if start := d1.takeSlot(0, 10); start != 0 {
+		t.Fatalf("first request start = %d, want 0", start)
+	}
+	if start := d1.takeSlot(2, 10); start != 10 {
+		t.Fatalf("backed-up request start = %d, want 10 (window 1)", start)
+	}
+	d2 := &Device{freeAt: make([]Time, 2)}
+	d2.takeSlot(0, 10)
+	if start := d2.takeSlot(2, 10); start != 2 {
+		t.Fatalf("parallel request start = %d, want 2 (window 2)", start)
+	}
+	if start := d2.takeSlot(3, 10); start != 10 {
+		t.Fatalf("third request start = %d, want 10 (both slots busy)", start)
+	}
+}
+
+// TestBuildFleetDeterministicHeterogeneous: same (mix, channel, seed) →
+// identical fleet; devices within it genuinely differ.
+func TestBuildFleetDeterministicHeterogeneous(t *testing.T) {
+	st := &stubOracle{out: []float64{1, 0}}
+	mix, err := MixByName("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := Channel{RTT: 20 * time.Millisecond, Bandwidth: 1e6}
+	a := BuildFleet(st, mix, 1000, ch, 7)
+	b := BuildFleet(st, mix, 1000, ch, 7)
+	if len(a) != 1000 || len(b) != 1000 {
+		t.Fatalf("fleet sizes %d/%d, want 1000", len(a), len(b))
+	}
+	distinctRTT := map[time.Duration]bool{}
+	classes := map[string]int{}
+	for i := range a {
+		if a[i].Profile != b[i].Profile {
+			t.Fatalf("device %d differs across identical builds", i)
+		}
+		distinctRTT[a[i].Profile.RTT] = true
+		classes[a[i].Profile.Class]++
+	}
+	if len(distinctRTT) < 100 {
+		t.Fatalf("only %d distinct RTTs across 1000 devices; heterogeneity too coarse", len(distinctRTT))
+	}
+	if len(classes) != 4 {
+		t.Fatalf("mixed fleet has classes %v, want 4 classes", classes)
+	}
+	// Proportional striping: the 50%-weight class covers half the fleet.
+	if n := classes["clean"]; n < 480 || n > 520 {
+		t.Fatalf("clean class has %d devices, want ~500", n)
+	}
+}

@@ -1,0 +1,289 @@
+package farm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnnlock/internal/oracle"
+	"dnnlock/internal/tensor"
+)
+
+// stubOracle is a minimal oracle.Interface for channel tests: it answers
+// every row with a fixed vector and counts like the real base oracle. An
+// optional gate blocks Query — for inputs whose first element exceeds
+// gateAbove — until released, so tests can hold a round in flight
+// deterministically.
+type stubOracle struct {
+	out       []float64
+	queries   atomic.Int64
+	rounds    atomic.Int64
+	gate      chan struct{}
+	gateAbove float64
+}
+
+func (s *stubOracle) Query(x []float64) ([]float64, error) {
+	s.queries.Add(1)
+	s.rounds.Add(1)
+	if s.gate != nil && len(x) > 0 && x[0] > s.gateAbove {
+		<-s.gate
+	}
+	return append([]float64(nil), s.out...), nil
+}
+
+func (s *stubOracle) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	s.queries.Add(int64(x.Rows))
+	s.rounds.Add(1)
+	out := tensor.GetMatrix(x.Rows, len(s.out))
+	for i := 0; i < x.Rows; i++ {
+		out.SetRow(i, s.out)
+	}
+	return out, nil
+}
+
+func (s *stubOracle) Queries() int64 { return s.queries.Load() }
+func (s *stubOracle) Rounds() int64  { return s.rounds.Load() }
+func (s *stubOracle) ResetCounter() {
+	s.queries.Store(0)
+	s.rounds.Store(0)
+}
+func (s *stubOracle) Softmax() bool { return false }
+
+// oneDeviceTransport builds a single-device transport with a fully
+// deterministic channel (no jitter, no heterogeneity beyond the one
+// device).
+func oneDeviceTransport(st *stubOracle, ch Channel, seed int64) *Transport {
+	fleet := BuildFleet(st, Mix{Classes: []Class{{Name: "clean", Weight: 1}}}, 1, ch, seed)
+	// Pin the profile to the base channel: single-device tests reason about
+	// exact times, so strip the seeded heterogeneity factors.
+	ch = ch.withDefaults()
+	fleet[0].Profile = Profile{
+		Class: "clean", RTT: ch.RTT, Jitter: 0, Bandwidth: ch.Bandwidth,
+		Window: ch.Window, ServicePerRow: ch.ServicePerRow, Loss: ch.Loss,
+		Timeout: ch.Timeout,
+	}
+	fleet[0].freeAt = make([]Time, ch.Window)
+	return NewTransport(st, fleet, Config{Seed: seed, RowBytesIn: 32, RowBytesOut: 16})
+}
+
+// TestSerialRoundsAccumulateLatency: sequential rounds serialize on the
+// virtual clock — each issues at the previous completion, so N rounds cost
+// N × (RTT + tx + service).
+func TestSerialRoundsAccumulateLatency(t *testing.T) {
+	st := &stubOracle{out: []float64{1, 0}}
+	ch := Channel{RTT: 10 * time.Millisecond, Jitter: -1, Bandwidth: -1,
+		ServicePerRow: time.Millisecond, Window: 1}
+	tr := oneDeviceTransport(st, ch, 11)
+	perRound := 11 * time.Millisecond // RTT + 1ms service, no transfer cost
+	x := []float64{0.5, 0.25}
+	for i := 1; i <= 5; i++ {
+		x[0] = float64(i) // distinct contents: no repeat-attempt coupling
+		if _, err := tr.Query(x); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if got, want := tr.SimElapsed(), time.Duration(i)*perRound; got != want {
+			t.Fatalf("after %d rounds SimElapsed = %v, want %v", i, got, want)
+		}
+	}
+	if tr.Rounds() != 5 || tr.Queries() != 5 {
+		t.Fatalf("rounds/queries = %d/%d, want 5/5", tr.Rounds(), tr.Queries())
+	}
+}
+
+// TestBatchPaysBandwidth: a batch is one round; its transfer time scales
+// with rows over the bandwidth cap.
+func TestBatchPaysBandwidth(t *testing.T) {
+	st := &stubOracle{out: []float64{1, 0}}
+	ch := Channel{RTT: 10 * time.Millisecond, Jitter: -1,
+		Bandwidth:     32 * 1000, // 32 B/ms: one input row per ms
+		ServicePerRow: time.Millisecond, Window: 1}
+	tr := oneDeviceTransport(st, ch, 12)
+	x := tensor.New(8, 2)
+	out, err := tr.QueryBatch(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tensor.PutMatrix(out)
+	// up: (8×32+64)/32000 s = 10ms; service: 8ms; down: (8×16+64)/32000 = 6ms;
+	// plus 10ms RTT.
+	want := 10*time.Millisecond + 10*time.Millisecond + 8*time.Millisecond + 6*time.Millisecond
+	if got := tr.SimElapsed(); got != want {
+		t.Fatalf("batch SimElapsed = %v, want %v", got, want)
+	}
+	if tr.Rounds() != 1 || tr.Queries() != 8 {
+		t.Fatalf("rounds/queries = %d/%d, want 1/8", tr.Rounds(), tr.Queries())
+	}
+}
+
+// TestLossCountsRoundsAndTimesOut: a seeded-lost round surfaces
+// ErrTransient, costs the timeout on the virtual clock, counts a round and
+// no queries, and retrying the same content draws a fresh decision.
+func TestLossCountsRoundsAndTimesOut(t *testing.T) {
+	st := &stubOracle{out: []float64{1, 0}}
+	ch := Channel{RTT: 10 * time.Millisecond, Jitter: -1, Bandwidth: -1,
+		ServicePerRow: time.Millisecond, Window: 1, Loss: 0.5}
+	tr := oneDeviceTransport(st, ch, 13)
+	x := []float64{0.7, -0.2}
+	var lost, ok int
+	for i := 0; i < 30; i++ {
+		_, err := tr.Query(x)
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, oracle.ErrTransient):
+			lost++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if lost == 0 || ok == 0 {
+		t.Fatalf("loss-0.5 schedule gave %d lost / %d ok; need both", lost, ok)
+	}
+	if got, want := tr.Rounds(), int64(30); got != want {
+		t.Fatalf("Rounds = %d, want %d (lost rounds count)", got, want)
+	}
+	if got := tr.Lost(); got != int64(lost) {
+		t.Fatalf("Lost = %d, want %d", got, lost)
+	}
+	if got := tr.Queries(); got != int64(ok) {
+		t.Fatalf("Queries = %d, want %d (lost rounds consume none)", got, ok)
+	}
+	// Each lost round cost the 40ms timeout (4×RTT), each success 11ms.
+	want := time.Duration(lost)*40*time.Millisecond + time.Duration(ok)*11*time.Millisecond
+	if got := tr.SimElapsed(); got != want {
+		t.Fatalf("SimElapsed = %v, want %v", got, want)
+	}
+}
+
+// TestLossInputAddressed: the loss schedule is a function of content and
+// attempt, not global call order — two transports seeing the same contents
+// in different interleavings lose the same attempts of the same content.
+func TestLossInputAddressed(t *testing.T) {
+	ch := Channel{RTT: 5 * time.Millisecond, Jitter: -1, Bandwidth: -1,
+		ServicePerRow: time.Millisecond, Window: 1, Loss: 0.5}
+	a := []float64{0.1, 0.2}
+	b := []float64{0.3, 0.4}
+	run := func(order [][]float64) map[string][]bool {
+		st := &stubOracle{out: []float64{1, 0}}
+		tr := oneDeviceTransport(st, ch, 14)
+		got := map[string][]bool{}
+		for _, x := range order {
+			_, err := tr.Query(x)
+			key := "a"
+			if &x[0] == &b[0] {
+				key = "b"
+			}
+			got[key] = append(got[key], err != nil)
+		}
+		return got
+	}
+	s1 := run([][]float64{a, a, b, a, b, b})
+	s2 := run([][]float64{b, a, b, b, a, a})
+	for _, k := range []string{"a", "b"} {
+		for i := range s1[k] {
+			if s1[k][i] != s2[k][i] {
+				t.Fatalf("input %s attempt %d: loss depends on interleaving", k, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentRoundsOverlap: a round entering while another is in flight
+// issues at the same causal frontier, so the two overlap on the virtual
+// clock instead of serializing — the property that makes coalesced batches
+// and parallel sites cheaper than sequential rounds.
+func TestConcurrentRoundsOverlap(t *testing.T) {
+	// The gate only blocks inputs with x[0] > 2, so the first (gated) query
+	// holds its round in flight while the second passes straight through.
+	gate := make(chan struct{})
+	st := &stubOracle{out: []float64{1, 0}, gate: gate, gateAbove: 2}
+	ch := Channel{RTT: 10 * time.Millisecond, Jitter: -1, Bandwidth: -1,
+		ServicePerRow: time.Millisecond, Window: 4}
+	tr := oneDeviceTransport(st, ch, 15)
+
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		if _, err := tr.Query([]float64{5, 2}); err != nil { // blocks on the gate
+			t.Errorf("gated query: %v", err)
+		}
+	}()
+	<-started
+	// Wait until the first round is dispatched (rounds counter moves before
+	// the device evaluation blocks on the gate).
+	for tr.Rounds() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	if _, err := tr.Query([]float64{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	wg.Wait()
+	// Both rounds issued at causal frontier 0 and overlap: the horizon is
+	// one round's cost (11ms), not two.
+	if got, want := tr.SimElapsed(), 11*time.Millisecond; got != want {
+		t.Fatalf("overlapping rounds: SimElapsed = %v, want %v", got, want)
+	}
+}
+
+// TestTransportResetCounter: reset zeroes rounds, losses, and the base
+// counters; the virtual clock keeps running.
+func TestTransportResetCounter(t *testing.T) {
+	st := &stubOracle{out: []float64{1, 0}}
+	ch := Channel{RTT: 10 * time.Millisecond, Jitter: -1, Bandwidth: -1,
+		ServicePerRow: time.Millisecond, Window: 1, Loss: 0.3}
+	tr := oneDeviceTransport(st, ch, 16)
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Query([]float64{float64(i), 0.5}); err != nil && !errors.Is(err, oracle.ErrTransient) {
+			t.Fatal(err)
+		}
+	}
+	elapsed := tr.SimElapsed()
+	if elapsed == 0 || tr.Rounds() != 10 {
+		t.Fatalf("pre-reset: elapsed %v rounds %d", elapsed, tr.Rounds())
+	}
+	tr.ResetCounter()
+	if tr.Rounds() != 0 || tr.Lost() != 0 || tr.Queries() != 0 {
+		t.Fatalf("post-reset: rounds %d lost %d queries %d, want all 0",
+			tr.Rounds(), tr.Lost(), tr.Queries())
+	}
+	if tr.SimElapsed() != elapsed {
+		t.Fatalf("reset rewound the virtual clock: %v -> %v", elapsed, tr.SimElapsed())
+	}
+}
+
+// TestZeroChannelIsFreeAndTransparent: with zero RTT, unconstrained
+// bandwidth, zero service, and zero loss, the transport adds no virtual
+// time and passes values through bit-identically — the low-level half of
+// the harness pass-through property test.
+func TestZeroChannelIsFreeAndTransparent(t *testing.T) {
+	st := &stubOracle{out: []float64{0.25, -1.5}}
+	ch := Channel{RTT: 0, Jitter: -1, Bandwidth: -1, ServicePerRow: -1, Window: 1}
+	fleet := BuildFleet(st, Mix{}, 1, ch, 17)
+	fleet[0].Profile.ServicePerRow = 0 // withDefaults floors it; force free compute
+	tr := NewTransport(st, fleet, Config{Seed: 17})
+	y, err := tr.Query([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != st.out[0] || y[1] != st.out[1] {
+		t.Fatalf("pass-through altered values: %v", y)
+	}
+	xb := tensor.New(4, 2)
+	out, err := tr.QueryBatch(xb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tensor.PutMatrix(out)
+	if got := tr.SimElapsed(); got != 0 {
+		t.Fatalf("zero channel consumed %v of virtual time", got)
+	}
+	if tr.Rounds() != 2 || tr.Queries() != 5 {
+		t.Fatalf("rounds/queries = %d/%d, want 2/5", tr.Rounds(), tr.Queries())
+	}
+}

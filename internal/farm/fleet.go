@@ -1,0 +1,324 @@
+package farm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dnnlock/internal/oracle"
+	"dnnlock/internal/tensor"
+)
+
+// Fleet construction: a heterogeneous population of simulated accelerator
+// devices. Each device owns a channel profile (RTT, bandwidth, pipeline
+// window, per-row service time, loss rate — all seeded per-device
+// variations of a base Channel) and a fault stack composed from the
+// internal/oracle decorators (Quantized × Noisy × Budgeted × Flaky) with
+// per-device seeds, so two fleets built from the same (mix, channel, seed)
+// are identical device for device.
+
+// Channel is the base network/service profile a sweep point prescribes.
+// Zero fields take defaults (withDefaults); per-device heterogeneity is
+// applied on top by BuildFleet.
+type Channel struct {
+	// RTT is the base propagation round-trip (both legs together).
+	RTT time.Duration
+	// Jitter is the amplitude of the seeded per-round delay added on the
+	// response leg. Zero means "default" (RTT/10); negative means none.
+	Jitter time.Duration
+	// Bandwidth is the serialization rate in bytes/second, each direction.
+	// Zero or negative means unconstrained (transfer time 0).
+	Bandwidth float64
+	// Loss is the per-round probability that the channel eats the request
+	// or the response; a lost round surfaces as oracle.ErrTransient after
+	// a timeout.
+	Loss float64
+	// Window is the number of in-flight requests a device pipeline accepts
+	// before queueing (0 → 4).
+	Window int
+	// ServicePerRow is the device compute time per batch row (0 → 50µs).
+	ServicePerRow time.Duration
+	// Timeout is the virtual time a caller waits before declaring a lost
+	// round dead (0 → 4×RTT, floor 1ms).
+	Timeout time.Duration
+}
+
+// withDefaults resolves the zero fields.
+func (c Channel) withDefaults() Channel {
+	if c.Jitter == 0 {
+		c.Jitter = c.RTT / 10
+	} else if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.ServicePerRow <= 0 {
+		c.ServicePerRow = 50 * time.Microsecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 4 * c.RTT
+		if c.Timeout < time.Millisecond {
+			c.Timeout = time.Millisecond
+		}
+	}
+	return c
+}
+
+// Class is one device population within a fleet mix: the share of the fleet
+// it covers and the fault decorators its devices wrap around the base
+// oracle.
+type Class struct {
+	Name string
+	// Weight is the class's share of the fleet (normalized across the mix).
+	Weight float64
+	// QuantBits, when positive, wraps devices in oracle.Quantized.
+	QuantBits int
+	// Sigma, when positive, wraps devices in oracle.Noisy (per-device seed).
+	Sigma float64
+	// FlakyRate, when positive, wraps devices in oracle.Flaky — device-side
+	// drops, on top of any channel loss.
+	FlakyRate float64
+	// Budget, when positive, wraps devices in oracle.Budgeted.
+	Budget int64
+	// SlowFactor scales the device's service time (0 → 1).
+	SlowFactor float64
+}
+
+// Mix names a fleet composition.
+type Mix struct {
+	Name    string
+	Classes []Class
+}
+
+// MaxSigma returns the largest noise level any class injects — what the
+// attack must declare (core.Config.NoiseSigma) to widen its thresholds for
+// the worst device it may be routed to.
+func (m Mix) MaxSigma() float64 {
+	s := 0.0
+	for _, c := range m.Classes {
+		if c.Sigma > s {
+			s = c.Sigma
+		}
+	}
+	return s
+}
+
+// MaxQuantStep returns the coarsest quantization grid any class applies
+// (0 when every class is full-precision), for core.Config.QuantStep.
+func (m Mix) MaxQuantStep() float64 {
+	step := 0.0
+	for _, c := range m.Classes {
+		if c.QuantBits > 0 {
+			if s := oracle.QuantizationStep(c.QuantBits); s > step {
+				step = s
+			}
+		}
+	}
+	return step
+}
+
+// Mixes returns the built-in fleet compositions the `dnnlock farm` sweep
+// offers. The degradations are kept inside the regime the robustness sweep
+// (DESIGN.md §11) showed the declared-degradation attack absorbs at full
+// fidelity, so the farm sweep prices the channel rather than re-testing
+// fault tolerance.
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "clean", Classes: []Class{
+			{Name: "clean", Weight: 1},
+		}},
+		{Name: "edge", Classes: []Class{
+			{Name: "quant16", Weight: 1, QuantBits: 16, SlowFactor: 1.5},
+		}},
+		{Name: "mixed", Classes: []Class{
+			{Name: "clean", Weight: 0.5},
+			{Name: "quant16", Weight: 0.3, QuantBits: 16, SlowFactor: 1.5},
+			{Name: "noisy", Weight: 0.15, Sigma: 1e-5},
+			{Name: "flaky", Weight: 0.05, FlakyRate: 0.02, SlowFactor: 2},
+		}},
+	}
+}
+
+// MixByName resolves one of the built-in mixes.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("farm: unknown fleet mix %q", name)
+}
+
+// Profile is one device's resolved channel parameters after per-device
+// heterogeneity is applied to the base Channel.
+type Profile struct {
+	Class         string
+	RTT           time.Duration
+	Jitter        time.Duration
+	Bandwidth     float64
+	Window        int
+	ServicePerRow time.Duration
+	Loss          float64
+	Timeout       time.Duration
+}
+
+// Device is one simulated accelerator: its resolved profile, its fault
+// stack around the shared base oracle, and its pipeline state (the virtual
+// times at which each in-flight window slot frees up).
+type Device struct {
+	ID      int
+	Profile Profile
+
+	orc    oracle.Interface
+	freeAt []Time
+}
+
+// takeSlot claims the earliest-free pipeline slot for a request arriving at
+// the given virtual time and service duration, returning when service
+// starts (arrival, or later if the whole window is backed up).
+func (d *Device) takeSlot(arrive, service Time) Time {
+	best := 0
+	for i, f := range d.freeAt {
+		if f < d.freeAt[best] {
+			best = i
+		}
+	}
+	start := arrive
+	if d.freeAt[best] > start {
+		start = d.freeAt[best]
+	}
+	d.freeAt[best] = start + service
+	return start
+}
+
+// BuildFleet composes n devices over the shared base oracle. Classes are
+// assigned by proportional striping (deterministic, no sampling noise), and
+// each device draws seeded heterogeneity from splitmix64(seed, id): RTT and
+// bandwidth factors in [0.5, 2), a window of 1×/2×/4× the base, and a
+// service-speed factor in [0.75, 1.25) — a fleet of thousands of distinct
+// devices from one seed.
+func BuildFleet(base oracle.Interface, mix Mix, n int, ch Channel, seed int64) []*Device {
+	ch = ch.withDefaults()
+	if n <= 0 {
+		n = 1
+	}
+	total := 0.0
+	for _, c := range mix.Classes {
+		if c.Weight > 0 {
+			total += c.Weight
+		}
+	}
+	if total <= 0 {
+		// Empty (or all-zero-weight) mixes degrade to a clean fleet.
+		mix.Classes = []Class{{Name: "clean", Weight: 1}}
+		total = 1
+	}
+	// Largest-share striping: every class gets ⌊share⌋ devices, remainders
+	// round-robin so counts always sum to n.
+	counts := make([]int, len(mix.Classes))
+	assigned := 0
+	for i, c := range mix.Classes {
+		if c.Weight > 0 {
+			counts[i] = int(c.Weight / total * float64(n))
+			assigned += counts[i]
+		}
+	}
+	for i := 0; assigned < n; i = (i + 1) % len(counts) {
+		if mix.Classes[i].Weight > 0 {
+			counts[i]++
+			assigned++
+		}
+	}
+
+	devs := make([]*Device, 0, n)
+	ci, left := 0, counts[0]
+	for id := 0; id < n; id++ {
+		for left == 0 {
+			ci++
+			left = counts[ci]
+		}
+		cl := mix.Classes[ci]
+		left--
+
+		h := splitmix64(uint64(seed) ^ uint64(id)*0x9e3779b97f4a7c15)
+		rttF := 0.5 + 1.5*unit(splitmix64(h^1))
+		bwF := 0.5 + 1.5*unit(splitmix64(h^2))
+		winF := 1 << (splitmix64(h^3) % 3)
+		svcF := 0.75 + 0.5*unit(splitmix64(h^4))
+		if cl.SlowFactor > 0 {
+			svcF *= cl.SlowFactor
+		}
+
+		p := Profile{
+			Class:         cl.Name,
+			RTT:           time.Duration(float64(ch.RTT) * rttF),
+			Jitter:        time.Duration(float64(ch.Jitter) * rttF),
+			Bandwidth:     ch.Bandwidth * bwF,
+			Window:        ch.Window * winF,
+			ServicePerRow: time.Duration(float64(ch.ServicePerRow) * svcF),
+			Loss:          ch.Loss,
+			Timeout:       ch.Timeout,
+		}
+		if ch.Bandwidth <= 0 {
+			p.Bandwidth = 0 // unconstrained stays unconstrained
+		}
+
+		stack := base
+		if cl.Budget > 0 {
+			stack = oracle.Budgeted(stack, cl.Budget)
+		}
+		if cl.QuantBits > 0 {
+			stack = oracle.Quantized(stack, cl.QuantBits)
+		}
+		if cl.Sigma > 0 {
+			stack = oracle.Noisy(stack, cl.Sigma, int64(splitmix64(h^5)>>1))
+		}
+		if cl.FlakyRate > 0 {
+			stack = oracle.Flaky(stack, cl.FlakyRate, int64(splitmix64(h^6)>>1))
+		}
+
+		devs = append(devs, &Device{
+			ID:      id,
+			Profile: p,
+			orc:     stack,
+			freeAt:  make([]Time, p.Window),
+		})
+	}
+	return devs
+}
+
+// --- seeded hashing (the fault.go idiom, local to the channel model) -------
+
+// splitmix64 is the finalizer of the SplitMix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a mixed word to (0, 1), endpoints excluded.
+func unit(h uint64) float64 {
+	return (float64(h>>11) + 0.5) / (1 << 53)
+}
+
+// hashRow folds one query vector into a mixed word.
+func hashRow(seed uint64, x []float64) uint64 {
+	h := splitmix64(seed ^ 0x2545f4914f6cdd1d)
+	for _, v := range x {
+		h = splitmix64(h ^ math.Float64bits(v))
+	}
+	return h
+}
+
+// hashBatch folds a whole batch — shape and every row — into a mixed word,
+// so batch-level decisions (loss, device routing) are addressed by content
+// rather than call order.
+func hashBatch(seed uint64, x *tensor.Matrix) uint64 {
+	h := splitmix64(seed ^ uint64(x.Rows)<<32 ^ uint64(x.Cols))
+	for i := 0; i < x.Rows; i++ {
+		h = splitmix64(h ^ hashRow(h, x.Row(i)))
+	}
+	return h
+}

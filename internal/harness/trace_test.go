@@ -73,7 +73,7 @@ func TestRunTable1Traced(t *testing.T) {
 			continue
 		}
 		rolled, rolledRounds := int64(0), int64(0)
-		_, queries, rounds := trace.RollupFromSpans(s.ID)
+		_, queries, rounds, _ := trace.RollupFromSpans(s.ID)
 		for _, q := range queries {
 			rolled += q
 		}

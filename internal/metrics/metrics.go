@@ -40,6 +40,7 @@ type Breakdown struct {
 	times   map[Procedure]time.Duration
 	queries map[Procedure]int64
 	rounds  map[Procedure]int64
+	sim     map[Procedure]time.Duration
 }
 
 // NewBreakdown returns an empty breakdown.
@@ -48,6 +49,7 @@ func NewBreakdown() *Breakdown {
 		times:   make(map[Procedure]time.Duration),
 		queries: make(map[Procedure]int64),
 		rounds:  make(map[Procedure]int64),
+		sim:     make(map[Procedure]time.Duration),
 	}
 }
 
@@ -73,6 +75,34 @@ func (b *Breakdown) AddRounds(proc Procedure, n int64) {
 	b.mu.Lock()
 	b.rounds[proc] += n
 	b.mu.Unlock()
+}
+
+// AddSim accumulates d of simulated channel time under proc. Runs against a
+// farm-simulated transport (internal/farm) attribute the virtual clock's
+// advance to procedures the same way Add attributes real wall time; runs
+// against a direct oracle never call this and the sim maps stay empty.
+func (b *Breakdown) AddSim(proc Procedure, d time.Duration) {
+	b.mu.Lock()
+	b.sim[proc] += d
+	b.mu.Unlock()
+}
+
+// Sim returns the simulated channel time accumulated under proc.
+func (b *Breakdown) Sim(proc Procedure) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sim[proc]
+}
+
+// SimByProc returns a copy of the per-procedure simulated channel times.
+func (b *Breakdown) SimByProc() map[Procedure]time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[Procedure]time.Duration, len(b.sim))
+	for p, d := range b.sim {
+		out[p] = d
+	}
+	return out
 }
 
 // Queries returns the oracle queries accumulated under proc.
@@ -142,9 +172,11 @@ type Snapshot struct {
 	Times   map[Procedure]time.Duration
 	Queries map[Procedure]int64
 	Rounds  map[Procedure]int64
+	Sim     map[Procedure]time.Duration
 	Total   time.Duration
 	TotalQ  int64
 	TotalR  int64
+	TotalS  time.Duration
 }
 
 // Snapshot copies the accumulated times, query counts, and round counts
@@ -160,6 +192,7 @@ func (b *Breakdown) Snapshot() Snapshot {
 		Times:   make(map[Procedure]time.Duration, len(b.times)),
 		Queries: make(map[Procedure]int64, len(b.queries)),
 		Rounds:  make(map[Procedure]int64, len(b.rounds)),
+		Sim:     make(map[Procedure]time.Duration, len(b.sim)),
 	}
 	for p, d := range b.times {
 		s.Times[p] = d
@@ -172,6 +205,10 @@ func (b *Breakdown) Snapshot() Snapshot {
 	for p, n := range b.rounds {
 		s.Rounds[p] = n
 		s.TotalR += n
+	}
+	for p, d := range b.sim {
+		s.Sim[p] = d
+		s.TotalS += d
 	}
 	return s
 }

@@ -27,6 +27,7 @@ type SpanRecord struct {
 	Queries int64          `json:"queries,omitempty"`
 	Rounds  int64          `json:"rounds,omitempty"`
 	Retries int64          `json:"retries,omitempty"`
+	SimNS   int64          `json:"sim_ns,omitempty"` // simulated channel time (farm runs)
 	Proc    string         `json:"proc,omitempty"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
 	Events  []EventRecord  `json:"events,omitempty"`
@@ -49,6 +50,7 @@ type SummaryRecord struct {
 	TimesNS map[string]int64 `json:"times_ns"`
 	Queries map[string]int64 `json:"queries"`
 	Rounds  map[string]int64 `json:"rounds,omitempty"`
+	SimNS   map[string]int64 `json:"sim_ns,omitempty"` // simulated channel time (farm runs)
 	TotalNS int64            `json:"total_ns"`
 }
 
@@ -90,6 +92,7 @@ func (t *Tracer) export(s *Span, dur time.Duration, events []Event, late []Attr)
 		Queries: s.queries.Load(),
 		Rounds:  s.rounds.Load(),
 		Retries: s.retries.Load(),
+		SimNS:   s.simNS.Load(),
 		Proc:    string(s.proc),
 		Attrs:   attrMap(s.attrs, late),
 	}
@@ -123,6 +126,12 @@ func (t *Tracer) export(s *Span, dur time.Duration, events []Event, late []Attr)
 		}
 		for p, n := range snap.Rounds {
 			sum.Rounds[string(p)] = n
+		}
+		if len(snap.Sim) > 0 {
+			sum.SimNS = make(map[string]int64, len(snap.Sim))
+			for p, d := range snap.Sim {
+				sum.SimNS[string(p)] = d.Nanoseconds()
+			}
 		}
 	}
 

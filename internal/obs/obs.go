@@ -126,6 +126,7 @@ type Span struct {
 	queries atomic.Int64
 	rounds  atomic.Int64
 	retries atomic.Int64
+	simNS   atomic.Int64 // simulated channel time (farm transport), in ns
 
 	mu     sync.Mutex
 	events []Event
@@ -195,6 +196,26 @@ func (s *Span) AddRounds(n int64) {
 		return
 	}
 	s.rounds.Add(n)
+}
+
+// AddSimNS adds n nanoseconds of simulated channel time — the virtual
+// clock's advance while this span's oracle traffic was in flight on a
+// farm-simulated transport. Nil-safe, atomic. Spans of runs against a
+// direct oracle never receive any and export no sim field.
+func (s *Span) AddSimNS(n int64) {
+	if s == nil {
+		return
+	}
+	s.simNS.Add(n)
+}
+
+// SimNS returns the span's simulated channel time in nanoseconds (0 for
+// nil).
+func (s *Span) SimNS() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.simNS.Load()
 }
 
 // AddRetry counts one transient-failure retry. Nil-safe, atomic.
@@ -270,6 +291,9 @@ func (s *Span) End(attrs ...Attr) {
 				p.bd.Add(s.proc, dur)
 				p.bd.AddQueries(s.proc, s.queries.Load())
 				p.bd.AddRounds(s.proc, s.rounds.Load())
+				if sim := s.simNS.Load(); sim != 0 {
+					p.bd.AddSim(s.proc, time.Duration(sim))
+				}
 				break
 			}
 		}

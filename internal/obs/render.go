@@ -76,13 +76,15 @@ func (t *Trace) subtree(root uint64, kids map[uint64][]SpanRecord) []SpanRecord 
 }
 
 // RollupFromSpans recomputes the per-procedure durations, query counts,
-// and round counts from the proc-labelled spans under root — the
-// projection the summary record claims to be. Integer sums of the same
-// values the live rollup added, so agreement is exact, not approximate.
-func (t *Trace) RollupFromSpans(root uint64) (times, queries, rounds map[string]int64) {
+// round counts, and simulated channel times from the proc-labelled spans
+// under root — the projection the summary record claims to be. Integer
+// sums of the same values the live rollup added, so agreement is exact,
+// not approximate.
+func (t *Trace) RollupFromSpans(root uint64) (times, queries, rounds, sim map[string]int64) {
 	times = map[string]int64{}
 	queries = map[string]int64{}
 	rounds = map[string]int64{}
+	sim = map[string]int64{}
 	kids := t.children()
 	for _, s := range t.subtree(root, kids) {
 		if s.Proc == "" || s.ID == root {
@@ -91,8 +93,11 @@ func (t *Trace) RollupFromSpans(root uint64) (times, queries, rounds map[string]
 		times[s.Proc] += s.DurNS
 		queries[s.Proc] += s.Queries
 		rounds[s.Proc] += s.Rounds
+		if s.SimNS != 0 {
+			sim[s.Proc] += s.SimNS
+		}
 	}
-	return times, queries, rounds
+	return times, queries, rounds, sim
 }
 
 // Check verifies a trace's internal consistency for every anchor:
@@ -111,7 +116,7 @@ func (t *Trace) Check(minCover float64) error {
 		return fmt.Errorf("trace holds no rollup anchors (no summary records)")
 	}
 	for _, a := range anchors {
-		times, queries, rounds := t.RollupFromSpans(a.Span.ID)
+		times, queries, rounds, sim := t.RollupFromSpans(a.Span.ID)
 		for proc, ns := range a.Summary.TimesNS {
 			if times[proc] != ns {
 				return fmt.Errorf("anchor %d (%s): summary says %s took %v, span rollup says %v",
@@ -140,6 +145,20 @@ func (t *Trace) Check(minCover float64) error {
 			if a.Summary.Rounds[proc] != n {
 				return fmt.Errorf("anchor %d (%s): span rollup has %s (%d rounds) missing from the summary",
 					a.Span.ID, a.Span.Name, proc, n)
+			}
+		}
+		// Simulated channel time (farm runs) reconciles two-way, exactly,
+		// the same as rounds.
+		for proc, ns := range a.Summary.SimNS {
+			if sim[proc] != ns {
+				return fmt.Errorf("anchor %d (%s): summary says %s spent %v simulated, span rollup says %v",
+					a.Span.ID, a.Span.Name, proc, time.Duration(ns), time.Duration(sim[proc]))
+			}
+		}
+		for proc, ns := range sim {
+			if a.Summary.SimNS[proc] != ns {
+				return fmt.Errorf("anchor %d (%s): span rollup has %s (%v simulated) missing from the summary",
+					a.Span.ID, a.Span.Name, proc, time.Duration(ns))
 			}
 		}
 		var sum int64
@@ -179,9 +198,13 @@ func (t *Trace) BreakdownTable(w io.Writer) {
 			if total > 0 {
 				pct = 100 * float64(ns) / float64(total)
 			}
-			fmt.Fprintf(w, "  %-22s %6.1f%%  %12v  %9d queries  %7d rounds\n",
+			fmt.Fprintf(w, "  %-22s %6.1f%%  %12v  %9d queries  %7d rounds",
 				proc, pct, time.Duration(ns).Round(time.Microsecond),
 				a.Summary.Queries[proc], a.Summary.Rounds[proc])
+			if len(a.Summary.SimNS) > 0 {
+				fmt.Fprintf(w, "  %12v simulated", time.Duration(a.Summary.SimNS[proc]).Round(time.Microsecond))
+			}
+			fmt.Fprintln(w)
 		}
 	}
 }

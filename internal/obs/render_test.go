@@ -53,7 +53,7 @@ func TestCheckAgainstLiveRollup(t *testing.T) {
 	if len(anchors) != 1 {
 		t.Fatalf("anchors = %d, want 1", len(anchors))
 	}
-	times, queries, rounds := trace.RollupFromSpans(anchors[0].Span.ID)
+	times, queries, rounds, _ := trace.RollupFromSpans(anchors[0].Span.ID)
 	if got := queries[string(metrics.ProcKeyBitInference)]; got != 20 {
 		t.Fatalf("rollup queries = %d, want 20", got)
 	}

@@ -225,37 +225,75 @@ func (b *budgeted) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
 
 type flaky struct {
 	wrapper
-	rate  float64
-	seed  uint64
-	calls atomic.Uint64
+	rate float64
+	seed uint64
+
+	mu   sync.Mutex
+	seen map[uint64]uint64 // call hash -> times attempted so far
+
+	dropped atomic.Int64 // round-trips consumed by dropped calls
 }
 
 // Flaky returns a view of inner that drops a seeded fraction of calls with
 // ErrTransient before they reach the device (so dropped calls consume no
-// queries and no budget). Failures are decided per call — a Query or a
-// whole QueryBatch — from the seed and a call counter, so a serial run is
-// exactly reproducible; retrying the same input draws a fresh decision.
+// queries and no budget — no inference ran). Dropped calls DO consume a
+// round-trip: the request was sent and the channel's latency was paid, so
+// Rounds reports inner's rounds plus the drops, and ResetCounter zeroes
+// both.
+//
+// Like Noisy, drop decisions are input-addressed: the k-th attempt of a
+// given call (a Query input, or a whole QueryBatch's rows) draws the k-th
+// decision for that content, independent of what else is in flight — so the
+// drop schedule survives goroutine scheduling and batch coalescing, and
+// retrying the same input draws a fresh decision.
 func Flaky(inner Interface, rate float64, seed int64) Interface {
-	return &flaky{wrapper: wrapper{inner}, rate: rate, seed: uint64(seed)}
+	return &flaky{wrapper: wrapper{inner}, rate: rate, seed: uint64(seed), seen: make(map[uint64]uint64)}
 }
 
-func (f *flaky) drop() bool {
-	n := f.calls.Add(1)
-	return unit(splitmix64(f.seed^n*0xbf58476d1ce4e5b9)) < f.rate
+// attempt returns how many times this call hash has been attempted before
+// now, advancing the counter.
+func (f *flaky) attempt(h uint64) uint64 {
+	f.mu.Lock()
+	c := f.seen[h]
+	f.seen[h] = c + 1
+	f.mu.Unlock()
+	return c
+}
+
+// drop decides the fate of one call addressed by the hash of its contents;
+// a dropped call still counts one round-trip.
+func (f *flaky) drop(h uint64) bool {
+	if unit(splitmix64(h^(f.attempt(h)+1)*0xbf58476d1ce4e5b9)) < f.rate {
+		f.dropped.Add(1)
+		return true
+	}
+	return false
 }
 
 func (f *flaky) Query(x []float64) ([]float64, error) {
-	if f.drop() {
+	if f.drop(hashFloats(f.seed, x)) {
 		return nil, ErrTransient
 	}
 	return f.inner.Query(x)
 }
 
 func (f *flaky) QueryBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
-	if f.drop() {
+	if f.drop(hashMatrix(f.seed, x)) {
 		return nil, ErrTransient
 	}
 	return f.inner.QueryBatch(x)
+}
+
+// Rounds includes the round-trips burned by dropped calls: a timeout costs
+// wall-clock like any other round, so the latency metric must see it.
+func (f *flaky) Rounds() int64 { return f.inner.Rounds() + f.dropped.Load() }
+
+// ResetCounter zeroes this layer's dropped-round count along with the
+// wrapped oracle's counters, so per-phase accounting never leaks drops
+// across experiment cells.
+func (f *flaky) ResetCounter() {
+	f.dropped.Store(0)
+	f.inner.ResetCounter()
 }
 
 // --- seeded hashing --------------------------------------------------------
@@ -274,6 +312,17 @@ func hashFloats(seed uint64, x []float64) uint64 {
 	h := splitmix64(seed ^ 0x2545f4914f6cdd1d)
 	for _, v := range x {
 		h = splitmix64(h ^ math.Float64bits(v))
+	}
+	return h
+}
+
+// hashMatrix folds a whole batch — shape and every row — into one mixed
+// word, so a batch-level decision (a Flaky drop, a transport loss) is
+// addressed by the batch's contents rather than by call order.
+func hashMatrix(seed uint64, x *tensor.Matrix) uint64 {
+	h := splitmix64(seed ^ uint64(x.Rows)<<32 ^ uint64(x.Cols))
+	for i := 0; i < x.Rows; i++ {
+		h = splitmix64(h ^ hashFloats(h, x.Row(i)))
 	}
 	return h
 }

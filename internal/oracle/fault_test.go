@@ -211,8 +211,8 @@ func TestFlakyTransientAndRetryable(t *testing.T) {
 	if got := inner.Queries(); got != int64(40-fails) {
 		t.Fatalf("device saw %d queries, want %d", got, 40-fails)
 	}
-	// Retrying eventually succeeds: the drop decision is per call, not
-	// per input.
+	// Retrying eventually succeeds: the k-th attempt of an input draws the
+	// k-th decision for that input, so a retry is a fresh coin flip.
 	o2 := Flaky(mustOracle(t), 0.5, 13)
 	ok := false
 	for i := 0; i < 20; i++ {

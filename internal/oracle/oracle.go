@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dnnlock/internal/hpnn"
 	"dnnlock/internal/rot"
@@ -45,13 +46,34 @@ type Interface interface {
 	// many rows it carries. Rounds is the metric that dominates a remote
 	// attack (latency per round-trip), where Queries models the device's
 	// per-inference cost.
+	//
+	// Failed round-trips count: a round is consumed when the request is
+	// sent, whether or not a usable response comes back — a Flaky drop or
+	// a device-error return burns at least as much wall-clock as a
+	// success. The exception is a refusal that never reaches the channel
+	// (Budgeted's ErrBudgetExhausted is decided client-side), which
+	// consumes nothing.
 	Rounds() int64
 	// ResetCounter zeroes the query and round counters (used between
-	// experiment phases). It does not refill any query budget.
+	// experiment phases). It does not refill any query budget. Decorators
+	// that keep their own round contributions (Flaky's dropped calls, a
+	// farm Transport's dispatched rounds) must zero those too, so a reset
+	// zeroes Rounds at every layer of a stack.
 	ResetCounter()
 	// Softmax reports whether responses are probabilities rather than
 	// logits.
 	Softmax() bool
+}
+
+// Clocked is the optional interface of oracles whose channel runs on a
+// simulated clock (a farm.Transport). SimElapsed reports the virtual time
+// consumed so far; callers that price round-trips (core's phase tracking,
+// the harness) take deltas of it exactly as they take deltas of Rounds.
+// Implementations must be safe for concurrent use. Decorators that wrap a
+// Clocked oracle need not forward it — the transport sits outermost in
+// practice.
+type Clocked interface {
+	SimElapsed() time.Duration
 }
 
 // Errors surfaced at the oracle boundary. Callers distinguish transient

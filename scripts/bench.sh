@@ -13,9 +13,11 @@ cd "$(dirname "$0")/.."
 
 # BenchmarkDecryptTracer{Off,On} ride along so the BENCH json always
 # records the observability layer's overhead next to the numbers it could
-# perturb (DESIGN.md §12), and the planner ablations so the oracle_rounds
-# trade-offs (DESIGN.md §14) stay tracked next to the default path.
-PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFigure3|BenchmarkDecryptTracer|BenchmarkAblation(Default|NoPlanner|Multisect4|ProbeCache)\$}"
+# perturb (DESIGN.md §12), the planner ablations so the oracle_rounds
+# trade-offs (DESIGN.md §14) stay tracked next to the default path, and
+# BenchmarkFarm* so the predicted attack wall-clock on the simulated device
+# farm (farm_wallclock_s, DESIGN.md §16) is gated like oracle_rounds.
+PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFigure3|BenchmarkDecryptTracer|BenchmarkFarm|BenchmarkAblation(Default|NoPlanner|Multisect4|ProbeCache)\$}"
 BTIME="${BENCH_TIME:-1x}"
 DATE="$(date +%Y-%m-%d)"
 OUT="BENCH_${DATE}.json"

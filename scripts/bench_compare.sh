@@ -66,10 +66,12 @@ function delta(old, new,    pct, tag) {
         bb[name]  = metric(line, "B/op")
         ba[name]  = metric(line, "allocs/op")
         br[name]  = metric(line, "oracle_rounds")
+        bw[name]  = metric(line, "farm_wallclock_s")
         next
     }
     ns = metric(line, "ns/op"); bo = metric(line, "B/op"); al = metric(line, "allocs/op")
     rd = metric(line, "oracle_rounds")
+    fw = metric(line, "farm_wallclock_s")
     if (!(name in seen)) {
         printf "%-34s %14s ns/op  (new benchmark, no baseline)\n", name, ns
         next
@@ -84,6 +86,10 @@ function delta(old, new,    pct, tag) {
     # >10% increase is flagged exactly like an ns/op regression.
     if (br[name] != "" || rd != "")
         printf "   rounds %8s -> %8s %s", br[name], rd, delta(br[name], rd)
+    # The farm simulator prices rounds in predicted attack wall-clock on a
+    # real channel, so a >10% increase there is a perf regression too.
+    if (bw[name] != "" || fw != "")
+        printf "   farm_s %8s -> %8s %s", bw[name], fw, delta(bw[name], fw)
     printf "\n"
 }
 END {

@@ -64,6 +64,18 @@ go build -o "$TRACE_TMP/dnnlock" ./cmd/dnnlock
 echo "==> planner smoke (table1 -multisect 4)"
 "$TRACE_TMP/dnnlock" table1 -model mlp -keysizes 6 -scale tiny -multisect 4 > /dev/null
 
+# Farm smoke (DESIGN.md §16): one sweep point over a small heterogeneous
+# fleet behind a lossy channel must finish at full fidelity and emit its
+# CSV — the channel simulator prices rounds, it must never break the attack.
+echo "==> farm smoke (small fleet, lossy channel)"
+"$TRACE_TMP/dnnlock" farm -model mlp -bits 6 -scale tiny -devices 64 \
+	-rtts 5ms -bws 10 -loss 0.005 -mixes mixed \
+	-csv "$TRACE_TMP/farm.csv" > /dev/null
+head -n 1 "$TRACE_TMP/farm.csv" | grep -q '^model,key_bits,mix,devices' || {
+	echo "farm smoke: CSV header malformed" >&2
+	exit 1
+}
+
 # Bench gate (opt-in: DNNLOCK_BENCH=1): run the paper-facing benchmarks and
 # diff the fresh numbers against the most recent committed BENCH_*.json via
 # bench_compare.sh, which fails on a >10% regression. Off by default — the
