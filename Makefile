@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare robust farm table1 vet lint lint-fix check clean
+.PHONY: build test race bench bench-compare robust farm table1 serve vet lint lint-fix check clean
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,12 @@ farm:
 table1:
 	$(GO) run ./cmd/dnnlock table1 -model mlp -scale tiny -trace table1_trace.jsonl
 	$(GO) run ./cmd/dnnlock trace -in table1_trace.jsonl -check
+
+## serve: run the attack-service daemon (cmd/dnnlockd) on :8080 with job
+## persistence under ./dnnlockd-state — submit jobs with the HTTP API, see
+## OPERATIONS.md for endpoints and a curl walkthrough
+serve:
+	$(GO) run ./cmd/dnnlockd -addr :8080 -state dnnlockd-state
 
 clean:
 	$(GO) clean -testcache

@@ -5,20 +5,27 @@
 //
 // Usage:
 //
-//	dnnlock lock   -model mlp -bits 32 -out locked.json -keyout key.txt [-epochs 4] [-scheme negation|scaling|bias-shift|weight-perturb -alpha 0.5]
-//	dnnlock attack -in locked.json -keyfile key.txt [-monolithic]
-//	dnnlock bench  -exp table1|figure3|all [-scale tiny|quick|paper] [-models mlp,lenet] [-keysizes 16,32] [-f32] [-multisect k] [-probe-cache] [-csv rows.csv]
-//	dnnlock table1 -model mlp [-scale tiny|quick|paper] [-keysizes 16,32] [-f32] [-multisect k] [-probe-cache] [-cellworkers n] [-csv rows.csv] [-trace out.jsonl] [-pprof :6060] [-v]
+//	dnnlock lock   -model mlp -bits 32 -out locked.json -keyout key.txt [-epochs 4] [-examples 1500] [-seed 1] [-scheme negation|scaling|bias-shift|weight-perturb -alpha 0.5]
+//	dnnlock attack -in locked.json -keyfile key.txt [-monolithic] [-seed 1]
+//	dnnlock bench  -exp table1|figure3|all [-scale tiny|quick|paper] [-models mlp,lenet] [-keysizes 16,32] [-f32] [-multisect k] [-probe-cache] [-csv rows.csv] [-seed 1]
+//	dnnlock table1 -model mlp [-scale tiny|quick|paper] [-keysizes 16,32] [-f32] [-multisect k] [-probe-cache] [-cellworkers n] [-csv rows.csv] [-trace out.jsonl] [-pprof :6060] [-v] [-seed 1]
 //	dnnlock trace  -in out.jsonl [-check] [-cover 0.5] [-depth 3]
-//	dnnlock robust -model mlp -bits 8 [-scale tiny|quick|paper] [-sigmas 0,1e-4,1e-3] [-qbits 24,16,10] [-csv rows.csv]
-//	dnnlock farm   -model mlp -bits 8 [-scale tiny|quick|paper] [-devices 1000] [-rtts 1ms,20ms,100ms] [-bws 0,10,1] [-loss 0,0.01] [-mixes clean,mixed] [-csv rows.csv]
-//	dnnlock verify -in locked.json -keyfile key.txt -candidate recovered.txt
+//	dnnlock robust -model mlp -bits 8 [-scale tiny|quick|paper] [-sigmas 0,1e-4,1e-3] [-qbits 24,16,10] [-csv rows.csv] [-seed 1]
+//	dnnlock farm   -model mlp -bits 8 [-scale tiny|quick|paper] [-devices 1000] [-rtts 1ms,20ms,100ms] [-bws 0,10,1] [-loss 0,0.01] [-mixes clean,mixed] [-csv rows.csv] [-seed 1]
+//	dnnlock verify -in locked.json -keyfile key.txt -candidate recovered.txt [-samples 64] [-seed 1]
 //	dnnlock info   -in locked.json
 //
 // Observability: -trace exports a JSONL span trace of the whole sweep
 // (read it back with `dnnlock trace`), -pprof serves net/http/pprof on a
 // private mux, and -v (or DNNLOCK_LOG=debug) turns on structured debug
-// logging.
+// logging. `dnnlock trace -check` audits a trace end to end: exported
+// summaries must equal a rollup recomputed from the raw spans — queries,
+// rounds, per-procedure times, and (for farm traces) the two-way sim_ns
+// reconciliation between the transport's channel clock and the span tree.
+//
+// The long-running service form of this command is dnnlockd (cmd/dnnlockd):
+// the same attacks behind an HTTP job API with checkpoint/resume — see
+// OPERATIONS.md.
 package main
 
 import (
@@ -394,11 +401,15 @@ func cmdTable1(args []string) error {
 // cmdTrace reads a JSONL trace produced by `table1 -trace` and renders
 // the Figure-3 breakdown of every anchored attack plus a flame-style
 // summary of the span tree. -check verifies the exported summaries
-// against a rollup recomputed from the raw spans.
+// against a rollup recomputed from the raw spans: query and round counts,
+// per-procedure wall-time coverage, and — for traces of farm-backed runs —
+// the two-way sim_ns reconciliation (every span's simulated channel time
+// must roll up to its anchor, and the anchor total must match the
+// transport's channel clock).
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	in := fs.String("in", "trace.jsonl", "JSONL trace file (from `dnnlock table1 -trace`)")
-	check := fs.Bool("check", false, "verify summaries against a span-tree rollup")
+	check := fs.Bool("check", false, "verify summaries against a span-tree rollup (queries, rounds, proc coverage, and farm sim_ns two-way reconciliation)")
 	cover := fs.Float64("cover", 0.5, "with -check: minimum fraction of anchor wall time the procedures must cover")
 	depth := fs.Int("depth", 3, "flame summary depth (0 disables)")
 	if err := fs.Parse(args); err != nil {
@@ -430,16 +441,7 @@ func cmdTrace(args []string) error {
 }
 
 func parseScale(name string) (harness.Scale, error) {
-	switch name {
-	case "tiny":
-		return harness.TinyScale(), nil
-	case "quick":
-		return harness.QuickScale(), nil
-	case "paper":
-		return harness.PaperScale(), nil
-	default:
-		return harness.Scale{}, fmt.Errorf("unknown scale %q", name)
-	}
+	return harness.ScaleByName(name)
 }
 
 func cmdRobust(args []string) error {

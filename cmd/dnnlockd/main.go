@@ -1,0 +1,96 @@
+// Command dnnlockd is the attack-service daemon: a long-running HTTP server
+// that accepts DNN logic-locking attack jobs (model + lock config +
+// oracle/farm spec) as JSON, executes them on a sharded worker pool with
+// bounded queues, and serves live status, serialized checkpoints, and span
+// traces per job. See OPERATIONS.md for the full API and DESIGN.md §17 for
+// the design.
+//
+// Usage:
+//
+//	dnnlockd [-addr :8080] [-workers 2] [-queue 8] [-state DIR]
+//	         [-drain-timeout 60s] [-v]
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: intake stops (503),
+// running decrypt jobs suspend at their next checkpoint boundary, monolithic
+// jobs early-stop their fit, queued jobs are requeued for the next start,
+// and the HTTP server shuts down. With -state, every job survives the
+// restart and interrupted jobs resume automatically.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dnnlock/internal/obs"
+	"dnnlock/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 2, "worker pool shards (one attack runs per shard at a time)")
+	queue := flag.Int("queue", 8, "queue depth per shard; a full shard rejects submits with 429")
+	state := flag.String("state", "", "state directory for job persistence across restarts (empty = in-memory)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to wait for workers during shutdown (0 = forever)")
+	verbose := flag.Bool("v", false, "debug logging (equivalent to DNNLOCK_LOG=debug)")
+	flag.Parse()
+
+	log := obs.Default(os.Stderr)
+	if *verbose {
+		log = obs.NewLogger(os.Stderr, slog.LevelDebug)
+	}
+
+	srv, err := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		StateDir:   *state,
+		Logger:     log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnnlockd:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnnlockd:", err)
+		os.Exit(1)
+	}
+	// Scripts parse this line to find the bound port under -addr :0.
+	fmt.Printf("dnnlockd listening on %s\n", ln.Addr())
+	log.Info("daemon started", "addr", ln.Addr().String(), "workers", *workers,
+		"queue", *queue, "state", *state)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	//lint:ignore nakedgo shutdown watcher; exits after the signal arrives and drain+shutdown complete
+	go func() {
+		defer close(done)
+		sig := <-sigCh
+		log.Info("signal received, draining", "signal", sig.String())
+		if !srv.Drain(*drainTimeout) {
+			log.Warn("drain incomplete, shutting down anyway")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dnnlockd:", err)
+		os.Exit(1)
+	}
+	<-done
+	log.Info("daemon stopped")
+}

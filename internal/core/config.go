@@ -4,6 +4,19 @@
 // learning_attack (§3.6), key_vector_validation (§3.7) and
 // error_correction (§3.8) — plus the monolithic learning-based baseline
 // (§4.3) and the §3.9 variant reductions.
+//
+// Oracle traffic is shaped by the query planner (planner.go): every
+// oracle-facing procedure routes its probes through a batching seam that
+// coalesces same-round probes into QueryBatch round-trips, so rounds — the
+// quantity that pays network latency against a remote device — shrink
+// without changing query counts or recovered keys. Config.Multisect and
+// Config.ProbeCache trade probes for rounds further.
+//
+// Long runs are suspendable: Config.OnCheckpoint receives a versioned,
+// serializable Checkpoint at every site boundary, and Resume continues a
+// checkpointed run bit-identically (same key, queries, rounds) to an
+// uninterrupted one. See checkpoint.go for the wire format and the
+// resumability invariants per oracle decorator.
 package core
 
 import (
@@ -185,6 +198,19 @@ type Config struct {
 	// obs.Default(os.Stderr): controlled by DNNLOCK_LOG, discarding when
 	// the variable is unset.
 	Logger *slog.Logger
+
+	// OnCheckpoint, when non-nil, is called at every site boundary with a
+	// complete serializable snapshot of the attack state (see Checkpoint for
+	// the wire format and resumability invariants). Returning true continues
+	// the run; returning false suspends it — Run returns ErrSuspended, and
+	// Resume continues from the delivered checkpoint bit-identically (same
+	// key, queries, rounds as an uninterrupted run). The hook runs on the
+	// attack goroutine between sites, so it may block (dnnlockd persists the
+	// checkpoint inside it) but blocks the attack while it does.
+	// Incompatible with ProbeCache (the probe memo is not serialized; Run
+	// rejects the combination) and ignored by the §3.9 variant reductions
+	// and the monolithic baseline, which run uninterrupted.
+	OnCheckpoint func(*Checkpoint) bool
 
 	// critStats, when non-nil, accumulates the zero-search refinement
 	// accounting (rounds and probes) that the -multisect trade-off reports.

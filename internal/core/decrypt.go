@@ -33,12 +33,19 @@ import (
 // With cfg.Tracer (or cfg.TraceParent) set, the run is recorded as a span
 // tree — attack → site → procedure, with per-probe detail under each
 // procedure — whose rollup IS the returned Breakdown; see internal/obs.
+//
+// With cfg.OnCheckpoint set, the run offers a serializable Checkpoint at
+// every site boundary; returning false from the hook suspends the run
+// (Run returns ErrSuspended) and Resume continues it bit-identically.
 func Run(whiteBox *nn.Network, spec hpnn.LockSpec, orc oracle.Interface, cfg Config) (*Result, error) {
 	if spec.Scheme != hpnn.Negation {
 		return RunVariant(whiteBox, spec, orc, cfg)
 	}
 	a := New(whiteBox, spec, orc, cfg)
-	return a.run()
+	if a.cfg.OnCheckpoint != nil && a.cfg.ProbeCache {
+		return nil, errProbeCacheCheckpoint
+	}
+	return a.runFrom(resumeBase{})
 }
 
 // sitePending carries the not-yet-validated bits across deferred sites
@@ -48,7 +55,14 @@ type sitePending struct {
 	sites []int
 }
 
-func (a *Attack) run() (*Result, error) {
+// runFrom executes the site loop from base (the zero value for a fresh run,
+// a restored checkpoint's totals for a resumed one). All Result scalars and
+// per-procedure maps report prior + segment, so a resumed run's Result is
+// indistinguishable from an uninterrupted one — except Result.Breakdown and
+// the exported trace, which cover only the post-resume segment (they anchor
+// the new segment's span tree, and `dnnlock trace -check` requires summary
+// == rollup exactly).
+func (a *Attack) runFrom(base resumeBase) (*Result, error) {
 	//lint:ignore determinism telemetry timer for Result.Time; the value never feeds the numerics
 	start := time.Now()
 	startQ := a.orc.Queries()
@@ -56,17 +70,32 @@ func (a *Attack) run() (*Result, error) {
 	startS := simElapsed(a.orc)
 	root := a.startRoot("attack", obs.Int("bits", a.spec.NumBits()))
 	defer root.End() // idempotent: the success path ends it with annotations
-	rng := rand.New(rand.NewSource(a.cfg.Seed))
+	src := newCountedSource(a.cfg.Seed)
+	src.skip(base.rngDraws)
+	rng := rand.New(src)
 	bySite := a.spec.SiteBits()
 
-	var reports []SiteReport
-	var pending sitePending
-	for _, site := range a.orderedSites() {
+	reports := append([]SiteReport(nil), base.reports...)
+	pending := sitePending{bits: base.pendingBits, sites: base.pendingSites}
+	sites := a.orderedSites()
+	for si := base.sitesDone; si < len(sites); si++ {
+		site := sites[si]
 		rep, err := a.runSite(site, bySite[site], &pending, rng)
 		if err != nil {
 			return nil, err
 		}
 		reports = append(reports, rep)
+		if a.cfg.OnCheckpoint != nil {
+			//lint:ignore determinism telemetry: checkpointed wall time reported to the operator, not used in computation
+			wall := time.Since(start)
+			ck := a.snapshot(&base, si+1, reports, &pending, src.draws(),
+				a.orc.Queries()-startQ, a.orc.Rounds()-startR,
+				wall, simElapsed(a.orc)-startS)
+			if !a.cfg.OnCheckpoint(ck) {
+				root.End(obs.Bool("suspended", true), obs.Int("sites_done", si+1))
+				return nil, ErrSuspended
+			}
+		}
 	}
 
 	fsp := root.Child("final_check")
@@ -75,15 +104,15 @@ func (a *Attack) run() (*Result, error) {
 	res := &Result{
 		Key:     a.CurrentKey(),
 		Origins: append([]BitOrigin(nil), a.origins...),
-		Queries: a.orc.Queries() - startQ,
-		Rounds:  a.orc.Rounds() - startR,
+		Queries: base.queries + a.orc.Queries() - startQ,
+		Rounds:  base.rounds + a.orc.Rounds() - startR,
 		//lint:ignore determinism telemetry: elapsed wall time reported to the operator, not used in computation
-		Time:          time.Since(start),
-		SimTime:       simElapsed(a.orc) - startS,
+		Time:          base.wall + time.Since(start),
+		SimTime:       base.sim + simElapsed(a.orc) - startS,
 		Breakdown:     a.bd,
-		QueriesByProc: a.bd.QueriesByProc(),
-		RoundsByProc:  a.bd.RoundsByProc(),
-		SimByProc:     a.bd.SimByProc(),
+		QueriesByProc: mergeProcCounts(base.procQueries, a.bd.QueriesByProc()),
+		RoundsByProc:  mergeProcCounts(base.procRounds, a.bd.RoundsByProc()),
+		SimByProc:     mergeProcDurations(base.procSimNS, a.bd.SimByProc()),
 		Sites:         reports,
 		Equivalent:    eq,
 		Degraded:      int(a.degraded.Load()),

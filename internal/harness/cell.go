@@ -1,0 +1,166 @@
+package harness
+
+// Cell exports one prepared experiment instance to external drivers — the
+// attack-service daemon (cmd/dnnlockd) foremost. A Cell wraps the same
+// private pipeline the Table 1 sweep builds, and its config accessors
+// reproduce runCell's seed discipline exactly (decryption at sc.Seed+2,
+// monolithic at sc.Seed+1, each against a freshly provisioned oracle), so a
+// daemon job for (model, bits, scale) reports the same dec_queries /
+// dec_rounds as `dnnlock table1` on the same cell — the parity the
+// check.sh daemon smoke verifies.
+
+import (
+	"fmt"
+	"io"
+
+	"dnnlock/internal/core"
+	"dnnlock/internal/farm"
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/nn"
+	"dnnlock/internal/oracle"
+)
+
+// Cell is one trained, locked (model, keyBits) instance. The correct key
+// stays private — callers measure recovered keys through Fidelity and
+// AccuracyUnderKey rather than reading the secret.
+type Cell struct {
+	p *pipeline
+}
+
+// PrepareCell trains a locked model for one (model, keyBits) cell at the
+// given scale, exactly as the Table 1 sweep prepares it. Training progress
+// streams to log when non-nil.
+func PrepareCell(model string, bits int, sc Scale, log io.Writer) (*Cell, error) {
+	p, err := prepare(model, bits, sc, log)
+	if err != nil {
+		return nil, err
+	}
+	return &Cell{p: p}, nil
+}
+
+// Model returns the cell's architecture name.
+func (c *Cell) Model() string { return c.p.model }
+
+// Bits returns the cell's key size.
+func (c *Cell) Bits() int { return c.p.bits }
+
+// Spec returns the public lock spec the adversary knows.
+func (c *Cell) Spec() hpnn.LockSpec { return c.p.lm.Spec }
+
+// WhiteBox returns a fresh clone of the adversary's downloaded model
+// (weights with identity flips). Each call clones, so concurrent attacks
+// and suspend/resume cycles never share mutable network state.
+func (c *Cell) WhiteBox() *nn.Network { return c.p.lm.WhiteBox() }
+
+// NewOracle provisions a fresh clean oracle device with independent
+// counters, as runCell does per attack.
+func (c *Cell) NewOracle() *oracle.Oracle { return oracle.New(c.p.lm, c.p.key) }
+
+// FaultySpec configures a degraded oracle channel for a job, mirroring the
+// robustness sweep's cells (DESIGN.md §11).
+type FaultySpec struct {
+	// Sigma is the Gaussian response-noise standard deviation (0 = none).
+	Sigma float64
+	// QuantBits quantizes oracle outputs to this many bits (0 = full
+	// precision).
+	QuantBits int
+	// Budget caps total oracle queries (0 = unlimited).
+	Budget int64
+	// LossRate drops round-trips with this probability (0 = reliable).
+	LossRate float64
+}
+
+// FaultyOracle provisions a decorated oracle for spec and returns it with
+// the attack-config declarations (QuantStep, NoiseSigma, ProbeVotes) the
+// robustness sweep would make for the same degradation, already applied to
+// cfg.
+func (c *Cell) FaultyOracle(spec FaultySpec, cfg core.Config) (oracle.Interface, core.Config) {
+	var orc oracle.Interface = c.NewOracle()
+	if spec.QuantBits > 0 {
+		orc = oracle.Quantized(orc, spec.QuantBits)
+		cfg.QuantStep = oracle.QuantizationStep(spec.QuantBits)
+	}
+	if spec.Sigma > 0 {
+		orc = oracle.Noisy(orc, spec.Sigma, c.p.sc.Seed+3)
+		cfg.NoiseSigma = spec.Sigma
+		cfg.ProbeVotes = 3
+	}
+	if spec.LossRate > 0 {
+		orc = oracle.Flaky(orc, spec.LossRate, c.p.sc.Seed+4)
+	}
+	if spec.Budget > 0 {
+		orc = oracle.Budgeted(orc, spec.Budget)
+	}
+	return orc, cfg
+}
+
+// FarmOracle provisions a simulated device fleet behind a priced channel,
+// mirroring the farm sweep's per-point construction (DESIGN.md §16): fresh
+// base oracle, fleet and transport seeded at sc.Seed+5, row sizes derived
+// from the cell's dataset, and the mix's worst-case degradations declared
+// into cfg.
+func (c *Cell) FarmOracle(mixName string, devices int, ch farm.Channel, cfg core.Config) (*farm.Transport, core.Config, error) {
+	mix, err := farm.MixByName(mixName)
+	if err != nil {
+		return nil, cfg, err
+	}
+	if devices <= 0 {
+		return nil, cfg, fmt.Errorf("harness: farm oracle needs devices > 0, got %d", devices)
+	}
+	base := c.NewOracle()
+	fleet := farm.BuildFleet(base, mix, devices, ch, c.p.sc.Seed+5)
+	tr := farm.NewTransport(base, fleet, farm.Config{
+		Seed:        c.p.sc.Seed + 5,
+		RowBytesIn:  8 * c.p.test.InputSize(),
+		RowBytesOut: 8 * c.p.test.Classes,
+	})
+	if step := mix.MaxQuantStep(); step > 0 {
+		cfg.QuantStep = step
+	}
+	if sigma := mix.MaxSigma(); sigma > 0 {
+		cfg.NoiseSigma = sigma
+		cfg.ProbeVotes = 3
+	}
+	return tr, cfg, nil
+}
+
+// DecryptConfig returns the attack configuration the Table 1 sweep uses for
+// this cell's decryption attack (scale AttackCfg, Seed = sc.Seed+2).
+func (c *Cell) DecryptConfig() core.Config {
+	cfg := c.p.sc.AttackCfg
+	cfg.Seed = c.p.sc.Seed + 2
+	return cfg
+}
+
+// MonolithicConfig returns the configuration runCell uses for the
+// monolithic learning-based baseline (MonoQueries/MonoEpochs, Seed =
+// sc.Seed+1).
+func (c *Cell) MonolithicConfig() core.Config {
+	cfg := c.p.sc.AttackCfg
+	cfg.LearnQueries = c.p.sc.MonoQueries
+	cfg.LearnEpochs = c.p.sc.MonoEpochs
+	cfg.Seed = c.p.sc.Seed + 1
+	return cfg
+}
+
+// Fidelity measures a recovered key against the cell's secret key (§4.2).
+func (c *Cell) Fidelity(k hpnn.Key) float64 { return k.Fidelity(c.p.key) }
+
+// AccuracyUnderKey evaluates the locked model on the held-out test split
+// under an arbitrary key.
+func (c *Cell) AccuracyUnderKey(k hpnn.Key) float64 { return c.p.accuracyUnderKey(k) }
+
+// ScaleByName resolves the named harness preset — the same names `dnnlock
+// -scale` accepts.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "", "tiny":
+		return TinyScale(), nil
+	case "quick":
+		return QuickScale(), nil
+	case "paper":
+		return PaperScale(), nil
+	default:
+		return Scale{}, fmt.Errorf("harness: unknown scale %q (tiny, quick, paper)", name)
+	}
+}

@@ -4,6 +4,18 @@
 // learning-based attack and the DNN decryption attack, and reports the
 // paper's four metrics. RunTable1 regenerates Table 1 rows; RunFigure3
 // regenerates the Figure 3 runtime-breakdown series.
+//
+// Beyond the paper's tables, the harness sweeps the attack across degraded
+// oracle access: RunRobustness drives the fault-decorated oracles of
+// DESIGN.md §11 (noise × quantization grids), and RunFarm prices the attack
+// over a simulated device farm — RTT × bandwidth × loss × fleet mix —
+// reporting simulated channel time next to query counts (DESIGN.md §16).
+//
+// PrepareCell exports a single trained cell for external drivers. The
+// attack-service daemon (cmd/dnnlockd) uses it to run API-submitted jobs
+// with exactly the seed discipline and oracle construction of the sweeps
+// here, so a daemon job and a `dnnlock table1` cell report identical
+// query counts.
 package harness
 
 import (

@@ -3,12 +3,16 @@
 // library.
 //
 // A Tracer records a tree of timed spans (attack → cell → site → procedure
-// → probe) with monotonic timings, per-span oracle-query and retry
-// counters, and point events (degradations, retries, correction attempts).
-// Completed spans stream to an optional JSONL sink; spans that carry a
-// procedure label additionally roll up into a metrics.Breakdown, so the
-// paper's Figure 3 is a projection of the trace rather than a separate set
-// of hand-placed counters.
+// → probe) with monotonic timings, per-span oracle-query, round-trip, and
+// retry counters, and point events (degradations, retries, correction
+// attempts). Spans of farm-backed runs also carry sim_ns, the simulated
+// channel time consumed under the span, so a trace prices the attack over
+// the network it modeled. Completed spans stream to an optional JSONL sink;
+// spans that carry a procedure label additionally roll up into a
+// metrics.Breakdown, so the paper's Figure 3 is a projection of the trace
+// rather than a separate set of hand-placed counters — and `dnnlock trace
+// -check` re-derives every summary (queries, rounds, proc times, sim_ns)
+// from the raw spans to prove it.
 //
 // The zero-cost contract: a Tracer constructed without a sink (obs.New())
 // is the no-op default. It still maintains the handful of procedure-level

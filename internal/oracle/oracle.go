@@ -10,6 +10,13 @@
 // the decorators in fault.go (Quantized, Noisy, LabelOnly, Budgeted,
 // Flaky) degrade it in seeded, composable ways so the attack's fidelity
 // and query complexity can be evaluated under realistic device access.
+//
+// Beyond per-query counts, implementations track round-trips: Rounds()
+// reports how many Query/QueryBatch calls the attacker paid, the quantity
+// that dominates wall clock against a networked device. Oracles whose
+// channel is time-simulated additionally implement Clocked, exposing the
+// simulated channel clock (farm.Transport is the canonical one); the
+// attack surfaces it as Result.SimTime and the sim_ns trace fields.
 package oracle
 
 import (

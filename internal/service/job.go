@@ -1,0 +1,312 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnnlock/internal/harness"
+	"dnnlock/internal/obs"
+	"dnnlock/internal/oracle"
+)
+
+// Kind names the attack a job runs. The field exists on the wire from day
+// one so future oracle-less job types (GNNUnlock- or LIPSTICK-style
+// structural attacks, ROADMAP item 4) slot in without an API break.
+type Kind string
+
+// Supported job kinds.
+const (
+	// KindDecrypt is the paper's DNN decryption attack (Algorithm 2) —
+	// checkpointable, suspendable, resumable.
+	KindDecrypt Kind = "decrypt"
+	// KindMonolithic is the §4.3 monolithic learning baseline. It has no
+	// site boundaries, so it cannot checkpoint; suspend is rejected, and a
+	// drain early-stops the fit (the result reports stopped_early).
+	KindMonolithic Kind = "monolithic"
+)
+
+// State is a job's lifecycle state. Transitions:
+//
+//	queued → running → completed | failed | suspended | cancelled
+//	suspended → queued (POST /jobs/{id}/resume)
+//	queued | running → cancelled (DELETE /jobs/{id})
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSuspended State = "suspended"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// stop-request reasons, checked by the runner at job pickup and at every
+// checkpoint boundary.
+const (
+	stopNone int32 = iota
+	stopSuspend
+	stopCancel
+)
+
+// OracleSpec selects the oracle channel a job attacks over.
+type OracleSpec struct {
+	// Channel is "direct" (clean in-process oracle, the default), "faulty"
+	// (the DESIGN.md §11 fault decorators), or "farm" (a simulated device
+	// fleet behind a priced network channel, DESIGN.md §16).
+	Channel string `json:"channel,omitempty"`
+
+	// Faulty-channel knobs.
+	Sigma     float64 `json:"sigma,omitempty"`      // Gaussian response noise stddev
+	QuantBits int     `json:"quant_bits,omitempty"` // output quantization bits
+	Budget    int64   `json:"budget,omitempty"`     // max total queries (0 = unlimited)
+	Loss      float64 `json:"loss,omitempty"`       // per-round drop probability
+
+	// Farm-channel knobs.
+	Mix           string  `json:"mix,omitempty"`            // fleet mix name (farm.Mixes)
+	Devices       int     `json:"devices,omitempty"`        // fleet size
+	RTTMS         float64 `json:"rtt_ms,omitempty"`         // base round-trip time
+	BandwidthMbps float64 `json:"bandwidth_mbps,omitempty"` // link rate (0 = unconstrained)
+}
+
+// JobSpec is the submit-time description of an attack job (POST /jobs).
+type JobSpec struct {
+	Kind    Kind       `json:"kind"`
+	Model   string     `json:"model"`
+	KeyBits int        `json:"key_bits"`
+	Scale   string     `json:"scale,omitempty"` // harness preset: tiny (default), quick, paper
+	Seed    int64      `json:"seed,omitempty"`  // overrides the scale seed (0 = preset default)
+	Oracle  OracleSpec `json:"oracle"`
+}
+
+// normalize fills defaults and rejects specs the daemon cannot run, before
+// any queue slot is consumed.
+func (s *JobSpec) normalize() error {
+	if s.Kind == "" {
+		s.Kind = KindDecrypt
+	}
+	if s.Kind != KindDecrypt && s.Kind != KindMonolithic {
+		return fmt.Errorf("unknown kind %q (decrypt, monolithic)", s.Kind)
+	}
+	if s.Model == "" {
+		return fmt.Errorf("model is required (mlp, lenet, resnet, vtransformer)")
+	}
+	if s.KeyBits <= 0 {
+		return fmt.Errorf("key_bits must be positive, got %d", s.KeyBits)
+	}
+	if s.Scale == "" {
+		s.Scale = "tiny"
+	}
+	if _, err := harness.ScaleByName(s.Scale); err != nil {
+		return err
+	}
+	switch s.Oracle.Channel {
+	case "":
+		s.Oracle.Channel = "direct"
+	case "direct", "faulty":
+	case "farm":
+		if s.Oracle.Mix == "" {
+			s.Oracle.Mix = "clean"
+		}
+		if s.Oracle.Devices == 0 {
+			s.Oracle.Devices = 64
+		}
+		if s.Oracle.RTTMS <= 0 {
+			s.Oracle.RTTMS = 5
+		}
+	default:
+		return fmt.Errorf("unknown oracle channel %q (direct, faulty, farm)", s.Oracle.Channel)
+	}
+	return nil
+}
+
+// scale resolves the job's harness preset with its seed override applied.
+func (s JobSpec) scale() (harness.Scale, error) {
+	sc, err := harness.ScaleByName(s.Scale)
+	if err != nil {
+		return sc, err
+	}
+	if s.Seed != 0 {
+		sc.Seed = s.Seed
+	}
+	return sc, nil
+}
+
+// Progress is the live view of a running decrypt job, refreshed at every
+// checkpoint boundary.
+type Progress struct {
+	SitesDone   int   `json:"sites_done"`
+	SitesTotal  int   `json:"sites_total"`
+	Queries     int64 `json:"queries"`
+	Rounds      int64 `json:"rounds"`
+	Degraded    int64 `json:"degraded"`
+	Checkpoints int   `json:"checkpoints"` // boundaries crossed (all attempts)
+}
+
+// JobResult is the outcome of a finished job. The secret key never leaves
+// the daemon; recovered keys are reported through fidelity and accuracy.
+type JobResult struct {
+	Fidelity     float64 `json:"fidelity"`
+	Accuracy     float64 `json:"accuracy"`
+	Queries      int64   `json:"queries"`
+	Rounds       int64   `json:"rounds"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	SimSeconds   float64 `json:"sim_seconds,omitempty"` // farm channels only
+	Equivalent   bool    `json:"equivalent"`
+	Degraded     int     `json:"degraded,omitempty"`
+	StoppedEarly bool    `json:"stopped_early,omitempty"` // monolithic jobs drained mid-fit
+}
+
+// Job is one attack job and its full lifecycle state. Mutable fields are
+// guarded by mu; the stop flag is atomic because the attack goroutine polls
+// it from checkpoint callbacks while handlers set it.
+type Job struct {
+	mu sync.Mutex
+
+	id        string
+	spec      JobSpec
+	state     State
+	shard     int
+	attempt   int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	progress  Progress
+	ckpt      []byte // latest serialized checkpoint
+	result    *JobResult
+	errMsg    string
+
+	stop atomic.Int32
+
+	// In-process resume state, never persisted: the prepared cell (so a
+	// resume does not retrain) and the live oracle instance (so faulty
+	// channels keep their fault-stream position across suspend/resume —
+	// the Checkpoint resumability invariant). Lost on daemon restart, in
+	// which case the runner re-derives both from the spec.
+	cell *harness.Cell
+	orc  oracle.Interface
+
+	// Per-job trace: a dedicated tracer draining JSONL into buf, served by
+	// GET /jobs/{id}/trace. Each run segment (attempt) is its own root
+	// span, so a suspended job's trace ends cleanly and the resume appends
+	// a new segment.
+	tracer *obs.Tracer
+	buf    *lockedBuffer
+}
+
+// lockedBuffer is an io.Writer safe for the tracer goroutines to append to
+// while HTTP handlers snapshot it.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) snapshot() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// JobView is the JSON representation of a job served by the API.
+type JobView struct {
+	ID         string     `json:"id"`
+	Kind       Kind       `json:"kind"`
+	State      State      `json:"state"`
+	Spec       JobSpec    `json:"spec"`
+	Shard      int        `json:"shard"`
+	Attempt    int        `json:"attempt"`
+	Submitted  time.Time  `json:"submitted_at"`
+	Started    *time.Time `json:"started_at,omitempty"`
+	Finished   *time.Time `json:"finished_at,omitempty"`
+	Progress   Progress   `json:"progress"`
+	Checkpoint bool       `json:"has_checkpoint"`
+	Result     *JobResult `json:"result,omitempty"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// view snapshots the job under its lock.
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:         j.id,
+		Kind:       j.spec.Kind,
+		State:      j.state,
+		Spec:       j.spec,
+		Shard:      j.shard,
+		Attempt:    j.attempt,
+		Submitted:  j.submitted,
+		Progress:   j.progress,
+		Checkpoint: len(j.ckpt) > 0,
+		Error:      j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.result != nil {
+		r := *j.result
+		v.Result = &r
+	}
+	return v
+}
+
+// currentState reads the state under the lock.
+func (j *Job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// setState transitions the job, stamping started/finished times.
+func (j *Job) setState(st State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = st
+	switch st {
+	case StateRunning:
+		if j.started.IsZero() {
+			j.started = time.Now()
+		}
+	case StateCompleted, StateFailed, StateCancelled:
+		j.finished = time.Now()
+	}
+}
+
+// fail marks the job failed with a message.
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+	j.setState(StateFailed)
+}
+
+// storeCheckpoint records the latest checkpoint bytes and progress.
+func (j *Job) storeCheckpoint(raw []byte, p Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.ckpt = raw
+	p.Checkpoints = j.progress.Checkpoints + 1
+	j.progress = p
+}
+
+// checkpointBytes returns the latest checkpoint (nil if none).
+func (j *Job) checkpointBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ckpt
+}

@@ -1,0 +1,73 @@
+package service
+
+import "sync"
+
+// pool is the daemon's sharded worker pool: one worker goroutine per shard,
+// each owning a bounded queue channel. A job is pinned to a shard by
+// hash(id, attempt) — see Server.shardFor — so retries and resumes can land
+// on a different shard (resharding) while a single attempt's execution
+// order within its shard stays FIFO. submit is non-blocking: a full shard
+// is the backpressure signal the HTTP layer turns into 429 + Retry-After.
+type pool struct {
+	shards []chan *Job
+	wg     sync.WaitGroup
+	run    func(shard int, j *Job)
+}
+
+// newPool starts one worker per shard, each with a queue of the given
+// depth.
+func newPool(shards, depth int, run func(shard int, j *Job)) *pool {
+	p := &pool{shards: make([]chan *Job, shards), run: run}
+	for i := range p.shards {
+		p.shards[i] = make(chan *Job, depth)
+	}
+	for i := range p.shards {
+		p.wg.Add(1)
+		//lint:ignore nakedgo daemon worker shard; terminates when close() closes its queue channel and the range drains
+		go p.worker(i)
+	}
+	return p
+}
+
+// worker drains one shard's queue until the channel is closed by close().
+func (p *pool) worker(i int) {
+	defer p.wg.Done()
+	for j := range p.shards[i] {
+		p.run(i, j)
+	}
+}
+
+// submit enqueues j on its shard without blocking; false means the shard's
+// queue is full. The caller must hold the server's drain read-lock so close
+// can never race a send.
+func (p *pool) submit(j *Job, shard int) bool {
+	select {
+	case p.shards[shard] <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// close closes every shard queue. Workers finish the jobs already queued
+// (under drain those are requeued-for-restart, not run) and exit. The
+// caller must guarantee no submit is in flight (the server does so by
+// setting draining under its write lock first).
+func (p *pool) close() {
+	for i := range p.shards {
+		close(p.shards[i])
+	}
+}
+
+// wait blocks until every worker has exited.
+func (p *pool) wait() { p.wg.Wait() }
+
+// queueStats reports per-shard queue occupancy for /metrics.
+func (p *pool) queueStats() (lengths []int, capacity int) {
+	lengths = make([]int, len(p.shards))
+	for i, ch := range p.shards {
+		lengths[i] = len(ch)
+		capacity = cap(ch)
+	}
+	return lengths, capacity
+}

@@ -1,0 +1,311 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dnnlock/internal/core"
+	"dnnlock/internal/farm"
+	"dnnlock/internal/harness"
+	"dnnlock/internal/hpnn"
+	"dnnlock/internal/obs"
+	"dnnlock/internal/oracle"
+)
+
+// cellKey identifies a trained cell for cross-job reuse: two jobs over the
+// same (model, bits, scale, seed) attack the same locked instance, so the
+// daemon trains it once and shares it.
+type cellKey struct {
+	model string
+	bits  int
+	scale string
+	seed  int64
+}
+
+// cellEntry memoizes one PrepareCell call. done is closed when training
+// finishes; waiters read cell/err afterward.
+type cellEntry struct {
+	done chan struct{}
+	cell *harness.Cell
+	err  error
+}
+
+// cellCache shares trained cells across jobs and attempts. Guarded by the
+// server mutex; training itself runs outside any lock.
+func (s *Server) cellFor(j *Job) (*harness.Cell, error) {
+	sc, err := j.spec.scale()
+	if err != nil {
+		return nil, err
+	}
+	key := cellKey{model: j.spec.Model, bits: j.spec.KeyBits, scale: j.spec.Scale, seed: sc.Seed}
+
+	s.mu.Lock()
+	if s.cells == nil {
+		s.cells = make(map[cellKey]*cellEntry)
+	}
+	e := s.cells[key]
+	if e == nil {
+		e = &cellEntry{done: make(chan struct{})}
+		s.cells[key] = e
+		s.mu.Unlock()
+		e.cell, e.err = harness.PrepareCell(j.spec.Model, j.spec.KeyBits, sc, nil)
+		close(e.done)
+	} else {
+		s.mu.Unlock()
+		<-e.done
+	}
+	return e.cell, e.err
+}
+
+// buildOracle provisions the job's oracle channel and finishes its attack
+// config. The farm transport is also returned so results can report
+// simulated channel time.
+func buildOracle(cell *harness.Cell, spec OracleSpec, cfg core.Config) (oracle.Interface, *farm.Transport, core.Config, error) {
+	switch spec.Channel {
+	case "direct":
+		return cell.NewOracle(), nil, cfg, nil
+	case "faulty":
+		orc, cfg := cell.FaultyOracle(harness.FaultySpec{
+			Sigma:     spec.Sigma,
+			QuantBits: spec.QuantBits,
+			Budget:    spec.Budget,
+			LossRate:  spec.Loss,
+		}, cfg)
+		return orc, nil, cfg, nil
+	case "farm":
+		ch := farm.Channel{
+			RTT:       time.Duration(spec.RTTMS * float64(time.Millisecond)),
+			Bandwidth: spec.BandwidthMbps * 1e6 / 8,
+			Loss:      spec.Loss,
+		}
+		tr, cfg, err := cell.FarmOracle(spec.Mix, spec.Devices, ch, cfg)
+		if err != nil {
+			return nil, nil, cfg, err
+		}
+		return tr, tr, cfg, nil
+	default:
+		return nil, nil, cfg, fmt.Errorf("unknown oracle channel %q", spec.Channel)
+	}
+}
+
+// executeJob is the real runner behind the worker pool: it takes a job from
+// queued to a terminal (or suspended) state. It runs on a pool worker
+// goroutine; all shared state it touches is lock- or atomic-guarded.
+func (s *Server) executeJob(shard int, j *Job) {
+	// Preflight: honor requests that arrived while the job sat queued.
+	if s.isDraining() {
+		// Drain requeues queued jobs for the next start rather than burning
+		// shutdown time on fresh attacks.
+		s.persist(j)
+		return
+	}
+	switch j.stop.Load() {
+	case stopCancel:
+		j.setState(StateCancelled)
+		s.persist(j)
+		return
+	case stopSuspend:
+		// Suspended before it ever ran: no checkpoint, a resume restarts it.
+		j.setState(StateSuspended)
+		j.stop.Store(stopNone)
+		s.persist(j)
+		return
+	}
+
+	j.setState(StateRunning)
+	s.persist(j)
+
+	attempt := j.view().Attempt
+	root := j.tracer.Start("job",
+		obs.String("id", j.id),
+		obs.String("kind", string(j.spec.Kind)),
+		obs.String("model", j.spec.Model),
+		obs.Int("bits", j.spec.KeyBits),
+		obs.Int("attempt", attempt),
+		obs.Int("shard", shard),
+	)
+
+	err := s.runAttempt(j, root)
+
+	switch {
+	case err == nil:
+		root.End(obs.String("outcome", string(j.currentState())))
+		s.completed.Add(1)
+	case errors.Is(err, core.ErrSuspended):
+		if j.stop.Load() == stopCancel {
+			j.setState(StateCancelled)
+			root.End(obs.String("outcome", "cancelled"))
+		} else {
+			j.setState(StateSuspended)
+			j.stop.CompareAndSwap(stopSuspend, stopNone)
+			root.End(obs.String("outcome", "suspended"),
+				obs.Int("sites_done", j.view().Progress.SitesDone))
+		}
+	default:
+		j.fail(err)
+		root.End(obs.String("outcome", "failed"), obs.String("error", err.Error()))
+		s.failed.Add(1)
+		s.log.Error("job failed", "id", j.id, "err", err)
+	}
+	s.persist(j)
+}
+
+// runAttempt executes one run segment of the job: a fresh start, or a
+// resume from the latest checkpoint. Returns core.ErrSuspended when the
+// attack stopped at a boundary on request.
+func (s *Server) runAttempt(j *Job, root *obs.Span) error {
+	cell, err := s.cellFor(j)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.cell = cell
+	j.mu.Unlock()
+
+	switch j.spec.Kind {
+	case KindDecrypt:
+		return s.runDecrypt(j, cell, root)
+	case KindMonolithic:
+		return s.runMonolithic(j, cell, root)
+	default:
+		return fmt.Errorf("unknown kind %q", j.spec.Kind)
+	}
+}
+
+// runDecrypt runs (or resumes) the checkpointable decryption attack.
+func (s *Server) runDecrypt(j *Job, cell *harness.Cell, root *obs.Span) error {
+	cfg := cell.DecryptConfig()
+	cfg.TraceParent = root
+
+	// Reuse the live oracle across in-process suspend/resume cycles so
+	// stateful fault decorators keep their occurrence counters (the
+	// Checkpoint resumability invariant); build a fresh one otherwise.
+	j.mu.Lock()
+	orc := j.orc
+	ckptRaw := j.ckpt
+	j.mu.Unlock()
+	var tr *farm.Transport
+	if orc == nil {
+		var err error
+		orc, tr, cfg, err = buildOracle(cell, j.spec.Oracle, cfg)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.orc = orc
+		j.mu.Unlock()
+	} else if t, ok := orc.(*farm.Transport); ok {
+		tr = t
+	}
+	_ = tr // SimTime flows through Result.SimTime; tr kept for symmetry/debug
+
+	spec := cell.Spec()
+	sitesTotal := len(spec.SiteBits())
+	cfg.OnCheckpoint = func(ck *core.Checkpoint) bool {
+		raw, err := ck.Marshal()
+		if err != nil {
+			s.log.Error("checkpoint marshal failed", "id", j.id, "err", err)
+			return true // keep running; worst case the job loses resumability
+		}
+		j.storeCheckpoint(raw, Progress{
+			SitesDone:  ck.SitesDone,
+			SitesTotal: sitesTotal,
+			Queries:    ck.Queries,
+			Rounds:     ck.Rounds,
+			Degraded:   ck.Degraded,
+		})
+		s.persist(j)
+		if s.ckptHook != nil {
+			s.ckptHook(j)
+		}
+		return j.stop.Load() == stopNone && !s.isDraining()
+	}
+
+	var res *core.Result
+	var err error
+	if len(ckptRaw) > 0 {
+		var ck *core.Checkpoint
+		ck, err = core.UnmarshalCheckpoint(ckptRaw)
+		if err != nil {
+			return fmt.Errorf("decoding stored checkpoint: %w", err)
+		}
+		res, err = core.Resume(cell.WhiteBox(), cell.Spec(), orc, cfg, ck)
+	} else {
+		res, err = core.Run(cell.WhiteBox(), cell.Spec(), orc, cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	result := &JobResult{
+		Fidelity:    cell.Fidelity(res.Key),
+		Accuracy:    cell.AccuracyUnderKey(res.Key),
+		Queries:     res.Queries,
+		Rounds:      res.Rounds,
+		WallSeconds: res.Time.Seconds(),
+		SimSeconds:  res.SimTime.Seconds(),
+		Equivalent:  res.Equivalent,
+		Degraded:    res.Degraded,
+	}
+	j.mu.Lock()
+	j.result = result
+	j.progress.SitesDone = sitesTotal
+	j.progress.SitesTotal = sitesTotal
+	j.progress.Queries = res.Queries
+	j.progress.Rounds = res.Rounds
+	j.progress.Degraded = int64(res.Degraded)
+	j.orc = nil // the attack is over; free the channel stack
+	j.mu.Unlock()
+	j.setState(StateCompleted)
+	return nil
+}
+
+// runMonolithic runs the §4.3 baseline. It has no checkpoints; drain and
+// cancel requests early-stop the fit through the epoch monitor, which makes
+// drain a graceful degradation (the anytime result is still reported) and
+// cancel a discard.
+func (s *Server) runMonolithic(j *Job, cell *harness.Cell, root *obs.Span) error {
+	cfg := cell.MonolithicConfig()
+	cfg.TraceParent = root
+	orc, _, cfg, err := buildOracle(cell, j.spec.Oracle, cfg)
+	if err != nil {
+		return err
+	}
+
+	stopped := false
+	rep, err := core.Monolithic(cell.WhiteBox(), cell.Spec(), orc, cfg,
+		func(epoch int, _ hpnn.Key) bool {
+			if j.stop.Load() != stopNone || s.isDraining() {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	if err != nil {
+		return err
+	}
+	if stopped && j.stop.Load() == stopCancel {
+		j.setState(StateCancelled)
+		return nil
+	}
+
+	result := &JobResult{
+		Fidelity:     cell.Fidelity(rep.Key),
+		Accuracy:     cell.AccuracyUnderKey(rep.Key),
+		Queries:      rep.Queries,
+		Rounds:       rep.Rounds,
+		WallSeconds:  rep.Time.Seconds(),
+		SimSeconds:   rep.SimTime.Seconds(),
+		Equivalent:   rep.Equivalent,
+		Degraded:     rep.Degraded,
+		StoppedEarly: stopped,
+	}
+	j.mu.Lock()
+	j.result = result
+	j.progress.Queries = rep.Queries
+	j.progress.Rounds = rep.Rounds
+	j.mu.Unlock()
+	j.setState(StateCompleted)
+	return nil
+}

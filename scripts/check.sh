@@ -76,6 +76,51 @@ head -n 1 "$TRACE_TMP/farm.csv" | grep -q '^model,key_bits,mix,devices' || {
 	exit 1
 }
 
+# Daemon smoke (DESIGN.md §17, OPERATIONS.md): dnnlockd must accept an MLP
+# 4-bit job over its HTTP API, run it to completion, and report exactly the
+# query count a direct `dnnlock table1` run of the same cell reports — the
+# service layer may never change the attack's numbers. The TERM at the end
+# also exercises graceful drain: the daemon must exit cleanly.
+echo "==> daemon smoke (dnnlockd: submit -> poll -> parity with table1)"
+go build -o "$TRACE_TMP/dnnlockd" ./cmd/dnnlockd
+"$TRACE_TMP/dnnlockd" -addr 127.0.0.1:0 -workers 1 \
+	> "$TRACE_TMP/dnnlockd.out" 2> /dev/null &
+DAEMON_PID=$!
+trap '[ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null; rm -rf "$TRACE_TMP"' EXIT
+ADDR=""
+for _ in $(seq 1 50); do
+	ADDR="$(sed -n 's/^dnnlockd listening on //p' "$TRACE_TMP/dnnlockd.out")"
+	[ -n "$ADDR" ] && break
+	sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "daemon smoke: dnnlockd never printed its address" >&2; exit 1; }
+SUBMIT="$(curl -fsS -X POST "http://$ADDR/jobs" \
+	-d '{"kind":"decrypt","model":"mlp","key_bits":4,"scale":"tiny"}')"
+JOB_ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1)"
+[ -n "$JOB_ID" ] || { echo "daemon smoke: submit returned no job id: $SUBMIT" >&2; exit 1; }
+STATE=""
+for _ in $(seq 1 150); do
+	VIEW="$(curl -fsS "http://$ADDR/jobs/$JOB_ID")"
+	STATE="$(printf '%s' "$VIEW" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -n 1)"
+	case "$STATE" in completed|failed|cancelled) break ;; esac
+	sleep 0.2
+done
+[ "$STATE" = "completed" ] || {
+	echo "daemon smoke: job ended in state '$STATE': $VIEW" >&2
+	exit 1
+}
+DAEMON_Q="$(printf '%s' "$VIEW" | sed -n 's/.*"queries": \([0-9][0-9]*\).*/\1/p' | head -n 1)"
+"$TRACE_TMP/dnnlock" table1 -model mlp -keysizes 4 -scale tiny \
+	-csv "$TRACE_TMP/t1.csv" > /dev/null
+DIRECT_Q="$(awk -F, 'NR==2{print $13}' "$TRACE_TMP/t1.csv")"
+if [ -z "$DAEMON_Q" ] || [ "$DAEMON_Q" != "$DIRECT_Q" ]; then
+	echo "daemon smoke: dec_queries mismatch: daemon=$DAEMON_Q direct=$DIRECT_Q" >&2
+	exit 1
+fi
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "daemon smoke: dnnlockd did not exit cleanly" >&2; exit 1; }
+DAEMON_PID=""
+
 # Bench gate (opt-in: DNNLOCK_BENCH=1): run the paper-facing benchmarks and
 # diff the fresh numbers against the most recent committed BENCH_*.json via
 # bench_compare.sh, which fails on a >10% regression. Off by default — the
